@@ -1,0 +1,272 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md §7. Figure
+// benches run a reduced sweep (2 trials, 3 densities) per iteration so
+// `go test -bench=.` stays tractable; the full-size series are produced by
+// cmd/mlb-sweep and recorded in EXPERIMENTS.md. Custom metrics attach the
+// scientific output (mean rounds/slots) to the timing rows.
+package mlbs_test
+
+import (
+	"testing"
+
+	"mlbs"
+)
+
+// benchFigureCfg is the reduced sweep used by the figure benchmarks.
+func benchFigureCfg(counts ...int) mlbs.ExperimentConfig {
+	return mlbs.ExperimentConfig{Trials: 2, Seed: 1, NodeCounts: counts}
+}
+
+// reportSeries attaches each series' mean at the densest point. Metric
+// units may not contain whitespace, so series names are slugified
+// ("bound of [12]" → "bound-of-12").
+func reportSeries(b *testing.B, fig *mlbs.Figure) {
+	b.Helper()
+	last := fig.Points[len(fig.Points)-1]
+	for _, name := range fig.Names {
+		if s, ok := last.Series[name]; ok {
+			b.ReportMetric(s.Mean(), slug(name)+"_mean")
+		}
+	}
+}
+
+func slug(name string) string {
+	var out []rune
+	for _, r := range name {
+		switch {
+		case r == ' ':
+			out = append(out, '-')
+		case r == '[' || r == ']':
+			// drop
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchFigureCfg(50, 150, 300)
+	var fig *mlbs.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		if fig, err = mlbs.Figure3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	cfg := benchFigureCfg(50, 150)
+	var fig *mlbs.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		if fig, err = mlbs.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchFigureCfg(50, 150, 300)
+	var fig *mlbs.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		if fig, err = mlbs.Figure5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchFigureCfg(50, 150)
+	var fig *mlbs.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		if fig, err = mlbs.Figure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchFigureCfg(50, 150, 300)
+	var fig *mlbs.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		if fig, err = mlbs.Figure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkTableII(b *testing.B) {
+	g, src := mlbs.Figure2()
+	in := mlbs.SyncInstance(g, src)
+	var rows []mlbs.TraceRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = mlbs.TraceGOPT(in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	g, src := mlbs.Figure1()
+	in := mlbs.SyncInstance(g, src)
+	var rows []mlbs.TraceRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = mlbs.TraceGOPT(in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	g, src := mlbs.Figure2()
+	in := mlbs.Instance{G: g, Source: src, Start: 2, Wake: mlbs.TableIVWake()}
+	var rows []mlbs.TraceRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = mlbs.TraceGOPT(in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+// benchScheduler measures one scheduler on one instance and attaches its
+// P(A) latency.
+func benchScheduler(b *testing.B, in mlbs.Instance, s mlbs.Scheduler) {
+	b.Helper()
+	var res *mlbs.Result
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res, err = s.Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Schedule.Latency()), "latency")
+}
+
+func syncInstance300(b *testing.B) mlbs.Instance {
+	b.Helper()
+	dep, err := mlbs.PaperDeployment(300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mlbs.SyncInstance(dep.G, dep.Source)
+}
+
+func dutyInstance300(b *testing.B, r int) mlbs.Instance {
+	b.Helper()
+	dep, err := mlbs.PaperDeployment(300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(300, r, 9), 0)
+}
+
+func BenchmarkSchedulerSyncEModel300(b *testing.B) {
+	benchScheduler(b, syncInstance300(b), mlbs.EModel())
+}
+func BenchmarkSchedulerSyncGOPT300(b *testing.B) { benchScheduler(b, syncInstance300(b), mlbs.GOPT()) }
+func BenchmarkSchedulerSyncOPT300(b *testing.B)  { benchScheduler(b, syncInstance300(b), mlbs.OPT()) }
+func BenchmarkSchedulerSync26Approx300(b *testing.B) {
+	benchScheduler(b, syncInstance300(b), mlbs.Baseline26())
+}
+
+func BenchmarkSchedulerDutyEModel300R10(b *testing.B) {
+	benchScheduler(b, dutyInstance300(b, 10), mlbs.EModel())
+}
+func BenchmarkSchedulerDutyGOPT300R10(b *testing.B) {
+	benchScheduler(b, dutyInstance300(b, 10), mlbs.GOPT())
+}
+func BenchmarkSchedulerDuty17Approx300R10(b *testing.B) {
+	benchScheduler(b, dutyInstance300(b, 10), mlbs.Baseline17())
+}
+
+// Ablation: pipelining. The same greedy colors, with immediate re-coloring
+// (E-model) versus BFS-layer blocking (the baseline) — isolates the
+// paper's core mechanism.
+func BenchmarkAblationPipeline(b *testing.B) {
+	in := syncInstance300(b)
+	b.Run("pipelined", func(b *testing.B) { benchScheduler(b, in, mlbs.EModel()) })
+	b.Run("layer-blocked", func(b *testing.B) { benchScheduler(b, in, mlbs.Baseline26()) })
+}
+
+// Ablation: E seeding — Algorithm 2's edge-first two-pass versus the
+// one-pass variant that seeds every empty-quadrant node immediately.
+func BenchmarkAblationESeeding(b *testing.B) {
+	in := syncInstance300(b)
+	b.Run("two-pass", func(b *testing.B) { benchScheduler(b, in, mlbs.EModel()) })
+	b.Run("one-pass", func(b *testing.B) { benchScheduler(b, in, mlbs.EModelOnePass()) })
+}
+
+// Ablation: color-selection rule — Eq. 10's max-E versus utilization-greedy
+// and plain first-color selection.
+func BenchmarkAblationSelection(b *testing.B) {
+	in := syncInstance300(b)
+	b.Run("max-E", func(b *testing.B) { benchScheduler(b, in, mlbs.EModel()) })
+	b.Run("max-coverage", func(b *testing.B) { benchScheduler(b, in, mlbs.MaxCoverage()) })
+	b.Run("first-color", func(b *testing.B) { benchScheduler(b, in, mlbs.FirstColor()) })
+}
+
+// Ablation: search budget — how much optimality proof G-OPT buys per state.
+func BenchmarkAblationBudget(b *testing.B) {
+	in := dutyInstance300(b, 10)
+	for _, budget := range []int{10, 1_000, 100_000} {
+		budget := budget
+		b.Run(byBudget(budget), func(b *testing.B) {
+			var res *mlbs.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = mlbs.GOPTBudget(budget).Schedule(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Schedule.Latency()), "latency")
+			exact := 0.0
+			if res.Exact {
+				exact = 1
+			}
+			b.ReportMetric(exact, "exact")
+		})
+	}
+}
+
+func byBudget(budget int) string {
+	switch {
+	case budget >= 1_000_000:
+		return "budget-1M"
+	case budget >= 100_000:
+		return "budget-100k"
+	case budget >= 1_000:
+		return "budget-1k"
+	}
+	return "budget-10"
+}
+
+// Localized future-work scheme at paper scale.
+func BenchmarkLocalized300(b *testing.B) {
+	in := syncInstance300(b)
+	var lat int
+	for i := 0; i < b.N; i++ {
+		rep, _, err := mlbs.LocalizedRun(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = rep.Latency()
+	}
+	b.ReportMetric(float64(lat), "latency")
+}

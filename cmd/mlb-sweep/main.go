@@ -1,0 +1,115 @@
+// Command mlb-sweep regenerates the paper's evaluation figures (3–7) and
+// the Section V-C summary claims.
+//
+// Usage:
+//
+//	mlb-sweep -figure 3 [-trials 20] [-seed 1] [-csv out.csv]
+//	mlb-sweep -summary [-trials 10]
+//	mlb-sweep -all [-trials 10]
+//
+// Output is the same series the paper plots, as an aligned text table
+// (mean ± 95% CI per density), optionally also as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlbs"
+)
+
+func main() {
+	var (
+		figure    = flag.Int("figure", 0, "paper figure to regenerate (3..7)")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		summary   = flag.Bool("summary", false, "print the Section V-C summary claims")
+		ablations = flag.Bool("ablations", false, "run the DESIGN.md §7 ablations")
+		plot      = flag.Bool("plot", false, "render an ASCII chart under each figure table")
+		trials    = flag.Int("trials", 20, "deployments per density point")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csvPath   = flag.String("csv", "", "also write figure series as CSV to this file")
+	)
+	flag.Parse()
+	cfg := mlbs.ExperimentConfig{Trials: *trials, Seed: *seed, Workers: *workers}
+
+	if err := run(cfg, *figure, *all, *summary, *ablations, *plot, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "mlb-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg mlbs.ExperimentConfig, figure int, all, summary, ablations, plot bool, csvPath string) error {
+	switch {
+	case ablations:
+		sel, err := mlbs.AblationSelection(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sel.Format())
+		bud, err := mlbs.AblationBudget(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bud.Format())
+		rob, err := mlbs.AblationRobustness(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rob.Format())
+		fam, err := mlbs.AblationWakeFamily(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fam.Format())
+		return nil
+	case all:
+		var figs []*mlbs.Figure
+		for id := 3; id <= 7; id++ {
+			fig, err := mlbs.FigureByID(id, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig.Format())
+			if id == 3 || id == 4 || id == 6 {
+				figs = append(figs, fig)
+			}
+		}
+		fmt.Println(mlbs.Summarize(figs...).Format())
+		return nil
+	case summary:
+		f3, err := mlbs.Figure3(cfg)
+		if err != nil {
+			return err
+		}
+		f4, err := mlbs.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		f6, err := mlbs.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(mlbs.Summarize(f3, f4, f6).Format())
+		return nil
+	case figure >= 3 && figure <= 7:
+		fig, err := mlbs.FigureByID(figure, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig.Format())
+		if plot {
+			fmt.Println(fig.Plot(72, 18))
+		}
+		if csvPath != "" {
+			if err := os.WriteFile(csvPath, []byte(fig.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Println("csv written to", csvPath)
+		}
+		return nil
+	default:
+		return fmt.Errorf("specify -figure 3..7, -summary, or -all")
+	}
+}

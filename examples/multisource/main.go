@@ -1,0 +1,60 @@
+// Multi-source dissemination: several gateways already hold a firmware
+// update and must flood it to the whole field. The scheduler's PreCovered
+// support turns this into the same conflict-aware minimum-latency problem,
+// and monotonicity (more initial coverage never hurts) shows up directly:
+// each added gateway shrinks the schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlbs"
+)
+
+func main() {
+	dep, err := mlbs.PaperDeployment(200, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := dep.G
+
+	// Gateways: the source plus up to three nodes spread across the field
+	// (chosen as the farthest-first sweep from the source).
+	gateways := []mlbs.NodeID{dep.Source}
+	dist := g.BFS(dep.Source)
+	for len(gateways) < 4 {
+		far, farD := -1, -1
+		for v := 0; v < g.N(); v++ {
+			d := dist[v]
+			for _, gw := range gateways[1:] {
+				if gd := g.BFS(gw)[v]; gd < d {
+					d = gd
+				}
+			}
+			if d > farD {
+				far, farD = v, d
+			}
+		}
+		gateways = append(gateways, far)
+	}
+
+	fmt.Printf("field: %d sensors; gateways added farthest-first: %v\n\n", g.N(), gateways)
+	fmt.Println("gateways  G-OPT latency (rounds)   Mica2 wall clock")
+	for k := 1; k <= len(gateways); k++ {
+		in := mlbs.SyncInstance(g, dep.Source)
+		in.PreCovered = gateways[1:k]
+		res, err := mlbs.GOPT().Schedule(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9d %-24d %v\n", k, res.Schedule.Latency(),
+			mlbs.Mica2().BroadcastTime(res.Schedule.Latency()))
+	}
+	fmt.Println("\nEach gateway is one more initially-covered node (Instance.PreCovered);")
+	fmt.Println("latency is monotone non-increasing in the gateway set — the property")
+	fmt.Println("that also justifies OPT's restriction to maximal conflict-free sets.")
+}

@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/sim"
+	"mlbs/internal/topology"
+)
+
+func fig2a() *graph.Graph {
+	return graph.NewBuilder(5, nil).
+		AddEdge(0, 1).AddEdge(0, 2).
+		AddEdge(1, 3).AddEdge(1, 4).
+		AddEdge(2, 3).
+		Build()
+}
+
+func pathGraph(n int) *graph.Graph {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i), Y: 0}
+	}
+	return graph.FromUDG(pos, 1)
+}
+
+func TestSyncFig2a(t *testing.T) {
+	in := core.Sync(fig2a(), 0)
+	res, err := New26().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 0 fires at 1, color {2} at 2 covers {4,5}; color {3} has lost
+	// its receivers and stays silent.
+	if res.PA != 2 {
+		t.Fatalf("P(A) = %d, want 2", res.PA)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerBlockingCostsRounds(t *testing.T) {
+	// Pipeline graph: source s=0 with three mutually conflicting children
+	// (common uncovered neighbor 4), each owing work — child 1 roots a long
+	// tail, children 2 and 3 own pendants 8 and 9. The baseline drains all
+	// three colors of layer 1 before the tail may advance; G-OPT fires the
+	// pendant relays concurrently with the tail (they stop conflicting once
+	// node 4 is covered) and finishes in d rounds.
+	//
+	//        1 ─ 5 ─ 6 ─ 7
+	//   0 ── 2 ─ 8      (4 adjacent to 1,2,3)
+	//        3 ─ 9
+	b := graph.NewBuilder(10, nil)
+	b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3)
+	b.AddEdge(1, 4).AddEdge(2, 4).AddEdge(3, 4)
+	b.AddEdge(1, 5).AddEdge(5, 6).AddEdge(6, 7)
+	b.AddEdge(2, 8).AddEdge(3, 9)
+	in := core.Sync(b.Build(), 0)
+
+	base, err := New26().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gopt, err := core.NewGOPT(0).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if !gopt.Exact {
+		t.Fatal("G-OPT inexact on 8 nodes")
+	}
+	if base.PA <= gopt.PA {
+		t.Fatalf("baseline %d should lose to G-OPT %d on the pipeline graph", base.PA, gopt.PA)
+	}
+}
+
+func TestDutyCycleWaitsForWakes(t *testing.T) {
+	// Path 0–1–2. Node 1 wakes only at slot 7 (period 10). The baseline
+	// must stall layer 1 until then.
+	g := pathGraph(3)
+	wake := dutycycle.NewFixed(10, 10, [][]int{{1}, {7}, {9}})
+	in := core.Async(g, 0, wake, 0)
+	res, err := New17().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PA != 7 {
+		t.Fatalf("P(A) = %d, want 7", res.PA)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDutySameColorDifferentSlots(t *testing.T) {
+	// Star source with two compatible children relaying to separate
+	// pendants; children wake at different slots and both must transmit.
+	b := graph.NewBuilder(5, nil)
+	b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 3).AddEdge(2, 4)
+	g := b.Build()
+	wake := dutycycle.NewFixed(10, 10, [][]int{{0}, {3}, {5}, {9}, {9}})
+	in := core.Async(g, 0, wake, 0)
+	res, err := New17().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if res.PA != 5 {
+		t.Fatalf("P(A) = %d, want 5 (children fire at 3 and 5)", res.PA)
+	}
+	if len(res.Schedule.Advances) != 3 {
+		t.Fatalf("advances = %d, want 3 (source, child@3, child@5)", len(res.Schedule.Advances))
+	}
+}
+
+func TestNew17DegeneratesToNew26OnSync(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(100), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Sync(d.G, d.Source)
+	a, err := New26().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New17().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PA != b.PA {
+		t.Fatalf("26-approx %d != 17-approx %d on the synchronous system", a.PA, b.PA)
+	}
+}
+
+// Property: the baseline is valid, survives physics, and is never better
+// than exact G-OPT (it is a feasible schedule of the same model).
+func TestQuickBaselineSoundAndDominated(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := topology.Config{N: 40, AreaSide: 30, Radius: 10, MaxRetries: 60}
+		d, err := topology.Generate(cfg, seed)
+		if err != nil {
+			return true
+		}
+		wake := dutycycle.NewUniform(d.G.N(), 6, seed, 0)
+		for _, in := range []core.Instance{
+			core.Sync(d.G, d.Source),
+			core.Async(d.G, d.Source, wake, 0),
+		} {
+			base, err := New17().Schedule(in)
+			if err != nil {
+				return false
+			}
+			if err := base.Schedule.Validate(in); err != nil {
+				return false
+			}
+			rep, err := sim.Replay(in, base.Schedule)
+			if err != nil || !rep.Completed {
+				return false
+			}
+			gopt, err := core.NewGOPT(100_000).Schedule(in)
+			if err != nil {
+				return false
+			}
+			if gopt.Exact && base.PA < gopt.PA {
+				return false // beating the optimum is impossible
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApprox26At300(b *testing.B) {
+	d, err := topology.Generate(topology.PaperConfig(300), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.Sync(d.G, d.Source)
+	s := New26()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set must be empty")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if s.Capacity() < 130 {
+		t.Fatalf("Capacity = %d, want >= 130", s.Capacity())
+	}
+	if s.Words() != 3 {
+		t.Fatalf("Words = %d, want 3", s.Words())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) must panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if s.Has(i) {
+			t.Fatalf("bit %d set before Add", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("bit %d not set after Add", i)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("bit 64 still set after Remove")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromMembers(100, 1, 50, 99)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set not empty after Clear")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromMembers(100, 5, 60)
+	c := s.Clone()
+	c.Add(7)
+	if s.Has(7) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Has(5) || !c.Has(60) {
+		t.Fatal("Clone lost members")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s := New(100)
+	t2 := FromMembers(100, 2, 3, 99)
+	s.CopyFrom(t2)
+	if !s.Equal(t2) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with different capacity must panic")
+		}
+	}()
+	New(64).CopyFrom(New(128))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromMembers(128, 1, 2, 3, 70)
+	b := FromMembers(128, 3, 4, 70, 100)
+
+	u := Union(a, b)
+	want := []int{1, 2, 3, 4, 70, 100}
+	if got := u.Members(); !equalInts(got, want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+
+	i := Intersect(a, b)
+	if got := i.Members(); !equalInts(got, []int{3, 70}) {
+		t.Fatalf("Intersect = %v, want [3 70]", got)
+	}
+
+	d := Difference(a, b)
+	if got := d.Members(); !equalInts(got, []int{1, 2}) {
+		t.Fatalf("Difference = %v, want [1 2]", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromMembers(64, 1, 2)
+	b := FromMembers(64, 2, 3)
+	c := FromMembers(64, 4)
+	if !a.Intersects(b) {
+		t.Fatal("a and b must intersect")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c must not intersect")
+	}
+}
+
+func TestIntersectsDifference(t *testing.T) {
+	// s ∩ t ∩ ¬u — the conflict predicate.
+	s := FromMembers(64, 1, 2, 3)
+	tt := FromMembers(64, 2, 3, 4)
+	u := FromMembers(64, 2)
+	if !s.IntersectsDifference(tt, u) {
+		t.Fatal("3 ∈ s∩t∩¬u, want true")
+	}
+	u.Add(3)
+	if s.IntersectsDifference(tt, u) {
+		t.Fatal("s∩t∩¬u empty, want false")
+	}
+	if got := s.CountIntersectDifference(tt, FromMembers(64, 2)); got != 1 {
+		t.Fatalf("CountIntersectDifference = %d, want 1", got)
+	}
+}
+
+func TestCountDifferenceAndSubset(t *testing.T) {
+	a := FromMembers(100, 1, 2, 3)
+	b := FromMembers(100, 2)
+	if got := a.CountDifference(b); got != 2 {
+		t.Fatalf("CountDifference = %d, want 2", got)
+	}
+	if !b.IsSubsetOf(a) {
+		t.Fatal("b ⊆ a, want true")
+	}
+	if a.IsSubsetOf(b) {
+		t.Fatal("a ⊄ b, want false")
+	}
+	if !a.AnyDifference(b) {
+		t.Fatal("a−b non-empty, want true")
+	}
+	if b.AnyDifference(a) {
+		t.Fatal("b−a empty, want false")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	members := []int{0, 63, 64, 65, 120}
+	s := FromMembers(128, members...)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if !equalInts(got, members) {
+		t.Fatalf("ForEach order = %v, want %v", got, members)
+	}
+}
+
+func TestNextAfter(t *testing.T) {
+	s := FromMembers(256, 3, 64, 200)
+	cases := []struct{ in, want int }{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 200}, {200, 200}, {201, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextAfter(c.in); got != c.want {
+			t.Fatalf("NextAfter(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := New(0).NextAfter(0); got != -1 {
+		t.Fatalf("NextAfter on empty-capacity set = %d, want -1", got)
+	}
+}
+
+func TestKeyCollisionFree(t *testing.T) {
+	a := FromMembers(128, 1)
+	b := FromMembers(128, 64)
+	if a.Key() == b.Key() {
+		t.Fatal("distinct sets produced identical keys")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("equal sets produced different keys")
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	a := FromMembers(128, 1, 2)
+	b := FromMembers(128, 1, 3)
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash collision on trivially different sets (suspicious)")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromMembers(64, 2, 5).String(); got != "{2, 5}" {
+		t.Fatalf("String = %q, want {2, 5}", got)
+	}
+	if got := New(64).String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+// Property: Members is sorted and round-trips through FromMembers.
+func TestQuickMembersRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := New(256)
+		uniq := map[int]bool{}
+		for _, r := range raw {
+			s.Add(int(r))
+			uniq[int(r)] = true
+		}
+		m := s.Members()
+		if len(m) != len(uniq) {
+			return false
+		}
+		if !sort.IntsAreSorted(m) {
+			return false
+		}
+		return FromMembers(256, m...).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |a∪b| = |a| + |b| − |a∩b|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return Union(a, b).Len() == a.Len()+b.Len()-Intersect(a, b).Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IntersectsDifference agrees with the materialized computation.
+func TestQuickConflictPredicate(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, w := New(256), New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		for _, z := range zs {
+			w.Add(int(z))
+		}
+		m := Intersect(a, b)
+		m.DifferenceWith(w)
+		if a.IntersectsDifference(b, w) != !m.Empty() {
+			return false
+		}
+		return a.CountIntersectDifference(b, w) == m.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextAfterScansAll(t *testing.T) {
+	f := func(xs []uint8) bool {
+		s := New(256)
+		for _, x := range xs {
+			s.Add(int(x))
+		}
+		var got []int
+		for i := s.NextAfter(0); i >= 0; i = s.NextAfter(i + 1) {
+			got = append(got, i)
+		}
+		return equalInts(got, s.Members())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConflictPredicate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 512
+	a, c, w := New(n), New(n), New(n)
+	for i := 0; i < n/8; i++ {
+		a.Add(r.Intn(n))
+		c.Add(r.Intn(n))
+		w.Add(r.Intn(n))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.IntersectsDifference(c, w)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: Difference and IsSubsetOf interact correctly: (a−b) ⊆ a and
+// (a−b) ∩ b = ∅.
+func TestQuickDifferenceSubset(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		d := Difference(a, b)
+		return d.IsSubsetOf(a) && !d.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union is commutative, associative, and idempotent.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := New(256), New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		for _, z := range zs {
+			c.Add(int(z))
+		}
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Union(Union(a, b), c).Equal(Union(a, Union(b, c))) {
+			return false
+		}
+		return Union(a, a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

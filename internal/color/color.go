@@ -1,0 +1,323 @@
+// Package color implements the conflict-aware color scheme of Section IV:
+// relay candidates, the interference predicate, the extended greedy color
+// partition (Algorithm 1, Eq. 1–3), and the enumeration of all maximal
+// conflict-free relay sets that the OPT search branches over (Eq. 1).
+//
+// Terminology, following the paper: given coverage W, a *candidate* is a
+// node u ∈ W with at least one neighbor outside W. Two candidates u, v
+// *conflict* when they share an uncovered neighbor (N(u)∩N(v)∩W̄ ≠ ∅):
+// firing both in the same round would collide at that neighbor. A *color*
+// is a set of pairwise conflict-free candidates; the greedy scheme orders
+// candidates by how many uncovered receivers they reach.
+package color
+
+import (
+	"sort"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+)
+
+// Candidates returns, sorted ascending, the nodes of W that still have an
+// uncovered neighbor — the relays eligible to fire (constraints 1–2 of
+// Eq. 1).
+func Candidates(g *graph.Graph, w bitset.Set) []graph.NodeID {
+	var out []graph.NodeID
+	w.ForEach(func(u int) {
+		if g.Nbr(u).AnyDifference(w) {
+			out = append(out, u)
+		}
+	})
+	return out
+}
+
+// AwakeCandidates returns the candidates whose sending channel is on at
+// slot t — the duty-cycle restriction of Eq. 3 (u ∈ W ∧ t ∈ T(u)).
+func AwakeCandidates(g *graph.Graph, w bitset.Set, s dutycycle.Schedule, t int) []graph.NodeID {
+	var out []graph.NodeID
+	w.ForEach(func(u int) {
+		if s.Awake(u, t) && g.Nbr(u).AnyDifference(w) {
+			out = append(out, u)
+		}
+	})
+	return out
+}
+
+// Conflict reports whether candidates u and v interfere given coverage w:
+// N(u) ∩ N(v) ∩ W̄ ≠ ∅ (constraint 3 of Eq. 1). A node never conflicts
+// with itself.
+func Conflict(g *graph.Graph, u, v graph.NodeID, w bitset.Set) bool {
+	if u == v {
+		return false
+	}
+	return g.Nbr(u).IntersectsDifference(g.Nbr(v), w)
+}
+
+// Receivers returns |N(u) ∩ W̄| — the uncovered neighbors u's relay would
+// reach, the greedy scheme's utilization metric (Eq. 2).
+func Receivers(g *graph.Graph, u graph.NodeID, w bitset.Set) int {
+	return g.Nbr(u).CountDifference(w)
+}
+
+// ReceiverSet appends N(u) ∩ W̄ into dst (cleared first) and returns it.
+func ReceiverSet(g *graph.Graph, u graph.NodeID, w bitset.Set, dst bitset.Set) bitset.Set {
+	dst.CopyFrom(g.Nbr(u))
+	dst.DifferenceWith(w)
+	return dst
+}
+
+// Class is one color: a set of pairwise conflict-free candidates, sorted
+// ascending by node ID.
+type Class []graph.NodeID
+
+// Covered returns the union of uncovered receivers of all class members —
+// the broadcasting advance A this color would produce.
+func (c Class) Covered(g *graph.Graph, w bitset.Set) bitset.Set {
+	adv := bitset.New(w.Capacity())
+	for _, u := range c {
+		adv.UnionWith(g.Nbr(u))
+	}
+	adv.DifferenceWith(w)
+	return adv
+}
+
+// GreedyPartition runs Algorithm 1 on the given candidates: sort by
+// descending receiver count (ties by ascending node ID, making the
+// partition deterministic), then label color 1, 2, … greedily — a
+// candidate joins the current color iff it conflicts with no member
+// already labeled with it. The returned classes satisfy Eq. 1 and the
+// greedy ordering constraint of Eq. 2.
+func GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.NodeID) []Class {
+	if len(cands) == 0 {
+		return nil
+	}
+	order := append([]graph.NodeID(nil), cands...)
+	recv := make(map[graph.NodeID]int, len(order))
+	for _, u := range order {
+		recv[u] = Receivers(g, u, w)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if recv[order[i]] != recv[order[j]] {
+			return recv[order[i]] > recv[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	var classes []Class
+	labeled := make(map[graph.NodeID]bool, len(order))
+	for len(labeled) < len(order) {
+		var cls Class
+		for _, u := range order {
+			if labeled[u] {
+				continue
+			}
+			ok := true
+			for _, v := range cls {
+				if Conflict(g, u, v, w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cls = append(cls, u)
+				labeled[u] = true
+			}
+		}
+		sort.Ints(cls)
+		classes = append(classes, cls)
+	}
+	return classes
+}
+
+// GreedySync computes the greedy colors of coverage w in the round-based
+// system (Eq. 2).
+func GreedySync(g *graph.Graph, w bitset.Set) []Class {
+	return GreedyPartition(g, w, Candidates(g, w))
+}
+
+// GreedyDuty computes the greedy colors among the candidates awake at slot
+// t in the duty-cycle system (Eq. 3).
+func GreedyDuty(g *graph.Graph, w bitset.Set, s dutycycle.Schedule, t int) []Class {
+	return GreedyPartition(g, w, AwakeCandidates(g, w, s, t))
+}
+
+// MaximalSets enumerates the maximal conflict-free subsets of cands —
+// every color set any scheme could fire (Eq. 1) that is not dominated by a
+// larger one. These are the maximal independent sets of the conflict graph,
+// enumerated Bron–Kerbosch-style on the compatibility relation with
+// pivoting, in deterministic order. limit > 0 caps the enumeration; the
+// second return value reports whether the enumeration was truncated.
+func MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeID, limit int) ([]Class, bool) {
+	k := len(cands)
+	if k == 0 {
+		return nil, false
+	}
+	// compat[i] = bitset over candidate indices j≠i that do NOT conflict
+	// with i. Maximal independent sets of the conflict graph are maximal
+	// cliques of this compatibility graph.
+	compat := make([]bitset.Set, k)
+	for i := range compat {
+		compat[i] = bitset.New(k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if !Conflict(g, cands[i], cands[j], w) {
+				compat[i].Add(j)
+				compat[j].Add(i)
+			}
+		}
+	}
+
+	var (
+		out       []Class
+		truncated bool
+		r         = bitset.New(k)
+	)
+	full := bitset.New(k)
+	for i := 0; i < k; i++ {
+		full.Add(i)
+	}
+
+	var bk func(p, x bitset.Set)
+	bk = func(p, x bitset.Set) {
+		if truncated {
+			return
+		}
+		if p.Empty() && x.Empty() {
+			cls := make(Class, 0, r.Len())
+			r.ForEach(func(i int) { cls = append(cls, cands[i]) })
+			sort.Ints(cls)
+			out = append(out, cls)
+			if limit > 0 && len(out) >= limit {
+				truncated = true
+			}
+			return
+		}
+		// Pivot: the vertex of p ∪ x with the most compatible vertices in p.
+		pivot, best := -1, -1
+		for _, set := range []bitset.Set{p, x} {
+			set.ForEach(func(i int) {
+				c := 0
+				p.ForEach(func(j int) {
+					if compat[i].Has(j) {
+						c++
+					}
+				})
+				if c > best {
+					best, pivot = c, i
+				}
+			})
+		}
+		ext := p.Clone()
+		if pivot >= 0 {
+			ext.DifferenceWith(compat[pivot])
+		}
+		ext.ForEach(func(i int) {
+			if truncated {
+				return
+			}
+			r.Add(i)
+			bk(bitset.Intersect(p, compat[i]), bitset.Intersect(x, compat[i]))
+			r.Remove(i)
+			p.Remove(i)
+			x.Add(i)
+		})
+	}
+	bk(full, bitset.New(k))
+
+	sort.Slice(out, func(a, b int) bool { return lessClasses(out[a], out[b]) })
+	return out, truncated
+}
+
+func lessClasses(a, b Class) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ValidatePartition checks that classes form a legal extended-greedy
+// coloring of the candidates of w: (1) together they contain each
+// candidate exactly once, (2) each class is pairwise conflict-free,
+// (3) every member of class i > 0 conflicts with some member of every
+// earlier class (otherwise it would have been labeled earlier — the
+// paper's constraint 4), and (4) the classes' maximum receiver counts are
+// non-increasing (Eq. 2). It returns a descriptive reason on failure.
+func ValidatePartition(g *graph.Graph, w bitset.Set, cands []graph.NodeID, classes []Class) (bool, string) {
+	seen := make(map[graph.NodeID]int)
+	total := 0
+	for ci, cls := range classes {
+		if len(cls) == 0 {
+			return false, "empty class"
+		}
+		for _, u := range cls {
+			if _, dup := seen[u]; dup {
+				return false, "node labeled twice"
+			}
+			seen[u] = ci
+			total++
+		}
+		for i := 0; i < len(cls); i++ {
+			for j := i + 1; j < len(cls); j++ {
+				if Conflict(g, cls[i], cls[j], w) {
+					return false, "intra-class conflict"
+				}
+			}
+		}
+	}
+	if total != len(cands) {
+		return false, "classes do not cover the candidate set"
+	}
+	for _, u := range cands {
+		if _, ok := seen[u]; !ok {
+			return false, "candidate missing from partition"
+		}
+	}
+	for ci := 1; ci < len(classes); ci++ {
+		for _, u := range classes[ci] {
+			for pj := 0; pj < ci; pj++ {
+				conflicts := false
+				for _, v := range classes[pj] {
+					if Conflict(g, u, v, w) {
+						conflicts = true
+						break
+					}
+				}
+				if !conflicts {
+					return false, "node could join an earlier class (constraint 4 violated)"
+				}
+			}
+		}
+	}
+	maxRecv := func(cls Class) int {
+		m := 0
+		for _, u := range cls {
+			if r := Receivers(g, u, w); r > m {
+				m = r
+			}
+		}
+		return m
+	}
+	for ci := 1; ci < len(classes); ci++ {
+		if maxRecv(classes[ci-1]) < maxRecv(classes[ci]) {
+			return false, "greedy ordering (Eq. 2) violated"
+		}
+	}
+	return true, ""
+}
+
+// ConflictFree reports whether the given set of candidates is pairwise
+// conflict-free under coverage w — the simulator's per-advance check.
+func ConflictFree(g *graph.Graph, w bitset.Set, set []graph.NodeID) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if Conflict(g, set[i], set[j], w) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,350 @@
+package color
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+	"mlbs/internal/rng"
+)
+
+// fig2a builds the Figure 2(a) example: broadcasting from node 1 with a
+// conflict at node 4. Node IDs are shifted to 0-based: paper's node k is
+// our k−1.  Edges: 1–2, 1–3, 2–4, 2–5, 3–4 (paper numbering).
+func fig2a() *graph.Graph {
+	return graph.NewBuilder(5, nil).
+		AddEdge(0, 1). // 1–2
+		AddEdge(0, 2). // 1–3
+		AddEdge(1, 3). // 2–4
+		AddEdge(1, 4). // 2–5
+		AddEdge(2, 3). // 3–4
+		Build()
+}
+
+func TestCandidates(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0) // W = {1} in paper numbering
+	cands := Candidates(g, w)
+	if len(cands) != 1 || cands[0] != 0 {
+		t.Fatalf("candidates = %v, want [0]", cands)
+	}
+	// After the first advance W = {1,2,3}: candidates are 2 and 3; node 1's
+	// neighbors are all covered.
+	w = bitset.FromMembers(5, 0, 1, 2)
+	cands = Candidates(g, w)
+	if len(cands) != 2 || cands[0] != 1 || cands[1] != 2 {
+		t.Fatalf("candidates = %v, want [1 2]", cands)
+	}
+}
+
+func TestConflictAtCommonUncoveredNeighbor(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	// Paper's nodes 2 and 3 share the uncovered neighbor 4.
+	if !Conflict(g, 1, 2, w) {
+		t.Fatal("2 and 3 must conflict at uncovered node 4")
+	}
+	// Once 4 is covered the conflict disappears.
+	w.Add(3)
+	if Conflict(g, 1, 2, w) {
+		t.Fatal("conflict must vanish when the common neighbor is covered")
+	}
+	if Conflict(g, 1, 1, w) {
+		t.Fatal("a node never conflicts with itself")
+	}
+}
+
+func TestReceivers(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	if r := Receivers(g, 1, w); r != 2 { // node 2 reaches {4,5}
+		t.Fatalf("Receivers(2) = %d, want 2", r)
+	}
+	if r := Receivers(g, 2, w); r != 1 { // node 3 reaches {4}
+		t.Fatalf("Receivers(3) = %d, want 1", r)
+	}
+	dst := bitset.New(5)
+	ReceiverSet(g, 1, w, dst)
+	if !dst.Equal(bitset.FromMembers(5, 3, 4)) {
+		t.Fatalf("ReceiverSet = %v", dst)
+	}
+}
+
+func TestGreedyPartitionFig2a(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	classes := GreedySync(g, w)
+	// Table II: C1 = {2}, C2 = {3} — node 2 first (more receivers).
+	if len(classes) != 2 {
+		t.Fatalf("λ = %d, want 2", len(classes))
+	}
+	if len(classes[0]) != 1 || classes[0][0] != 1 {
+		t.Fatalf("C1 = %v, want [1] (paper node 2)", classes[0])
+	}
+	if len(classes[1]) != 1 || classes[1][0] != 2 {
+		t.Fatalf("C2 = %v, want [2] (paper node 3)", classes[1])
+	}
+	if ok, why := ValidatePartition(g, w, Candidates(g, w), classes); !ok {
+		t.Fatalf("partition invalid: %s", why)
+	}
+}
+
+func TestClassCovered(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	adv := Class{1}.Covered(g, w)
+	if !adv.Equal(bitset.FromMembers(5, 3, 4)) {
+		t.Fatalf("advance of {2} = %v, want {4,5}", adv)
+	}
+}
+
+func TestGreedyDutyRespectsWakeups(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	// Only paper-node 3 (our 2) is awake at slot 4.
+	s := dutycycle.NewFixed(10, 10, [][]int{{1}, {6}, {4}, {0}, {0}})
+	classes := GreedyDuty(g, w, s, 4)
+	if len(classes) != 1 || len(classes[0]) != 1 || classes[0][0] != 2 {
+		t.Fatalf("duty classes at slot 4 = %v, want [[2]]", classes)
+	}
+	if got := GreedyDuty(g, w, s, 5); got != nil {
+		t.Fatalf("no candidate awake at slot 5, got %v", got)
+	}
+}
+
+func TestMaximalSetsFig2a(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	sets, truncated := MaximalSets(g, w, Candidates(g, w), 0)
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	// 2 and 3 conflict ⇒ maximal sets are {2} and {3}.
+	if len(sets) != 2 {
+		t.Fatalf("maximal sets = %v, want two singletons", sets)
+	}
+	if sets[0][0] != 1 || sets[1][0] != 2 {
+		t.Fatalf("maximal sets = %v", sets)
+	}
+}
+
+func TestMaximalSetsIndependentCandidates(t *testing.T) {
+	// Star: center 0 covered, leaves 1..3 covered, each leaf has a private
+	// uncovered pendant: all leaves compatible ⇒ single maximal set.
+	b := graph.NewBuilder(7, nil)
+	b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3)
+	b.AddEdge(1, 4).AddEdge(2, 5).AddEdge(3, 6)
+	g := b.Build()
+	w := bitset.FromMembers(7, 0, 1, 2, 3)
+	sets, _ := MaximalSets(g, w, Candidates(g, w), 0)
+	if len(sets) != 1 || len(sets[0]) != 3 {
+		t.Fatalf("maximal sets = %v, want one set of all three leaves", sets)
+	}
+}
+
+func TestMaximalSetsLimit(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	sets, truncated := MaximalSets(g, w, Candidates(g, w), 1)
+	if !truncated || len(sets) != 1 {
+		t.Fatalf("limit=1: got %d sets truncated=%v", len(sets), truncated)
+	}
+}
+
+func TestMaximalSetsEmpty(t *testing.T) {
+	g := fig2a()
+	sets, truncated := MaximalSets(g, bitset.New(5), nil, 0)
+	if sets != nil || truncated {
+		t.Fatal("no candidates must yield no sets")
+	}
+}
+
+func TestConflictFree(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	if ConflictFree(g, w, []graph.NodeID{1, 2}) {
+		t.Fatal("{2,3} conflict at 4")
+	}
+	if !ConflictFree(g, w, []graph.NodeID{1}) {
+		t.Fatal("singleton always conflict-free")
+	}
+}
+
+func TestValidatePartitionRejects(t *testing.T) {
+	g := fig2a()
+	w := bitset.FromMembers(5, 0, 1, 2)
+	cands := Candidates(g, w)
+	cases := []struct {
+		name    string
+		classes []Class
+	}{
+		{"conflicting class", []Class{{1, 2}}},
+		{"missing candidate", []Class{{1}}},
+		{"duplicate", []Class{{1}, {1, 2}}},
+		{"empty class", []Class{{1}, {}, {2}}},
+		{"bad greedy order", []Class{{2}, {1}}},
+		{"mergeable classes", nil}, // built below
+	}
+	// "mergeable classes": two compatible nodes in different classes.
+	b := graph.NewBuilder(6, nil)
+	b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 4).AddEdge(2, 5)
+	g2 := b.Build()
+	w2 := bitset.FromMembers(6, 0, 1, 2)
+	cands2 := Candidates(g2, w2) // 1 and 2, compatible
+	if ok, _ := ValidatePartition(g2, w2, cands2, []Class{{1}, {2}}); ok {
+		t.Fatal("mergeable classes accepted (constraint 4)")
+	}
+	for _, c := range cases {
+		if c.classes == nil {
+			continue
+		}
+		if ok, _ := ValidatePartition(g, w, cands, c.classes); ok {
+			t.Fatalf("%s: invalid partition accepted", c.name)
+		}
+	}
+}
+
+// randomScenario builds a random connected graph and a random coverage set
+// containing node 0, for property tests.
+func randomScenario(seed uint64) (*graph.Graph, bitset.Set) {
+	src := rng.New(seed)
+	n := 4 + src.Intn(24)
+	b := graph.NewBuilder(n, nil)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, src.Intn(i))
+	}
+	for k := 0; k < n/2; k++ {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	w := bitset.New(n)
+	w.Add(0)
+	for i := 1; i < n; i++ {
+		if src.Float64() < 0.5 {
+			w.Add(i)
+		}
+	}
+	return g, w
+}
+
+// Property: GreedyPartition always yields a valid partition.
+func TestQuickGreedyPartitionValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, w := randomScenario(seed)
+		cands := Candidates(g, w)
+		classes := GreedyPartition(g, w, cands)
+		ok, _ := ValidatePartition(g, w, cands, classes)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every maximal set is conflict-free and truly maximal, and the
+// first greedy class appears among them.
+func TestQuickMaximalSetsSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, w := randomScenario(seed)
+		cands := Candidates(g, w)
+		sets, truncated := MaximalSets(g, w, cands, 0)
+		if truncated {
+			return false
+		}
+		for _, s := range sets {
+			if !ConflictFree(g, w, s) {
+				return false
+			}
+			in := map[graph.NodeID]bool{}
+			for _, u := range s {
+				in[u] = true
+			}
+			for _, c := range cands {
+				if in[c] {
+					continue
+				}
+				conflicts := false
+				for _, u := range s {
+					if Conflict(g, c, u, w) {
+						conflicts = true
+						break
+					}
+				}
+				if !conflicts {
+					return false // s ∪ {c} still conflict-free ⇒ not maximal
+				}
+			}
+		}
+		if len(cands) > 0 {
+			classes := GreedyPartition(g, w, cands)
+			found := false
+			for _, s := range sets {
+				if equalClass(s, classes[0]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conflicts are symmetric.
+func TestQuickConflictSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, w := randomScenario(seed)
+		cands := Candidates(g, w)
+		for i := 0; i < len(cands); i++ {
+			for j := 0; j < len(cands); j++ {
+				if Conflict(g, cands[i], cands[j], w) != Conflict(g, cands[j], cands[i], w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalClass(a, b Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkGreedyPartition(b *testing.B) {
+	g, w := randomScenario(12345)
+	cands := Candidates(g, w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyPartition(g, w, cands)
+	}
+}
+
+func BenchmarkMaximalSets(b *testing.B) {
+	g, w := randomScenario(999)
+	cands := Candidates(g, w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = MaximalSets(g, w, cands, 0)
+	}
+}

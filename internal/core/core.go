@@ -1,0 +1,272 @@
+// Package core implements the paper's primary contribution: minimum
+// latency broadcast scheduling with conflict awareness.
+//
+// Three schedulers are provided, mirroring Algorithm 3:
+//
+//   - OPT    — the ultimate target: the time counter M evaluated over every
+//     maximal conflict-free relay set (Eq. 1, 4, 5, 6), found by
+//     memoized branch-and-bound search.
+//   - G-OPT  — the same search restricted to the greedy color classes of
+//     Algorithm 1 (Eq. 2, 3, 7, 8).
+//   - E-model — the practical policy: fire the greedy color whose candidate
+//     has the largest quadrant estimate E (Eq. 10), no search.
+//
+// All three run unchanged in the round-based synchronous system (wake
+// schedule AlwaysAwake) and the asynchronous duty-cycle system (any other
+// dutycycle.Schedule): the synchronous system is the degenerate duty cycle
+// with r = 1, exactly as the paper develops it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/color"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+)
+
+// Instance is one broadcast problem: a topology, the source, the slot at
+// which the source initiates (t_s), and the wake schedule.
+type Instance struct {
+	G      *graph.Graph
+	Source graph.NodeID
+	Start  int
+	Wake   dutycycle.Schedule
+	// PreCovered lists nodes that already hold the message at t_s besides
+	// the source — multi-source dissemination and the monotonicity
+	// experiments use it; leave nil for the paper's single-source setting.
+	PreCovered []graph.NodeID
+}
+
+// initialCoverage returns {Source} ∪ PreCovered as a bitset.
+func (in Instance) initialCoverage() bitset.Set {
+	w := bitset.New(in.G.N())
+	w.Add(in.Source)
+	for _, u := range in.PreCovered {
+		w.Add(u)
+	}
+	return w
+}
+
+// Validate reports whether the instance is well formed and solvable.
+func (in Instance) Validate() error {
+	switch {
+	case in.G == nil:
+		return errors.New("core: nil graph")
+	case in.Source < 0 || in.Source >= in.G.N():
+		return fmt.Errorf("core: source %d outside [0,%d)", in.Source, in.G.N())
+	case in.Wake == nil:
+		return errors.New("core: nil wake schedule")
+	case in.Wake.N() < in.G.N():
+		return fmt.Errorf("core: wake schedule covers %d nodes, graph has %d", in.Wake.N(), in.G.N())
+	case in.Start < 0:
+		return errors.New("core: negative start slot")
+	}
+	for _, u := range in.PreCovered {
+		if u < 0 || u >= in.G.N() {
+			return fmt.Errorf("core: pre-covered node %d outside [0,%d)", u, in.G.N())
+		}
+	}
+	if _, connected := in.G.Eccentricity(in.Source); !connected {
+		return errors.New("core: graph not connected from source; broadcast cannot complete")
+	}
+	return nil
+}
+
+// Sync wraps a graph and source into a round-based synchronous instance
+// starting at t_s = 1 (the paper's convention in Tables II and III).
+func Sync(g *graph.Graph, source graph.NodeID) Instance {
+	return Instance{G: g, Source: source, Start: 1, Wake: dutycycle.AlwaysAwake{Nodes: g.N()}}
+}
+
+// Async wraps a graph, source and wake schedule into a duty-cycle instance
+// whose start is the source's first wake slot at or after from.
+func Async(g *graph.Graph, source graph.NodeID, wake dutycycle.Schedule, from int) Instance {
+	return Instance{G: g, Source: source, Start: wake.NextAwake(source, from), Wake: wake}
+}
+
+// Advance is one broadcasting advance: the selected color's relays firing
+// concurrently at slot T and the nodes they newly cover.
+type Advance struct {
+	T       int
+	Senders []graph.NodeID
+	Covered []graph.NodeID
+}
+
+// Schedule is a complete conflict-aware broadcast schedule.
+type Schedule struct {
+	Source   graph.NodeID
+	Start    int
+	Advances []Advance
+}
+
+// End returns the slot of the last advance — the paper's P(A) (the
+// recursion M(N, t) = t−1 evaluates to the last firing slot). A schedule
+// with no advances (single-node network) ends at Start−1.
+func (s *Schedule) End() int {
+	if len(s.Advances) == 0 {
+		return s.Start - 1
+	}
+	return s.Advances[len(s.Advances)-1].T
+}
+
+// PA returns the paper's P(A) metric: the end time of the broadcast.
+func (s *Schedule) PA() int { return s.End() }
+
+// Latency returns the elapsed rounds/slots P(A) − t_s + 1, the quantity
+// Theorem 1 bounds by d+2 (sync) and 2r(d+2) (async).
+func (s *Schedule) Latency() int { return s.End() - s.Start + 1 }
+
+// Validate replays the schedule against the instance and checks every
+// model constraint: advances strictly ordered in time and not before t_s,
+// senders covered, awake, and in possession of uncovered neighbors,
+// concurrent senders pairwise conflict-free (Eq. 1 constraint 3), the
+// recorded coverage exactly N(senders) ∩ W̄, and full coverage at the end.
+func (s *Schedule) Validate(in Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	n := in.G.N()
+	w := in.initialCoverage()
+	prev := s.Start - 1
+	for ai, adv := range s.Advances {
+		if adv.T <= prev {
+			return fmt.Errorf("advance %d at t=%d not after t=%d", ai, adv.T, prev)
+		}
+		prev = adv.T
+		if len(adv.Senders) == 0 {
+			return fmt.Errorf("advance %d has no senders", ai)
+		}
+		for _, u := range adv.Senders {
+			if !w.Has(u) {
+				return fmt.Errorf("advance %d: sender %d has not received the message", ai, u)
+			}
+			if !in.Wake.Awake(u, adv.T) {
+				return fmt.Errorf("advance %d: sender %d asleep at slot %d", ai, u, adv.T)
+			}
+			if !in.G.Nbr(u).AnyDifference(w) {
+				return fmt.Errorf("advance %d: sender %d has no uncovered neighbor", ai, u)
+			}
+		}
+		if !color.ConflictFree(in.G, w, adv.Senders) {
+			return fmt.Errorf("advance %d: senders conflict at an uncovered node", ai)
+		}
+		got := bitset.New(n)
+		for _, u := range adv.Senders {
+			got.UnionWith(in.G.Nbr(u))
+		}
+		got.DifferenceWith(w)
+		want := bitset.New(n)
+		for _, v := range adv.Covered {
+			want.Add(v)
+		}
+		if !got.Equal(want) {
+			return fmt.Errorf("advance %d: recorded coverage %v, relays reach %v", ai, want, got)
+		}
+		w.UnionWith(got)
+	}
+	if w.Len() != n {
+		return fmt.Errorf("broadcast incomplete: %d of %d nodes covered", w.Len(), n)
+	}
+	return nil
+}
+
+// SearchStats reports the effort of a search-based scheduler.
+type SearchStats struct {
+	Expanded    int  // states expanded
+	MemoHits    int  // memoized states reused
+	MemoEntries int  // distinct states stored
+	MovesCapped bool // OPT move enumeration hit its cap somewhere
+}
+
+// Result is a scheduler's output. Exact is true when the scheduler proved
+// the schedule optimal for its color scheme (always false for policy
+// schedulers, which make no optimality claim).
+type Result struct {
+	Scheduler string
+	Schedule  *Schedule
+	PA        int
+	Exact     bool
+	Stats     SearchStats
+}
+
+// Scheduler is the common interface of OPT, G-OPT, E-model and baselines.
+type Scheduler interface {
+	Name() string
+	Schedule(in Instance) (*Result, error)
+}
+
+// SyncLatencyBound returns Theorem 1's round-based bound: latency ≤ d+2,
+// where d is the source's eccentricity.
+func SyncLatencyBound(d int) int { return d + 2 }
+
+// AsyncLatencyBound returns Theorem 1's duty-cycle bound: latency ≤
+// 2r(d+2) slots.
+func AsyncLatencyBound(r, d int) int { return 2 * r * (d + 2) }
+
+// Ref12LatencyBound returns the accumulation bound of the paper's
+// reference [12] (Jiao et al.): up to 17·k·d slots, where k is the maximum
+// wait between neighboring nodes — at most 2r for the uniform-per-cycle
+// schedule (Section V compares against this bound in Figures 5 and 7).
+func Ref12LatencyBound(r, d int) int { return 17 * 2 * r * d }
+
+// nextUsefulSlot returns the earliest slot ≥ t at which some candidate of w
+// is awake, together with the candidate list; ok=false when w has no
+// candidates at all (complete coverage or a stuck partition).
+func nextUsefulSlot(g *graph.Graph, wake dutycycle.Schedule, w bitset.Set, t int) (slot int, cands []graph.NodeID, ok bool) {
+	all := color.Candidates(g, w)
+	if len(all) == 0 {
+		return 0, nil, false
+	}
+	best := -1
+	for _, u := range all {
+		nw := wake.NextAwake(u, t)
+		if best < 0 || nw < best {
+			best = nw
+		}
+	}
+	awake := make([]graph.NodeID, 0, len(all))
+	for _, u := range all {
+		if wake.Awake(u, best) {
+			awake = append(awake, u)
+		}
+	}
+	return best, awake, true
+}
+
+// classesOf converts color classes into deterministic, coverage-annotated
+// moves, sorted by descending coverage (ties: ascending lexicographic
+// senders) when byCoverage is set, else kept in greedy-class order.
+type move struct {
+	senders color.Class
+	covered bitset.Set
+}
+
+func movesOf(g *graph.Graph, w bitset.Set, classes []color.Class, byCoverage bool) []move {
+	ms := make([]move, 0, len(classes))
+	for _, c := range classes {
+		ms = append(ms, move{senders: c, covered: c.Covered(g, w)})
+	}
+	if byCoverage {
+		sort.SliceStable(ms, func(i, j int) bool {
+			ci, cj := ms[i].covered.Len(), ms[j].covered.Len()
+			if ci != cj {
+				return ci > cj
+			}
+			return lessIDs(ms[i].senders, ms[j].senders)
+		})
+	}
+	return ms
+}
+
+func lessIDs(a, b []graph.NodeID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/color"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+	"mlbs/internal/rng"
+)
+
+// exhaustiveM is an independent re-implementation of the time counter M:
+// plain breadth-first dynamic programming over (coverage, slot) states with
+// no pruning, bounds, or memo subtleties — deliberately dumb, so that any
+// disagreement with the branch-and-bound engine exposes a search bug. It
+// explores the same move sets (greedy classes or maximal conflict-free
+// sets) and returns the minimal end slot, or -1 if the horizon passes.
+func exhaustiveM(in Instance, moves MoveGen, horizon int) int {
+	n := in.G.N()
+	full := bitset.New(n)
+	for i := 0; i < n; i++ {
+		full.Add(i)
+	}
+	type state struct {
+		w bitset.Set
+		t int
+	}
+	start := in.initialCoverage()
+	if start.Len() == n {
+		return in.Start - 1
+	}
+	frontier := []state{{w: start, t: in.Start}}
+	seen := map[string]bool{}
+	stateKey := func(w bitset.Set, t int) string {
+		return fmt.Sprintf("%s@%d", w.Key(), t)
+	}
+	push := func(next []state, w bitset.Set, t int) []state {
+		key := stateKey(w, t)
+		if seen[key] {
+			return next
+		}
+		seen[key] = true
+		return append(next, state{w: w, t: t})
+	}
+	for len(frontier) > 0 {
+		var next []state
+		for _, st := range frontier {
+			if st.t > horizon {
+				continue
+			}
+			cands := color.AwakeCandidates(in.G, st.w, in.Wake, st.t)
+			if len(cands) == 0 {
+				// Idle slot: time passes, coverage unchanged.
+				next = push(next, st.w, st.t+1)
+				continue
+			}
+			var classes []color.Class
+			switch moves {
+			case GreedyMoves:
+				classes = color.GreedyPartition(in.G, st.w, cands)
+			case MaximalMoves:
+				classes, _ = color.MaximalSets(in.G, st.w, cands, 0)
+			}
+			for _, cls := range classes {
+				w2 := bitset.Union(st.w, cls.Covered(in.G, st.w))
+				if w2.Len() == n {
+					return st.t // BFS order ⇒ the first completion is minimal
+				}
+				next = push(next, w2, st.t+1)
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// randomConnected builds a small random connected graph.
+func randomConnected(src *rng.Source, n int) *graph.Graph {
+	b := graph.NewBuilder(n, nil)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, src.Intn(i))
+	}
+	for k := 0; k < n/2; k++ {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// The branch-and-bound G-OPT must agree with exhaustive BFS over greedy
+// classes on every tiny synchronous instance.
+func TestQuickGOPTMatchesExhaustiveSync(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(7)
+		g := randomConnected(src, n)
+		in := Sync(g, src.Intn(n))
+		want := exhaustiveM(in, GreedyMoves, in.Start+3*n)
+		res, err := NewGOPT(0).Schedule(in)
+		if err != nil || !res.Exact {
+			return false
+		}
+		return res.PA == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same for OPT over maximal conflict-free sets.
+func TestQuickOPTMatchesExhaustiveSync(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(6)
+		g := randomConnected(src, n)
+		in := Sync(g, src.Intn(n))
+		want := exhaustiveM(in, MaximalMoves, in.Start+3*n)
+		res, err := NewOPT(0, 0).Schedule(in)
+		if err != nil || !res.Exact {
+			return false
+		}
+		return res.PA == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// And in the duty-cycle system, where M depends on t through the wake
+// schedule: the memo key (W, t mod period) must not merge distinct states.
+func TestQuickGOPTMatchesExhaustiveAsync(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(5)
+		g := randomConnected(src, n)
+		r := 2 + src.Intn(4)
+		wake := dutycycle.NewUniform(n, r, seed^0xBEEF, 4)
+		in := Async(g, src.Intn(n), wake, 0)
+		want := exhaustiveM(in, GreedyMoves, in.Start+4*n*r)
+		if want < 0 {
+			return true // horizon too tight for this draw; not the property
+		}
+		res, err := NewGOPT(0).Schedule(in)
+		if err != nil || !res.Exact {
+			return false
+		}
+		return res.PA == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The async OPT agrees too.
+func TestQuickOPTMatchesExhaustiveAsync(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(4)
+		g := randomConnected(src, n)
+		r := 2 + src.Intn(3)
+		wake := dutycycle.NewUniform(n, r, seed^0xF00D, 4)
+		in := Async(g, src.Intn(n), wake, 0)
+		want := exhaustiveM(in, MaximalMoves, in.Start+4*n*r)
+		if want < 0 {
+			return true
+		}
+		res, err := NewOPT(0, 0).Schedule(in)
+		if err != nil || !res.Exact {
+			return false
+		}
+		return res.PA == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

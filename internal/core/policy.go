@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/color"
+	"mlbs/internal/emodel"
+	"mlbs/internal/graph"
+	"mlbs/internal/rng"
+)
+
+// SelectRule picks which greedy color fires, given the classes computed at
+// the current slot. Implementations must be deterministic functions of
+// their inputs (Random carries its own seeded stream).
+type SelectRule interface {
+	Name() string
+	// Select returns the index of the class to fire. classes is non-empty;
+	// w is the current coverage (read-only).
+	Select(g *graph.Graph, w bitset.Set, classes []color.Class) int
+}
+
+// EModelRule is the paper's Eq. 10: fire the color containing the
+// candidate with the largest E_k over quadrants that still hold uncovered
+// neighbors; break ties toward the class with more uncovered receivers,
+// then the lowest class index.
+type EModelRule struct {
+	Table *emodel.Table
+}
+
+// Name implements SelectRule.
+func (r EModelRule) Name() string { return "E-model" }
+
+// Select implements SelectRule.
+func (r EModelRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class) int {
+	bestIdx, bestScore, bestCover := 0, -1.0, -1
+	isUncovered := func(v graph.NodeID) bool { return !w.Has(v) }
+	for i, cls := range classes {
+		score := -1.0
+		for _, u := range cls {
+			if s := r.Table.Score(g, u, isUncovered); s > score {
+				score = s
+			}
+		}
+		cover := cls.Covered(g, w).Len()
+		if score > bestScore || (score == bestScore && cover > bestCover) {
+			bestIdx, bestScore, bestCover = i, score, cover
+		}
+	}
+	return bestIdx
+}
+
+// EnergyAwareRule is the Section VII "energy saving" extension: it keeps
+// Eq. 10's max-E primary criterion but breaks ties toward the color that
+// covers the most nodes with the fewest transmitters — each transmission
+// costs a slot of TX power, so among latency-equivalent choices the rule
+// drains batteries slowest. With unique scores it coincides with EModelRule.
+type EnergyAwareRule struct {
+	Table *emodel.Table
+}
+
+// Name implements SelectRule.
+func (r EnergyAwareRule) Name() string { return "E-model/energy" }
+
+// Select implements SelectRule.
+func (r EnergyAwareRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class) int {
+	bestIdx := 0
+	bestScore, bestCover, bestSenders := -1.0, -1, 1<<30
+	isUncovered := func(v graph.NodeID) bool { return !w.Has(v) }
+	for i, cls := range classes {
+		score := -1.0
+		for _, u := range cls {
+			if s := r.Table.Score(g, u, isUncovered); s > score {
+				score = s
+			}
+		}
+		cover := cls.Covered(g, w).Len()
+		senders := len(cls)
+		better := score > bestScore ||
+			(score == bestScore && cover > bestCover) ||
+			(score == bestScore && cover == bestCover && senders < bestSenders)
+		if better {
+			bestIdx, bestScore, bestCover, bestSenders = i, score, cover, senders
+		}
+	}
+	return bestIdx
+}
+
+// NewEnergyAware returns the energy-saving E-model variant (Section VII's
+// "further optimization ... with other constraints, such as energy
+// saving" built out as a selection rule).
+func NewEnergyAware() *Policy {
+	return &Policy{
+		RuleName: "E-model/energy",
+		NewRule: func(in Instance) (SelectRule, error) {
+			if !in.G.DistinctPositions() {
+				return nil, fmt.Errorf("core: E-model/energy requires distinct node positions")
+			}
+			w := emodel.HopWeight
+			if in.Wake.Rate() > 1 {
+				w = emodel.CWTWeight(in.Wake)
+			}
+			return EnergyAwareRule{Table: emodel.Build(in.G, w, emodel.TwoPass)}, nil
+		},
+	}
+}
+
+// MaxCoverageRule fires the class covering the most uncovered nodes — an
+// ablation isolating how much of E-model's gain is mere utilization.
+type MaxCoverageRule struct{}
+
+// Name implements SelectRule.
+func (MaxCoverageRule) Name() string { return "max-coverage" }
+
+// Select implements SelectRule.
+func (MaxCoverageRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class) int {
+	best, bestCover := 0, -1
+	for i, cls := range classes {
+		if c := cls.Covered(g, w).Len(); c > bestCover {
+			best, bestCover = i, c
+		}
+	}
+	return best
+}
+
+// FirstColorRule always fires greedy color 1 — the plain greedy scheme
+// with pipelining but no cross-color selection intelligence.
+type FirstColorRule struct{}
+
+// Name implements SelectRule.
+func (FirstColorRule) Name() string { return "first-color" }
+
+// Select implements SelectRule.
+func (FirstColorRule) Select(*graph.Graph, bitset.Set, []color.Class) int { return 0 }
+
+// RandomRule fires a uniformly random class — the ablation floor.
+type RandomRule struct{ Src *rng.Source }
+
+// Name implements SelectRule.
+func (RandomRule) Name() string { return "random" }
+
+// Select implements SelectRule.
+func (r RandomRule) Select(_ *graph.Graph, _ bitset.Set, classes []color.Class) int {
+	return r.Src.Intn(len(classes))
+}
+
+// Policy runs the extended greedy color scheme as an online policy: at
+// every slot with an awake candidate it computes the greedy classes
+// (Algorithm 1) and fires the class chosen by Rule. With an EModelRule this
+// is the paper's E-model scheduler; other rules are ablations.
+type Policy struct {
+	RuleName string
+	// NewRule builds the selection rule for an instance (the E-model table
+	// depends on the graph and wake schedule, so rules are instance-scoped).
+	NewRule func(in Instance) (SelectRule, error)
+}
+
+// NewEModel returns the paper's practical scheduler (Algorithm 2 + Eq. 10)
+// with the given seeding mode.
+func NewEModel(seeding emodel.Seeding) *Policy {
+	name := "E-model"
+	if seeding == emodel.OnePass {
+		name = "E-model/one-pass"
+	}
+	return &Policy{
+		RuleName: name,
+		NewRule: func(in Instance) (SelectRule, error) {
+			if !in.G.DistinctPositions() {
+				return nil, fmt.Errorf("core: %s requires distinct node positions (quadrant estimates are geometric)", name)
+			}
+			var w emodel.Weight
+			if in.Wake.Rate() == 1 {
+				w = emodel.HopWeight
+			} else {
+				w = emodel.CWTWeight(in.Wake)
+			}
+			return EModelRule{Table: emodel.Build(in.G, w, seeding)}, nil
+		},
+	}
+}
+
+// NewPolicy wraps a stateless rule into a scheduler.
+func NewPolicy(name string, rule SelectRule) *Policy {
+	return &Policy{
+		RuleName: name,
+		NewRule:  func(Instance) (SelectRule, error) { return rule, nil },
+	}
+}
+
+// Name implements Scheduler.
+func (p *Policy) Name() string { return p.RuleName }
+
+// Schedule implements Scheduler.
+func (p *Policy) Schedule(in Instance) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	rule, err := p.NewRule(in)
+	if err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	w := in.initialCoverage()
+	sched := &Schedule{Source: in.Source, Start: in.Start}
+
+	// Safety horizon: every advance covers ≥1 node and arrives within one
+	// wake period of the previous one, so a complete broadcast needs fewer
+	// than n·(period+1) slots past the start.
+	horizon := in.Start + n*(in.Wake.Period()+1) + in.Wake.Period()
+	t := in.Start
+	for w.Len() < n {
+		slot, cands, ok := nextUsefulSlot(in.G, in.Wake, w, t)
+		if !ok {
+			return nil, fmt.Errorf("core: no candidates with coverage %v (disconnected?)", w)
+		}
+		if slot > horizon {
+			return nil, fmt.Errorf("core: policy exceeded horizon %d (wake schedule starves candidates)", horizon)
+		}
+		classes := color.GreedyPartition(in.G, w, cands)
+		pick := rule.Select(in.G, w, classes)
+		if pick < 0 || pick >= len(classes) {
+			return nil, fmt.Errorf("core: rule %s selected class %d of %d", rule.Name(), pick, len(classes))
+		}
+		cls := classes[pick]
+		covered := cls.Covered(in.G, w)
+		sched.Advances = append(sched.Advances, Advance{
+			T:       slot,
+			Senders: append([]graph.NodeID(nil), cls...),
+			Covered: covered.Members(),
+		})
+		w.UnionWith(covered)
+		t = slot + 1
+	}
+	return &Result{
+		Scheduler: p.Name(),
+		Schedule:  sched,
+		PA:        sched.PA(),
+	}, nil
+}

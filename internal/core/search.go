@@ -1,0 +1,366 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/color"
+	"mlbs/internal/graph"
+)
+
+// inf is larger than any reachable end time but safely below overflow.
+const inf = 1 << 30
+
+// MoveGen selects which color sets the search branches over.
+type MoveGen int
+
+const (
+	// GreedyMoves branches over the λ greedy classes of Algorithm 1 —
+	// the G-OPT target of Eq. 7 (sync) and Eq. 8 (duty cycle).
+	GreedyMoves MoveGen = iota
+	// MaximalMoves branches over every maximal conflict-free relay set —
+	// the OPT target of Eq. 5 (sync) and Eq. 6 (duty cycle). Monotonicity
+	// of coverage makes maximal sets sufficient for optimality.
+	MaximalMoves
+)
+
+// SearchConfig tunes the branch-and-bound evaluation of the time counter M.
+type SearchConfig struct {
+	Moves MoveGen
+	// Budget caps the number of expanded states; once exhausted the search
+	// returns its incumbent with Exact=false. 0 selects DefaultBudget.
+	Budget int
+	// MaxSets caps maximal-set enumeration per state (MaximalMoves only);
+	// hitting the cap clears Exact. 0 selects DefaultMaxSets.
+	MaxSets int
+	// Incumbent seeds the upper bound; nil uses the E-model policy, which
+	// is both the paper's practical scheme and a strong initial incumbent.
+	Incumbent Scheduler
+}
+
+// DefaultBudget bounds search effort when SearchConfig.Budget is zero.
+const DefaultBudget = 200_000
+
+// DefaultMaxSets bounds per-state maximal-set enumeration when
+// SearchConfig.MaxSets is zero.
+const DefaultMaxSets = 128
+
+// Search evaluates the time counter M by memoized branch-and-bound and
+// returns a provably minimal schedule when it completes within budget.
+type Search struct {
+	name string
+	cfg  SearchConfig
+}
+
+// NewGOPT returns the G-OPT scheduler (Eq. 7/8). budget ≤ 0 uses the
+// default.
+func NewGOPT(budget int) *Search {
+	return &Search{name: "G-OPT", cfg: SearchConfig{Moves: GreedyMoves, Budget: budget}}
+}
+
+// NewOPT returns the OPT scheduler (Eq. 5/6). budget/maxSets ≤ 0 use
+// defaults.
+func NewOPT(budget, maxSets int) *Search {
+	return &Search{name: "OPT", cfg: SearchConfig{Moves: MaximalMoves, Budget: budget, MaxSets: maxSets}}
+}
+
+// NewSearch builds a custom search scheduler.
+func NewSearch(name string, cfg SearchConfig) *Search { return &Search{name: name, cfg: cfg} }
+
+// Name implements Scheduler.
+func (s *Search) Name() string { return s.name }
+
+type memoEntry struct {
+	r     int32 // end − slot when exact; known lower bound on it otherwise
+	exact bool
+}
+
+type engine struct {
+	in      Instance
+	cfg     SearchConfig
+	n       int
+	period  int
+	memo    map[string]memoEntry
+	stats   SearchStats
+	budget  int
+	trunc   bool
+	bestEnd int
+	best    []Advance // walked incumbent achieving bestEnd
+	stack   []Advance
+	distBuf []int
+	quBuf   []graph.NodeID
+}
+
+// Schedule implements Scheduler.
+func (s *Search) Schedule(in Instance) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	if cfg.Budget <= 0 {
+		cfg.Budget = DefaultBudget
+	}
+	if cfg.MaxSets <= 0 {
+		cfg.MaxSets = DefaultMaxSets
+	}
+	incumbent := cfg.Incumbent
+	if incumbent == nil {
+		switch {
+		case cfg.Moves == MaximalMoves:
+			// OPT's strongest cheap incumbent is G-OPT itself (greedy
+			// classes are maximal sets, so its value is feasible for OPT);
+			// with it the search usually only has to prove a fail-high.
+			incumbent = NewGOPT(cfg.Budget)
+		case in.G.DistinctPositions():
+			incumbent = NewEModel(0)
+		default:
+			// Abstract graphs without geometry cannot host the E-model;
+			// the utilization-greedy policy is the next-best rollout.
+			incumbent = NewPolicy("max-coverage", MaxCoverageRule{})
+		}
+	}
+	seed, err := incumbent.Schedule(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: incumbent rollout failed: %w", err)
+	}
+
+	e := &engine{
+		in:      in,
+		cfg:     cfg,
+		n:       in.G.N(),
+		period:  in.Wake.Period(),
+		memo:    make(map[string]memoEntry),
+		budget:  cfg.Budget,
+		bestEnd: seed.Schedule.End(),
+		best:    append([]Advance(nil), seed.Schedule.Advances...),
+	}
+
+	w0 := in.initialCoverage()
+	var (
+		sched *Schedule
+		exact bool
+	)
+	if w0.Len() == e.n {
+		// Single-node network: nothing to broadcast.
+		sched = &Schedule{Source: in.Source, Start: in.Start}
+		exact = true
+	} else {
+		val, ex := e.dfs(w0, in.Start, e.bestEnd)
+		switch {
+		case ex && val <= e.bestEnd:
+			// The search established the exact optimum; rebuild its path
+			// from the memo. Move caps make "exact" relative to the capped
+			// move set, which is not a global optimality proof.
+			adv, rerr := e.reconstruct(w0, in.Start, val)
+			if rerr != nil {
+				return nil, rerr
+			}
+			sched = &Schedule{Source: in.Source, Start: in.Start, Advances: adv}
+			exact = !e.stats.MovesCapped
+		case ex:
+			return nil, errors.New("core: search returned exact value above the incumbent (internal error)")
+		case val >= e.bestEnd:
+			// Fail-high: every alternative is provably ≥ the incumbent, so
+			// the incumbent is optimal. Lower bounds stay valid under
+			// budget truncation (truncated subtrees return admissible
+			// bounds), so only move caps spoil the proof.
+			sched = &Schedule{Source: in.Source, Start: in.Start, Advances: e.best}
+			exact = !e.stats.MovesCapped
+		default:
+			// Budget ran out before a proof: ship the best walked schedule.
+			sched = &Schedule{Source: in.Source, Start: in.Start, Advances: e.best}
+		}
+	}
+	e.stats.MemoEntries = len(e.memo)
+	return &Result{
+		Scheduler: s.name,
+		Schedule:  sched,
+		PA:        sched.PA(),
+		Exact:     exact,
+		Stats:     e.stats,
+	}, nil
+}
+
+// maxHop returns the largest hop distance from coverage w to any uncovered
+// node — the admissible lower bound on remaining advances (each advance
+// extends coverage by at most one hop).
+func (e *engine) maxHop(w bitset.Set) int {
+	var dist []int
+	dist, e.quBuf = e.in.G.MultiSourceBFS(w, e.distBuf, e.quBuf)
+	e.distBuf = dist
+	max := 0
+	for v, d := range dist {
+		if w.Has(v) {
+			continue
+		}
+		if d < 0 {
+			return inf // unreachable; cannot complete
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func (e *engine) memoKey(w bitset.Set, tmod int) string {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(tmod))
+	return w.Key() + string(buf[:])
+}
+
+// moves enumerates the color sets available at slot among the awake
+// candidates, largest coverage first.
+func (e *engine) moves(w bitset.Set, cands []graph.NodeID, slot int) []move {
+	var classes []color.Class
+	switch e.cfg.Moves {
+	case GreedyMoves:
+		classes = color.GreedyPartition(e.in.G, w, cands)
+	case MaximalMoves:
+		var capped bool
+		classes, capped = color.MaximalSets(e.in.G, w, cands, e.cfg.MaxSets)
+		if capped {
+			e.stats.MovesCapped = true
+		}
+	default:
+		panic("core: unknown move generator")
+	}
+	return movesOf(e.in.G, w, classes, true)
+}
+
+// dfs evaluates M(w, t): the minimal end time (slot of the last advance)
+// achievable from coverage w at time t. The second return value reports
+// the kind of the first: true — the value is exact; false — it is only a
+// lower bound (the branch was cut off at `limit`, or the budget ran out).
+// limit is a pure search-control: the caller does not care about values
+// ≥ limit, so subtrees provably at or above it are cut.
+func (e *engine) dfs(w bitset.Set, t, limit int) (int, bool) {
+	slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t)
+	if !ok {
+		return inf, true // no candidate can ever fire again
+	}
+	hop := e.maxHop(w)
+	if hop >= inf {
+		return inf, true
+	}
+	lb := slot + hop - 1
+	if lb >= limit {
+		return lb, false
+	}
+	key := e.memoKey(w, slot%e.period)
+	if ent, hit := e.memo[key]; hit {
+		if ent.exact {
+			e.stats.MemoHits++
+			return slot + int(ent.r), true
+		}
+		if v := slot + int(ent.r); v >= limit {
+			e.stats.MemoHits++
+			return v, false
+		}
+	}
+	if e.budget <= 0 {
+		e.trunc = true
+		return lb, false
+	}
+	e.budget--
+	e.stats.Expanded++
+
+	bestExact, minLB := inf, inf
+	for _, m := range e.moves(w, cands, slot) {
+		if m.covered.Empty() {
+			continue // defensive: candidates always cover someone
+		}
+		w2 := bitset.Union(w, m.covered)
+		e.stack = append(e.stack, Advance{T: slot, Senders: m.senders, Covered: m.covered.Members()})
+		if w2.Len() == e.n {
+			// Ending at the current slot is unbeatable from this state
+			// (full coverage in one advance forces hop == 1, so lb == slot);
+			// exact regardless of the other moves.
+			if slot < e.bestEnd {
+				e.bestEnd = slot
+				e.best = append([]Advance(nil), e.stack...)
+			}
+			e.stack = e.stack[:len(e.stack)-1]
+			e.memo[key] = memoEntry{r: 0, exact: true}
+			return slot, true
+		}
+		childLimit := limit
+		if bestExact < childLimit {
+			childLimit = bestExact
+		}
+		v, exact := e.dfs(w2, slot+1, childLimit)
+		e.stack = e.stack[:len(e.stack)-1]
+		if exact {
+			if v < bestExact {
+				bestExact = v
+			}
+		} else if v < minLB {
+			minLB = v
+		}
+		if bestExact == lb {
+			break // matches the lower bound; provably optimal here
+		}
+	}
+
+	// Exact when every alternative is proven no better (bestExact ≤ minLB)
+	// or the value meets the admissible floor (bestExact == lb).
+	if bestExact <= minLB || bestExact == lb {
+		e.memo[key] = memoEntry{r: int32(bestExact - slot), exact: true}
+		return bestExact, true
+	}
+	res := minLB
+	if lb > res {
+		res = lb
+	}
+	if ent, hit := e.memo[key]; !hit || (!ent.exact && int(ent.r) < res-slot) {
+		e.memo[key] = memoEntry{r: int32(res - slot)}
+	}
+	return res, false
+}
+
+// reconstruct rebuilds the optimal advance sequence from the memo after an
+// exact improving search: at every state it re-derives the moves in the
+// same deterministic order and follows the child whose exact value matches
+// the expected end time.
+func (e *engine) reconstruct(w bitset.Set, t, want int) ([]Advance, error) {
+	var out []Advance
+	w = w.Clone()
+	for w.Len() < e.n {
+		slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t)
+		if !ok {
+			return nil, errors.New("core: reconstruction reached a dead state")
+		}
+		found := false
+		for _, m := range e.moves(w, cands, slot) {
+			if m.covered.Empty() {
+				continue
+			}
+			w2 := bitset.Union(w, m.covered)
+			if w2.Len() == e.n {
+				if slot != want {
+					continue
+				}
+			} else {
+				slot2, _, ok2 := nextUsefulSlot(e.in.G, e.in.Wake, w2, slot+1)
+				if !ok2 {
+					continue
+				}
+				ent, hit := e.memo[e.memoKey(w2, slot2%e.period)]
+				if !hit || !ent.exact || slot2+int(ent.r) != want {
+					continue
+				}
+			}
+			out = append(out, Advance{T: slot, Senders: m.senders, Covered: m.covered.Members()})
+			w = w2
+			t = slot + 1
+			found = true
+			break
+		}
+		if !found {
+			return nil, errors.New("core: reconstruction lost the optimal path (memo incomplete)")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+// Package dutycycle models the asynchronous sleep–wake substrate of
+// Section III: every node's *sending* channel is on only at wake slots
+// drawn from a predictable pseudo-random sequence with a preset seed, while
+// the receiving channel is always on. Neighbors that have learned a node's
+// seed and last wake slot can forecast its future wake-ups; the forecasted
+// wait is the cycle waiting time CWT t(u,v) of Table I.
+//
+// All schedules in this package are periodic (Period returns the period in
+// slots). Periodicity is what makes the scheduler's memoization key
+// (W, t mod Period) sound; the pseudo-random schedule uses a period of many
+// cycles, far longer than any broadcast, so repetition never influences
+// results.
+package dutycycle
+
+import (
+	"fmt"
+
+	"mlbs/internal/rng"
+)
+
+// Schedule describes when each node's sending channel is on.
+type Schedule interface {
+	// Awake reports whether node u may transmit at slot t (t ≥ 0).
+	Awake(u, t int) bool
+	// NextAwake returns the smallest slot ≥ t at which u may transmit.
+	NextAwake(u, t int) int
+	// Period returns P ≥ 1 with Awake(u, t) == Awake(u, t+P) for all u, t.
+	Period() int
+	// Rate returns the cycle rate r = |T| / |T(u)| — the average number of
+	// slots per wake-up (1 for the always-awake synchronous system).
+	Rate() int
+	// N returns the number of nodes the schedule covers.
+	N() int
+}
+
+// AlwaysAwake is the degenerate schedule of the round-based synchronous
+// system: every node may transmit in every round.
+type AlwaysAwake struct{ Nodes int }
+
+// Awake always reports true.
+func (a AlwaysAwake) Awake(u, t int) bool { return true }
+
+// NextAwake returns t itself.
+func (a AlwaysAwake) NextAwake(u, t int) int { return t }
+
+// Period returns 1.
+func (a AlwaysAwake) Period() int { return 1 }
+
+// Rate returns 1.
+func (a AlwaysAwake) Rate() int { return 1 }
+
+// N returns the node count.
+func (a AlwaysAwake) N() int { return a.Nodes }
+
+// Uniform is the paper's duty-cycle schedule: each node wakes exactly once
+// per cycle of r slots, at an offset drawn uniformly and independently per
+// cycle from the node's seeded pseudo-random sequence ("a pseudo-random
+// sequence in the uniform distribution with a preset seed", Section III).
+// There is no fixed interval between consecutive wake-ups; on average a
+// node is active once every r slots.
+type Uniform struct {
+	r      int
+	cycles int // period = r * cycles
+	seeds  []uint64
+}
+
+// NewUniform builds a Uniform schedule for n nodes with cycle rate r.
+// Per-node seeds derive from masterSeed. cycles sets the period in cycles;
+// values ≤ 0 select the default of 1024 cycles.
+func NewUniform(n, r int, masterSeed uint64, cycles int) *Uniform {
+	if n < 0 {
+		panic("dutycycle: negative node count")
+	}
+	if r < 1 {
+		panic("dutycycle: cycle rate must be >= 1")
+	}
+	if cycles <= 0 {
+		cycles = 1024
+	}
+	seeds := make([]uint64, n)
+	state := masterSeed
+	for i := range seeds {
+		seeds[i] = rng.SplitMix64(&state)
+	}
+	return &Uniform{r: r, cycles: cycles, seeds: seeds}
+}
+
+// offset returns the wake offset of node u within cycle c, in [0, r).
+func (s *Uniform) offset(u, c int) int {
+	c %= s.cycles
+	// One splitmix64 step keyed by (seed_u, cycle) is the node's
+	// "predictable pseudo-random sequence": anyone holding seed_u replays it.
+	state := s.seeds[u] ^ (uint64(c)+1)*0x9e3779b97f4a7c15
+	return int(rng.SplitMix64(&state) % uint64(s.r))
+}
+
+// Awake reports whether u transmitting is allowed at slot t.
+func (s *Uniform) Awake(u, t int) bool {
+	if t < 0 {
+		return false
+	}
+	c := t / s.r
+	return t == c*s.r+s.offset(u, c)
+}
+
+// NextAwake returns u's first wake slot at or after t.
+func (s *Uniform) NextAwake(u, t int) int {
+	if t < 0 {
+		t = 0
+	}
+	for c := t / s.r; ; c++ {
+		w := c*s.r + s.offset(u, c)
+		if w >= t {
+			return w
+		}
+	}
+}
+
+// Period returns r × cycles.
+func (s *Uniform) Period() int { return s.r * s.cycles }
+
+// Rate returns the cycle rate r.
+func (s *Uniform) Rate() int { return s.r }
+
+// N returns the node count.
+func (s *Uniform) N() int { return len(s.seeds) }
+
+// Fixed is an explicit schedule: node u is awake exactly at the listed
+// slots within each period. It reproduces the paper's worked examples
+// (Table IV fixes specific wake slots) and adversarial test cases.
+type Fixed struct {
+	period int
+	rate   int
+	slots  [][]int // sorted wake slots of u within [0, period)
+}
+
+// NewFixed builds a Fixed schedule. slots[u] lists u's wake slots within
+// [0, period); each list must be non-empty and sorted ascending. rate is
+// reported by Rate (the paper's r), independent of the lists' cardinality.
+func NewFixed(period, rate int, slots [][]int) *Fixed {
+	if period < 1 {
+		panic("dutycycle: period must be >= 1")
+	}
+	if rate < 1 {
+		panic("dutycycle: rate must be >= 1")
+	}
+	cp := make([][]int, len(slots))
+	for u, list := range slots {
+		if len(list) == 0 {
+			panic(fmt.Sprintf("dutycycle: node %d has no wake slots", u))
+		}
+		prev := -1
+		for _, t := range list {
+			if t < 0 || t >= period {
+				panic(fmt.Sprintf("dutycycle: node %d wake slot %d outside [0,%d)", u, t, period))
+			}
+			if t <= prev {
+				panic(fmt.Sprintf("dutycycle: node %d wake slots not strictly ascending", u))
+			}
+			prev = t
+		}
+		cp[u] = append([]int(nil), list...)
+	}
+	return &Fixed{period: period, rate: rate, slots: cp}
+}
+
+// Awake reports whether u is awake at slot t.
+func (s *Fixed) Awake(u, t int) bool {
+	if t < 0 {
+		return false
+	}
+	tt := t % s.period
+	for _, w := range s.slots[u] {
+		if w == tt {
+			return true
+		}
+		if w > tt {
+			return false
+		}
+	}
+	return false
+}
+
+// NextAwake returns u's first wake slot at or after t.
+func (s *Fixed) NextAwake(u, t int) int {
+	if t < 0 {
+		t = 0
+	}
+	base := (t / s.period) * s.period
+	tt := t % s.period
+	for _, w := range s.slots[u] {
+		if w >= tt {
+			return base + w
+		}
+	}
+	return base + s.period + s.slots[u][0]
+}
+
+// Period returns the schedule period.
+func (s *Fixed) Period() int { return s.period }
+
+// Rate returns the configured cycle rate.
+func (s *Fixed) Rate() int { return s.rate }
+
+// N returns the node count.
+func (s *Fixed) N() int { return len(s.slots) }
+
+// PeriodicPhase wakes node u every r slots at a fixed phase φ(u) — the
+// regular schedule used in Theorem 1's worst-case analysis (two neighbors
+// sharing a schedule force a full-cycle wait per hop).
+type PeriodicPhase struct {
+	r      int
+	phases []int
+}
+
+// NewStaggered builds a PeriodicPhase schedule whose phases are drawn
+// pseudo-randomly (uniform per node, fixed forever) from masterSeed — the
+// classic staggered duty cycle in which every node keeps a constant wake
+// offset. Contrast with Uniform, which redraws the offset every cycle.
+func NewStaggered(n, r int, masterSeed uint64) *PeriodicPhase {
+	if r < 1 {
+		panic("dutycycle: cycle rate must be >= 1")
+	}
+	phases := make([]int, n)
+	state := masterSeed
+	for u := range phases {
+		phases[u] = int(rng.SplitMix64(&state) % uint64(r))
+	}
+	return NewPeriodicPhase(r, phases)
+}
+
+// NewPeriodicPhase builds the schedule; phases[u] must lie in [0, r).
+func NewPeriodicPhase(r int, phases []int) *PeriodicPhase {
+	if r < 1 {
+		panic("dutycycle: cycle rate must be >= 1")
+	}
+	for u, p := range phases {
+		if p < 0 || p >= r {
+			panic(fmt.Sprintf("dutycycle: node %d phase %d outside [0,%d)", u, p, r))
+		}
+	}
+	return &PeriodicPhase{r: r, phases: append([]int(nil), phases...)}
+}
+
+// Awake reports whether u is awake at slot t.
+func (s *PeriodicPhase) Awake(u, t int) bool { return t >= 0 && t%s.r == s.phases[u] }
+
+// NextAwake returns u's first wake slot at or after t.
+func (s *PeriodicPhase) NextAwake(u, t int) int {
+	if t < 0 {
+		t = 0
+	}
+	w := (t/s.r)*s.r + s.phases[u]
+	if w < t {
+		w += s.r
+	}
+	return w
+}
+
+// Period returns r.
+func (s *PeriodicPhase) Period() int { return s.r }
+
+// Rate returns r.
+func (s *PeriodicPhase) Rate() int { return s.r }
+
+// N returns the node count.
+func (s *PeriodicPhase) N() int { return len(s.phases) }
+
+// CWT returns the cycle waiting time t(u,v) of Table I: with u transmitting
+// at slot t (so v receives at t), the wait until v can itself transmit —
+// the gap to v's next wake slot strictly after t.
+func CWT(s Schedule, u, v, t int) int {
+	return s.NextAwake(v, t+1) - t
+}
+
+// MeanCWT averages CWT(u,v,·) over all of u's wake slots in one period —
+// the proactive estimate a node can compute offline from its neighbor's
+// seed, used by the asynchronous E-model (Eq. 11).
+func MeanCWT(s Schedule, u, v int) float64 {
+	period := s.Period()
+	sum, count := 0, 0
+	for t := s.NextAwake(u, 0); t < period; t = s.NextAwake(u, t+1) {
+		sum += CWT(s, u, v, t)
+		count++
+	}
+	if count == 0 {
+		return float64(period)
+	}
+	return float64(sum) / float64(count)
+}
+
+// WakeSlotsInWindow lists u's wake slots in [from, to), mainly for tests
+// and trace rendering.
+func WakeSlotsInWindow(s Schedule, u, from, to int) []int {
+	var out []int
+	for t := s.NextAwake(u, from); t < to; t = s.NextAwake(u, t+1) {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package emodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/rng"
+	"mlbs/internal/topology"
+)
+
+// lineGraph places n nodes on the x-axis, unit spacing, radius 1.
+func lineGraph(n int) *graph.Graph {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i), Y: 0}
+	}
+	return graph.FromUDG(pos, 1)
+}
+
+func TestLineSyncE(t *testing.T) {
+	const n = 5
+	g := lineGraph(n)
+	tab := BuildSync(g)
+	for i := 0; i < n; i++ {
+		// Eastern neighbor (dx>0, dy=0) is in Q1; western in Q3.
+		if got := tab.Value(i, geom.Q1); got != float64(n-1-i) {
+			t.Fatalf("E1(%d) = %v, want %d", i, got, n-1-i)
+		}
+		if got := tab.Value(i, geom.Q3); got != float64(i) {
+			t.Fatalf("E3(%d) = %v, want %d", i, got, i)
+		}
+		// No neighbors north or south: quadrants 2 and 4 are empty ⇒ 0.
+		if tab.Value(i, geom.Q2) != 0 || tab.Value(i, geom.Q4) != 0 {
+			t.Fatalf("node %d: E2/E4 = %v/%v, want 0/0",
+				i, tab.Value(i, geom.Q2), tab.Value(i, geom.Q4))
+		}
+	}
+}
+
+func TestEdgeNodesGrid(t *testing.T) {
+	// 5×5 unit grid with radius 1.5 (8-connected): the 16 perimeter nodes
+	// are edge nodes, the 9 interior ones are not.
+	var pos []geom.Point
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			pos = append(pos, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	g := graph.FromUDG(pos, 1.5)
+	edge := EdgeNodes(g)
+	for i, p := range pos {
+		perimeter := p.X == 0 || p.X == 4 || p.Y == 0 || p.Y == 4
+		if edge[i] != perimeter {
+			t.Fatalf("node %d at %v: edge=%v, want %v", i, p, edge[i], perimeter)
+		}
+	}
+}
+
+func TestEmptyQuadrantIsZeroAndConverse(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(120), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BuildSync(d.G)
+	for u := 0; u < d.G.N(); u++ {
+		for qi, q := range geom.Quadrants {
+			empty := len(d.G.NeighborsInQuadrant(u, q)) == 0
+			zero := tab.E[u][qi] == 0
+			if empty != zero {
+				t.Fatalf("node %d %v: empty=%v but E=%v", u, q, empty, tab.E[u][qi])
+			}
+		}
+	}
+}
+
+func TestAllEntriesFinite(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		d, err := topology.Generate(topology.PaperConfig(100), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Seeding{TwoPass, OnePass} {
+			tab := Build(d.G, HopWeight, mode)
+			for u := 0; u < d.G.N(); u++ {
+				for qi := range geom.Quadrants {
+					if math.IsInf(tab.E[u][qi], 1) {
+						t.Fatalf("seed %d mode %v: E[%d][%d] = ∞ after build", seed, mode, u, qi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOnePassSatisfiesRecurrence(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(100), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.G
+	tab := Build(g, HopWeight, OnePass)
+	for u := 0; u < g.N(); u++ {
+		for qi, q := range geom.Quadrants {
+			nbrs := g.NeighborsInQuadrant(u, q)
+			if len(nbrs) == 0 {
+				if tab.E[u][qi] != 0 {
+					t.Fatalf("empty quadrant E = %v", tab.E[u][qi])
+				}
+				continue
+			}
+			min := math.Inf(1)
+			for _, v := range nbrs {
+				if e := 1 + tab.E[v][qi]; e < min {
+					min = e
+				}
+			}
+			if tab.E[u][qi] != min {
+				t.Fatalf("Eq.9 violated at node %d %v: E=%v, 1+min=%v", u, q, tab.E[u][qi], min)
+			}
+		}
+	}
+}
+
+func TestTwoPassDominatesOnePass(t *testing.T) {
+	// TwoPass restricts pass-1 seeding to edge nodes, so its estimates are
+	// pointwise ≥ the unrestricted shortest distance of OnePass.
+	d, err := topology.Generate(topology.PaperConfig(150), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := Build(d.G, HopWeight, TwoPass)
+	one := Build(d.G, HopWeight, OnePass)
+	for u := 0; u < d.G.N(); u++ {
+		for qi := range geom.Quadrants {
+			if two.E[u][qi] < one.E[u][qi]-1e-9 {
+				t.Fatalf("node %d q%d: two-pass %v < one-pass %v", u, qi, two.E[u][qi], one.E[u][qi])
+			}
+		}
+	}
+}
+
+// Theorem 3: each node's tuple settles at most once per quadrant per pass —
+// at most 8 updates per node over the two passes, and exactly 4 once built
+// when counted per quadrant (every entry receives exactly one value).
+func TestTheorem3UpdateCount(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(200), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BuildSync(d.G)
+	for u, c := range tab.Updates {
+		if c != 4 {
+			t.Fatalf("node %d settled %d entries, want exactly 4 (one per quadrant)", u, c)
+		}
+	}
+}
+
+func TestAsyncWeightsAreCWT(t *testing.T) {
+	// Two nodes on a line, u west of v. With phases u=0, v=1 and r=4 the
+	// CWT from u to v is 1, so E_Q1(u) = 1 (v is u's eastern edge node).
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	g := graph.FromUDG(pos, 1)
+	s := dutycycle.NewPeriodicPhase(4, []int{0, 1})
+	tab := BuildAsync(g, s)
+	if got := tab.Value(0, geom.Q1); got != 1 {
+		t.Fatalf("async E1(0) = %v, want 1 (CWT)", got)
+	}
+	// Reverse direction: from v's wake slot 1 the wait for u (phase 0) is 3.
+	if got := tab.Value(1, geom.Q3); got != 3 {
+		t.Fatalf("async E3(1) = %v, want 3 (CWT)", got)
+	}
+}
+
+func TestScore(t *testing.T) {
+	g := lineGraph(4)
+	tab := BuildSync(g)
+	covered := map[int]bool{0: true, 1: true}
+	isUncovered := func(v graph.NodeID) bool { return !covered[v] }
+	// Node 1's only uncovered neighbor is 2, east (Q1): E1(1) = 2.
+	if got := tab.Score(g, 1, isUncovered); got != 2 {
+		t.Fatalf("Score(1) = %v, want 2", got)
+	}
+	// Node 0 has no uncovered neighbors.
+	if got := tab.Score(g, 0, isUncovered); got != -1 {
+		t.Fatalf("Score(0) = %v, want -1", got)
+	}
+}
+
+func TestMaxFinite(t *testing.T) {
+	g := lineGraph(6)
+	tab := BuildSync(g)
+	if got := tab.MaxFinite(); got != 5 {
+		t.Fatalf("MaxFinite = %v, want 5", got)
+	}
+}
+
+// Property: on random connected deployments every entry is finite, zero
+// exactly on empty quadrants, and two-pass dominates one-pass.
+func TestQuickBuildInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := topology.Config{N: 40, AreaSide: 25, Radius: 10, MaxRetries: 50}
+		d, err := topology.Generate(cfg, seed)
+		if err != nil {
+			return true // rare disconnected-only seeds are not the property under test
+		}
+		two := Build(d.G, HopWeight, TwoPass)
+		one := Build(d.G, HopWeight, OnePass)
+		for u := 0; u < d.G.N(); u++ {
+			for qi, q := range geom.Quadrants {
+				if math.IsInf(two.E[u][qi], 1) || math.IsInf(one.E[u][qi], 1) {
+					return false
+				}
+				empty := len(d.G.NeighborsInQuadrant(u, q)) == 0
+				if (two.E[u][qi] == 0) != empty {
+					return false
+				}
+				if two.E[u][qi] < one.E[u][qi]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeNodesIncludeHull(t *testing.T) {
+	r := rng.New(3)
+	pos := make([]geom.Point, 60)
+	for i := range pos {
+		pos[i] = geom.Point{X: r.InRange(0, 30), Y: r.InRange(0, 30)}
+	}
+	g := graph.FromUDG(pos, 12)
+	edge := EdgeNodes(g)
+	for _, h := range geom.ConvexHull(pos) {
+		if !edge[h] {
+			t.Fatalf("hull node %d not flagged as edge", h)
+		}
+	}
+}
+
+func BenchmarkBuildSync300(b *testing.B) {
+	d, err := topology.Generate(topology.PaperConfig(300), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = BuildSync(d.G)
+	}
+}

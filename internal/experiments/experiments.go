@@ -1,0 +1,171 @@
+// Package experiments regenerates the paper's evaluation: Figures 3–7 and
+// the Section V-C summary claims. Each figure function sweeps the paper's
+// densities (50–300 nodes over 50×50 sq ft, radius 10 ft, source
+// eccentricity 5–8), runs every scheduler on every trial deployment in
+// parallel, validates and physically replays each schedule, and returns
+// the same series the paper plots, with dispersion statistics attached.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"mlbs/internal/mote"
+	"mlbs/internal/stats"
+	"mlbs/internal/topology"
+)
+
+// Config tunes an experiment sweep. The zero value selects the paper's
+// setting with library defaults; see Default.
+type Config struct {
+	Trials     int    // deployments per density point (default 20)
+	Seed       uint64 // master seed (default 1)
+	NodeCounts []int  // default topology.PaperDensities()
+	Workers    int    // parallel workers (default GOMAXPROCS)
+	GOPTBudget int    // search budget for G-OPT (default 500k)
+	OPTBudget  int    // search budget for OPT (default 50k)
+	OPTMaxSets int    // per-state move cap for OPT (default 96)
+	Rate       int    // duty-cycle rate r for async figures (set by figure)
+}
+
+// Default returns cfg with unset fields filled in.
+func Default(cfg Config) Config {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.NodeCounts) == 0 {
+		cfg.NodeCounts = topology.PaperDensities()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.GOPTBudget <= 0 {
+		cfg.GOPTBudget = 500_000
+	}
+	if cfg.OPTBudget <= 0 {
+		cfg.OPTBudget = 50_000
+	}
+	if cfg.OPTMaxSets <= 0 {
+		cfg.OPTMaxSets = 96
+	}
+	return cfg
+}
+
+// Point is one x-position of a figure: a density with one sample per
+// series.
+type Point struct {
+	N       int     // nodes deployed
+	Density float64 // nodes per sq ft (the paper's x axis)
+	// Series maps series name → P(A) latency sample across trials.
+	Series map[string]*stats.Sample
+	// ExactFrac maps search-based series → fraction of trials in which the
+	// search proved optimality (1.0 = every point exact).
+	ExactFrac map[string]float64
+}
+
+// Figure is a regenerated paper figure: ordered series over density points.
+type Figure struct {
+	ID     string // e.g. "figure3"
+	Title  string
+	YLabel string
+	Names  []string // series order for rendering
+	Points []Point
+}
+
+// SeriesMean returns the mean P(A) of a series at each density, in point
+// order — the curve the paper plots.
+func (f *Figure) SeriesMean(name string) []float64 {
+	out := make([]float64, len(f.Points))
+	for i, p := range f.Points {
+		if s, ok := p.Series[name]; ok {
+			out[i] = s.Mean()
+		}
+	}
+	return out
+}
+
+// Format renders the figure as an aligned text table with 95% CIs.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	fmt.Fprintf(&b, "%-10s %-6s", "density", "nodes")
+	for _, name := range f.Names {
+		fmt.Fprintf(&b, " %-22s", name)
+	}
+	b.WriteByte('\n')
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-10.3f %-6d", p.Density, p.N)
+		for _, name := range f.Names {
+			s := p.Series[name]
+			if s == nil {
+				fmt.Fprintf(&b, " %-22s", "-")
+				continue
+			}
+			cell := fmt.Sprintf("%.2f ± %.2f", s.Mean(), s.CI95())
+			if frac, ok := p.ExactFrac[name]; ok && frac < 1 {
+				cell += fmt.Sprintf(" [%d%% exact]", int(frac*100+0.5))
+			}
+			fmt.Fprintf(&b, " %-22s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(y: %s; Mica2 slot = %v)\n", f.YLabel, mote.Mica2().SlotDuration())
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated series means with CI columns.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("density,nodes")
+	for _, name := range f.Names {
+		clean := strings.ReplaceAll(name, ",", " ")
+		fmt.Fprintf(&b, ",%s,%s_ci95", clean, clean)
+	}
+	b.WriteByte('\n')
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%.4f,%d", p.Density, p.N)
+		for _, name := range f.Names {
+			s := p.Series[name]
+			if s == nil {
+				b.WriteString(",,")
+				continue
+			}
+			fmt.Fprintf(&b, ",%.4f,%.4f", s.Mean(), s.CI95())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ByID dispatches a figure by its paper number.
+func ByID(id int, cfg Config) (*Figure, error) {
+	switch id {
+	case 3:
+		return Figure3(cfg)
+	case 4:
+		return Figure4(cfg)
+	case 5:
+		return Figure5(cfg)
+	case 6:
+		return Figure6(cfg)
+	case 7:
+		return Figure7(cfg)
+	}
+	return nil, errors.New("experiments: the paper has figures 3–7")
+}
+
+// sortedNames returns map keys in deterministic order (helper for tests).
+func sortedNames(m map[string]*stats.Sample) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps test sweeps fast: 2 trials, 3 densities, small budgets.
+func tinyConfig() Config {
+	return Config{
+		Trials:     2,
+		Seed:       7,
+		NodeCounts: []int{50, 100, 150},
+		GOPTBudget: 50_000,
+		OPTBudget:  10_000,
+		OPTMaxSets: 48,
+	}
+}
+
+func TestDefaultFillsFields(t *testing.T) {
+	cfg := Default(Config{})
+	if cfg.Trials != 20 || cfg.Seed != 1 || len(cfg.NodeCounts) != 6 ||
+		cfg.Workers < 1 || cfg.GOPTBudget <= 0 || cfg.OPTBudget <= 0 || cfg.OPTMaxSets <= 0 {
+		t.Fatalf("Default = %+v", cfg)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	fig, err := Figure3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figure3" || len(fig.Points) != 3 {
+		t.Fatalf("figure = %+v", fig)
+	}
+	for _, p := range fig.Points {
+		for _, name := range []string{Series26Approx, SeriesOPT, SeriesGOPT, SeriesEModel, SeriesOPTAnalysis} {
+			s := p.Series[name]
+			if s == nil || s.N() != 2 {
+				t.Fatalf("density %.3f series %q sample = %+v", p.Density, name, s)
+			}
+		}
+		// The paper's headline orderings: OPT ≤ G-OPT ≤ E-model (policy) and
+		// every conflict-aware scheduler beats the blocking baseline.
+		opt := p.Series[SeriesOPT].Mean()
+		gopt := p.Series[SeriesGOPT].Mean()
+		em := p.Series[SeriesEModel].Mean()
+		base := p.Series[Series26Approx].Mean()
+		if opt > gopt+1e-9 {
+			t.Fatalf("density %.3f: OPT %.2f > G-OPT %.2f", p.Density, opt, gopt)
+		}
+		if gopt > em+1e-9 {
+			t.Fatalf("density %.3f: G-OPT %.2f > E-model %.2f (G-OPT uses E-model incumbent)", p.Density, gopt, em)
+		}
+		if base < gopt-1e-9 {
+			t.Fatalf("density %.3f: baseline %.2f beats G-OPT %.2f", p.Density, base, gopt)
+		}
+		// Theorem 1: measured optimal latency within the analytical curve.
+		if opt > p.Series[SeriesOPTAnalysis].Mean()+1e-9 {
+			t.Fatalf("density %.3f: OPT %.2f above OPT-analysis %.2f", p.Density, opt, p.Series[SeriesOPTAnalysis].Mean())
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NodeCounts = []int{50, 100}
+	fig, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Points {
+		base := p.Series[Series17Approx].Mean()
+		gopt := p.Series[SeriesGOPT].Mean()
+		opt := p.Series[SeriesOPT].Mean()
+		if base < gopt-1e-9 {
+			t.Fatalf("17-approx %.2f beats G-OPT %.2f", base, gopt)
+		}
+		if opt > gopt+1e-9 {
+			t.Fatalf("OPT %.2f > G-OPT %.2f", opt, gopt)
+		}
+	}
+}
+
+func TestFigure5And7Bounds(t *testing.T) {
+	cfg := tinyConfig()
+	f5, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, fig := range []*Figure{f5, f7} {
+		for _, p := range fig.Points {
+			ours := p.Series[SeriesOPTAnalysis].Mean()
+			theirs := p.Series[SeriesRef12Bound].Mean()
+			if ours >= theirs {
+				t.Fatalf("fig %d density %.3f: Theorem-1 bound %.1f not below [12] bound %.1f",
+					fi, p.Density, ours, theirs)
+			}
+		}
+	}
+	// r=50 bounds are 5× the r=10 bounds on identical deployments.
+	for i := range f5.Points {
+		a := f5.Points[i].Series[SeriesOPTAnalysis].Mean()
+		b := f7.Points[i].Series[SeriesOPTAnalysis].Mean()
+		if b != 5*a {
+			t.Fatalf("point %d: r=50 bound %.1f != 5 × r=10 bound %.1f", i, b, a)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID(2, tinyConfig()); err == nil {
+		t.Fatal("figure 2 is not an evaluation figure")
+	}
+	fig, err := ByID(5, tinyConfig())
+	if err != nil || fig.ID != "figure5" {
+		t.Fatalf("ByID(5) = %v, %v", fig, err)
+	}
+}
+
+func TestFormatAndCSV(t *testing.T) {
+	fig, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := fig.Format()
+	if !strings.Contains(text, "density") || !strings.Contains(text, SeriesRef12Bound) {
+		t.Fatalf("Format output missing headers:\n%s", text)
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(fig.Points) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(fig.Points))
+	}
+	if !strings.HasPrefix(lines[0], "density,nodes") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	fig, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := fig.SeriesMean(SeriesOPTAnalysis)
+	if len(means) != len(fig.Points) {
+		t.Fatalf("SeriesMean length %d", len(means))
+	}
+	for i, p := range fig.Points {
+		if means[i] != p.Series[SeriesOPTAnalysis].Mean() {
+			t.Fatal("SeriesMean mismatch")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	fig, err := Figure3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(fig)
+	imp := sum.ImprovementPct["figure3"]
+	if imp <= 0 || imp >= 100 {
+		t.Fatalf("sync improvement = %.1f%%, expected within (0,100)", imp)
+	}
+	if gap := sum.GOPTvsOPTMeanGap["figure3"]; gap < 0 {
+		t.Fatalf("G-OPT beats OPT on average (gap %.2f)", gap)
+	}
+	out := sum.Format()
+	if !strings.Contains(out, "figure3") || !strings.Contains(out, "improvement") {
+		t.Fatalf("summary format:\n%s", out)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Series[SeriesOPTAnalysis].Mean() != b.Points[i].Series[SeriesOPTAnalysis].Mean() {
+			t.Fatal("analytical figure not reproducible")
+		}
+	}
+}
+
+func TestSweepDeterministicParallel(t *testing.T) {
+	// Worker count must not change the statistics, only the wall clock.
+	cfg := tinyConfig()
+	cfg.NodeCounts = []int{60}
+	cfg.Workers = 1
+	a, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Names {
+		if a.Points[0].Series[name].Mean() != b.Points[0].Series[name].Mean() {
+			t.Fatalf("series %q differs across worker counts", name)
+		}
+	}
+}

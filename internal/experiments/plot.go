@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure's series as an ASCII chart (density on x, mean
+// latency on y), so mlb-sweep output shows the curve shapes the paper
+// plots without leaving the terminal. Each series is drawn with its own
+// marker; the legend maps markers to series names.
+func (f *Figure) Plot(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	if len(f.Points) == 0 {
+		return "(no data)\n"
+	}
+
+	markers := []byte{'o', '*', '+', 'x', '#', '@', '%', '&'}
+	maxY := 0.0
+	for _, name := range f.Names {
+		for _, v := range f.SeriesMean(name) {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	minX := f.Points[0].Density
+	maxX := f.Points[len(f.Points)-1].Density
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((1 - y/maxY) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, name := range f.Names {
+		marker := markers[si%len(markers)]
+		means := f.SeriesMean(name)
+		for pi, p := range f.Points {
+			grid[row(means[pi])][col(p.Density)] = marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y: 0..%.1f %s)\n", f.Title, maxY, f.YLabel)
+	for _, line := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(line))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, " x: density %.3f..%.3f   legend:", minX, maxX)
+	for si, name := range f.Names {
+		fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mlbs/internal/core"
+	"mlbs/internal/rng"
+	"mlbs/internal/sim"
+	"mlbs/internal/stats"
+	"mlbs/internal/topology"
+)
+
+// trialResult carries one scheduler's outcome on one deployment.
+type trialResult struct {
+	point   int // index into the density sweep
+	series  string
+	latency int
+	exact   bool
+	tracked bool // search-based: participates in ExactFrac
+}
+
+// instanceFn builds the broadcast instance for a deployment; schedulersFn
+// builds fresh scheduler values per trial (searches carry per-run state in
+// engines; constructing per trial keeps workers independent).
+type instanceFn func(d *topology.Deployment, trialSeed uint64) core.Instance
+type schedulerFn func() []namedScheduler
+
+type namedScheduler struct {
+	name    string
+	sched   core.Scheduler
+	tracked bool // record exactness (search-based schedulers)
+}
+
+// sweep runs trials×densities×schedulers with a bounded worker pool and
+// assembles the Figure points. Every schedule is validated against the
+// model and replayed through the physics simulator; any violation aborts
+// the sweep with an error identifying the offending scheduler and seed.
+func sweep(cfg Config, id, title, ylabel string, names []string,
+	makeInstance instanceFn, makeSchedulers schedulerFn) (*Figure, error) {
+
+	cfg = Default(cfg)
+	type job struct {
+		point, trial int
+		n            int
+		seed         uint64
+	}
+
+	var jobs []job
+	seedState := cfg.Seed
+	for pi, n := range cfg.NodeCounts {
+		for tr := 0; tr < cfg.Trials; tr++ {
+			jobs = append(jobs, job{point: pi, trial: tr, n: n, seed: rng.SplitMix64(&seedState)})
+		}
+	}
+
+	jobCh := make(chan job)
+	resCh := make(chan []trialResult, len(jobs))
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				results, err := runTrial(cfg, j.n, j.seed, j.point, makeInstance, makeSchedulers)
+				if err != nil {
+					errCh <- fmt.Errorf("n=%d seed=%d: %w", j.n, j.seed, err)
+					continue
+				}
+				resCh <- results
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	close(resCh)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+
+	points := make([]Point, len(cfg.NodeCounts))
+	exactCount := make([]map[string]int, len(cfg.NodeCounts))
+	trackedCount := make([]map[string]int, len(cfg.NodeCounts))
+	for pi, n := range cfg.NodeCounts {
+		points[pi] = Point{
+			N:         n,
+			Density:   topology.PaperConfig(n).Density(),
+			Series:    make(map[string]*stats.Sample),
+			ExactFrac: make(map[string]float64),
+		}
+		exactCount[pi] = make(map[string]int)
+		trackedCount[pi] = make(map[string]int)
+	}
+	for results := range resCh {
+		for _, r := range results {
+			p := &points[r.point]
+			s, ok := p.Series[r.series]
+			if !ok {
+				s = &stats.Sample{}
+				p.Series[r.series] = s
+			}
+			s.AddInt(r.latency)
+			if r.tracked {
+				trackedCount[r.point][r.series]++
+				if r.exact {
+					exactCount[r.point][r.series]++
+				}
+			}
+		}
+	}
+	for pi := range points {
+		for name, total := range trackedCount[pi] {
+			points[pi].ExactFrac[name] = float64(exactCount[pi][name]) / float64(total)
+		}
+	}
+	return &Figure{ID: id, Title: title, YLabel: ylabel, Names: names, Points: points}, nil
+}
+
+// runTrial generates one deployment and runs every scheduler on it.
+func runTrial(cfg Config, n int, seed uint64, point int,
+	makeInstance instanceFn, makeSchedulers schedulerFn) ([]trialResult, error) {
+
+	d, err := topology.Generate(topology.PaperConfig(n), seed)
+	if err != nil {
+		return nil, err
+	}
+	in := makeInstance(d, seed)
+	var out []trialResult
+	for _, ns := range makeSchedulers() {
+		res, err := ns.sched.Schedule(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ns.name, err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			return nil, fmt.Errorf("%s produced an invalid schedule: %w", ns.name, err)
+		}
+		rep, err := sim.Replay(in, res.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("%s failed physical replay: %w", ns.name, err)
+		}
+		if !rep.Completed {
+			return nil, fmt.Errorf("%s schedule did not physically complete", ns.name)
+		}
+		out = append(out, trialResult{
+			point:   point,
+			series:  ns.name,
+			latency: res.Schedule.Latency(),
+			exact:   res.Exact,
+			tracked: ns.tracked,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mlbs/internal/stats"
+)
+
+// Summary quantifies the Section V-C claims from regenerated figures:
+//
+//   - "There exists a room of at least 70% improvement from the best
+//     results known to date. In the synchronous system, a 70% improvement
+//     is expected. In both the light ... and the heavy duty cycle system,
+//     the improvement from 85% up to 90% is expected."
+//   - "G-OPT is very close to OPT ... the difference between them is no
+//     more than 2 hops in the round-based system. In light duty cycle
+//     system, they achieve the same performance."
+//   - "E-model can achieve a close performance as OPT and G-OPT."
+type Summary struct {
+	// ImprovementPct maps figure ID → mean percentage latency reduction of
+	// G-OPT over the figure's baseline across densities.
+	ImprovementPct map[string]float64
+	// EModelImprovementPct is the same for the practical E-model scheduler.
+	EModelImprovementPct map[string]float64
+	// GOPTvsOPTMeanGap maps figure ID → mean of (G-OPT − OPT) latency.
+	GOPTvsOPTMeanGap map[string]float64
+	// EModelvsGOPTMeanGap maps figure ID → mean of (E-model − G-OPT).
+	EModelvsGOPTMeanGap map[string]float64
+}
+
+// baselineOf returns the baseline series of a figure.
+func baselineOf(fig *Figure) string {
+	if fig.ID == "figure3" {
+		return Series26Approx
+	}
+	return Series17Approx
+}
+
+// Summarize derives the Section V-C quantities from regenerated figures
+// (any of Figures 3, 4, 6).
+func Summarize(figs ...*Figure) *Summary {
+	s := &Summary{
+		ImprovementPct:       make(map[string]float64),
+		EModelImprovementPct: make(map[string]float64),
+		GOPTvsOPTMeanGap:     make(map[string]float64),
+		EModelvsGOPTMeanGap:  make(map[string]float64),
+	}
+	for _, fig := range figs {
+		base := baselineOf(fig)
+		var imp, impE, gapGO, gapEG stats.Sample
+		for _, p := range fig.Points {
+			b, g, o, e := p.Series[base], p.Series[SeriesGOPT], p.Series[SeriesOPT], p.Series[SeriesEModel]
+			if b == nil || g == nil {
+				continue
+			}
+			imp.Add(stats.ImprovementPct(b.Mean(), g.Mean()))
+			if e != nil {
+				impE.Add(stats.ImprovementPct(b.Mean(), e.Mean()))
+				gapEG.Add(e.Mean() - g.Mean())
+			}
+			if o != nil {
+				gapGO.Add(g.Mean() - o.Mean())
+			}
+		}
+		s.ImprovementPct[fig.ID] = imp.Mean()
+		s.EModelImprovementPct[fig.ID] = impE.Mean()
+		s.GOPTvsOPTMeanGap[fig.ID] = gapGO.Mean()
+		s.EModelvsGOPTMeanGap[fig.ID] = gapEG.Mean()
+	}
+	return s
+}
+
+// Format renders the summary for EXPERIMENTS.md and mlb-sweep -summary.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	b.WriteString("Section V-C summary claims (paper → measured)\n")
+	order := []string{"figure3", "figure4", "figure6"}
+	for _, id := range order {
+		if _, ok := s.ImprovementPct[id]; !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", id)
+		fmt.Fprintf(&b, "  G-OPT improvement over baseline:   %.1f%%\n", s.ImprovementPct[id])
+		fmt.Fprintf(&b, "  E-model improvement over baseline: %.1f%%\n", s.EModelImprovementPct[id])
+		fmt.Fprintf(&b, "  mean G-OPT − OPT gap:              %.2f\n", s.GOPTvsOPTMeanGap[id])
+		fmt.Fprintf(&b, "  mean E-model − G-OPT gap:          %.2f\n", s.EModelvsGOPTMeanGap[id])
+	}
+	return b.String()
+}

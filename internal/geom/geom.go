@@ -1,0 +1,247 @@
+// Package geom provides the computational-geometry substrate of the
+// reproduction: points in the deployment plane, unit-disk adjacency tests,
+// the convex hull used to seed network-edge detection (reference [3] of the
+// paper), and the quadrant partition Q1..Q4 that the E-model's 4-tuple is
+// defined over (Section IV-E).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a location in the deployment plane, in feet (the paper deploys
+// nodes over a 50×50 sq ft area).
+type Point struct {
+	X, Y float64
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Sub returns the vector p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns the vector p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared distance, avoiding the sqrt for comparisons.
+func Dist2(p, q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// WithinRange reports whether p and q are within communication radius r of
+// each other under the unit-disk model (boundary inclusive, as usual for
+// UDG formalizations).
+func WithinRange(p, q Point, r float64) bool {
+	return Dist2(p, q) <= r*r+1e-9
+}
+
+// Cross returns the z-component of (b−a) × (c−a); positive when a→b→c
+// turns counter-clockwise.
+func Cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Quadrant identifies one of the four axis-aligned quadrants around an
+// origin node, numbered as in the paper: Q1 = (+x, +y), Q2 = (−x, +y),
+// Q3 = (−x, −y), Q4 = (+x, −y).
+type Quadrant int
+
+const (
+	Q1 Quadrant = iota + 1
+	Q2
+	Q3
+	Q4
+)
+
+// Quadrants lists all four quadrants in order; handy for range loops.
+var Quadrants = [4]Quadrant{Q1, Q2, Q3, Q4}
+
+func (q Quadrant) String() string {
+	switch q {
+	case Q1:
+		return "Q1"
+	case Q2:
+		return "Q2"
+	case Q3:
+		return "Q3"
+	case Q4:
+		return "Q4"
+	}
+	return fmt.Sprintf("Quadrant(%d)", int(q))
+}
+
+// Index returns the zero-based index of the quadrant, for array addressing.
+func (q Quadrant) Index() int { return int(q) - 1 }
+
+// QuadrantOf classifies point p relative to origin o. Points on an axis are
+// assigned to the adjacent quadrant whose open region they border in
+// counter-clockwise order (x>0,y=0 → Q1; x=0,y>0 → Q2; x<0,y=0 → Q3;
+// x=0,y<0 → Q4), so that every non-origin point belongs to exactly one
+// quadrant — a requirement for the E-model's edge rule N(u)∩Q_i(u)=∅ to be
+// well defined. QuadrantOf panics when p == o: a node is never in its own
+// neighborhood under the simple-graph model.
+func QuadrantOf(o, p Point) Quadrant {
+	dx, dy := p.X-o.X, p.Y-o.Y
+	switch {
+	case dx > 0 && dy >= 0:
+		return Q1
+	case dx <= 0 && dy > 0:
+		return Q2
+	case dx < 0 && dy <= 0:
+		return Q3
+	case dx >= 0 && dy < 0:
+		return Q4
+	}
+	panic("geom: QuadrantOf called with coincident points")
+}
+
+// InQuadrant reports whether p lies in quadrant q of origin o.
+func InQuadrant(o, p Point, q Quadrant) bool {
+	return QuadrantOf(o, p) == q
+}
+
+// ConvexHull returns the indices of the points on the convex hull of pts,
+// in counter-clockwise order starting from the lexicographically smallest
+// point (Andrew's monotone chain). Collinear boundary points are excluded;
+// degenerate inputs (n ≤ 2, or all points collinear) return the extreme
+// points that exist.
+func ConvexHull(pts []Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	// Deduplicate coincident points, keeping the first occurrence.
+	uniq := idx[:0]
+	for i, id := range idx {
+		if i > 0 && pts[id] == pts[uniq[len(uniq)-1]] {
+			continue
+		}
+		uniq = append(uniq, id)
+	}
+	idx = uniq
+	if len(idx) == 1 {
+		return []int{idx[0]}
+	}
+	if len(idx) == 2 {
+		return []int{idx[0], idx[1]}
+	}
+
+	hull := make([]int, 0, 2*len(idx))
+	// Lower hull.
+	for _, id := range idx {
+		for len(hull) >= 2 && Cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[id]) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(idx) - 2; i >= 0; i-- {
+		id := idx[i]
+		for len(hull) >= lower && Cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[id]) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	if len(hull) > 1 {
+		hull = hull[:len(hull)-1] // last point equals the first
+	}
+	if len(hull) == 2 && pts[hull[0]] == pts[hull[1]] {
+		hull = hull[:1]
+	}
+	return hull
+}
+
+// PointInHull reports whether p lies inside or on the convex polygon whose
+// vertices are pts[hull[i]] in counter-clockwise order.
+func PointInHull(p Point, pts []Point, hull []int) bool {
+	n := len(hull)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return pts[hull[0]] == p
+	}
+	if n == 2 {
+		a, b := pts[hull[0]], pts[hull[1]]
+		if math.Abs(Cross(a, b, p)) > 1e-9 {
+			return false
+		}
+		return math.Min(a.X, b.X)-1e-9 <= p.X && p.X <= math.Max(a.X, b.X)+1e-9 &&
+			math.Min(a.Y, b.Y)-1e-9 <= p.Y && p.Y <= math.Max(a.Y, b.Y)+1e-9
+	}
+	for i := 0; i < n; i++ {
+		a, b := pts[hull[i]], pts[hull[(i+1)%n]]
+		if Cross(a, b, p) < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Angle returns the polar angle of vector p−o in [0, 2π).
+func Angle(o, p Point) float64 {
+	a := math.Atan2(p.Y-o.Y, p.X-o.X)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// MaxAngularGap returns the widest angular gap (radians) between
+// consecutive directions from origin o to the given neighbor points. A gap
+// greater than π indicates o lies on the geometric boundary of its
+// neighborhood — the classic hole/boundary-detection heuristic the paper
+// cites via reference [1]. With no neighbors the gap is a full circle.
+func MaxAngularGap(o Point, neighbors []Point) float64 {
+	if len(neighbors) == 0 {
+		return 2 * math.Pi
+	}
+	angles := make([]float64, len(neighbors))
+	for i, nb := range neighbors {
+		angles[i] = Angle(o, nb)
+	}
+	sort.Float64s(angles)
+	maxGap := 2*math.Pi - angles[len(angles)-1] + angles[0]
+	for i := 1; i < len(angles); i++ {
+		if g := angles[i] - angles[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap
+}
+
+// BoundingBox returns the min and max corners of the given points.
+func BoundingBox(pts []Point) (min, max Point) {
+	if len(pts) == 0 {
+		return Point{}, Point{}
+	}
+	min, max = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	return min, max
+}

@@ -1,0 +1,260 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mlbs/internal/rng"
+)
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %f, want 5", d)
+	}
+	if d := Dist2(Point{1, 1}, Point{4, 5}); math.Abs(d-25) > 1e-12 {
+		t.Fatalf("Dist2 = %f, want 25", d)
+	}
+}
+
+func TestWithinRange(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	if !WithinRange(a, b, 10) {
+		t.Fatal("boundary distance must count as within range")
+	}
+	if WithinRange(a, Point{10.01, 0}, 10) {
+		t.Fatal("10.01 > 10 must be out of range")
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	p := Point{5, 7}.Sub(Point{2, 3})
+	if p != (Point{3, 4}) {
+		t.Fatalf("Sub = %v", p)
+	}
+	if q := p.Add(Point{1, 1}); q != (Point{4, 5}) {
+		t.Fatalf("Add = %v", q)
+	}
+}
+
+func TestQuadrantOf(t *testing.T) {
+	o := Point{0, 0}
+	cases := []struct {
+		p Point
+		q Quadrant
+	}{
+		{Point{1, 1}, Q1},
+		{Point{-1, 1}, Q2},
+		{Point{-1, -1}, Q3},
+		{Point{1, -1}, Q4},
+		// Axis conventions: each non-origin point in exactly one quadrant.
+		{Point{1, 0}, Q1},
+		{Point{0, 1}, Q2},
+		{Point{-1, 0}, Q3},
+		{Point{0, -1}, Q4},
+	}
+	for _, c := range cases {
+		if got := QuadrantOf(o, c.p); got != c.q {
+			t.Fatalf("QuadrantOf(%v) = %v, want %v", c.p, got, c.q)
+		}
+		if !InQuadrant(o, c.p, c.q) {
+			t.Fatalf("InQuadrant(%v, %v) = false", c.p, c.q)
+		}
+	}
+}
+
+func TestQuadrantOfCoincidentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuadrantOf with p == o must panic")
+		}
+	}()
+	QuadrantOf(Point{1, 2}, Point{1, 2})
+}
+
+func TestQuadrantPartitionProperty(t *testing.T) {
+	// Every non-origin point belongs to exactly one quadrant.
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || (x == 0 && y == 0) {
+			return true
+		}
+		o := Point{0, 0}
+		p := Point{x, y}
+		count := 0
+		for _, q := range Quadrants {
+			if InQuadrant(o, p, q) {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuadrantString(t *testing.T) {
+	if Q1.String() != "Q1" || Q4.String() != "Q4" {
+		t.Fatal("Quadrant String mismatch")
+	}
+	if Q3.Index() != 2 {
+		t.Fatalf("Q3.Index = %d, want 2", Q3.Index())
+	}
+}
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4", len(hull))
+	}
+	onHull := map[int]bool{}
+	for _, h := range hull {
+		onHull[h] = true
+	}
+	for _, want := range []int{0, 1, 2, 3} {
+		if !onHull[want] {
+			t.Fatalf("corner %d missing from hull %v", want, hull)
+		}
+	}
+	if onHull[4] || onHull[5] {
+		t.Fatalf("interior point on hull %v", hull)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Fatalf("empty input hull = %v, want nil", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}}); len(h) != 1 || h[0] != 0 {
+		t.Fatalf("single-point hull = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}, {2, 2}}); len(h) != 2 {
+		t.Fatalf("two-point hull = %v", h)
+	}
+	// All collinear: extremes only.
+	h := ConvexHull([]Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if len(h) != 2 {
+		t.Fatalf("collinear hull = %v, want the two extremes", h)
+	}
+	// Coincident points must not produce duplicates.
+	h = ConvexHull([]Point{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0.5, 1}})
+	if len(h) != 3 {
+		t.Fatalf("hull with duplicates = %v, want 3 vertices", h)
+	}
+}
+
+func TestConvexHullCCWAndContainsAll(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.InRange(0, 50), r.InRange(0, 50)}
+		}
+		hull := ConvexHull(pts)
+		if len(hull) >= 3 {
+			for i := range hull {
+				a := pts[hull[i]]
+				b := pts[hull[(i+1)%len(hull)]]
+				c := pts[hull[(i+2)%len(hull)]]
+				if Cross(a, b, c) <= 0 {
+					t.Fatalf("hull not strictly counter-clockwise at vertex %d", i)
+				}
+			}
+		}
+		for i, p := range pts {
+			if !PointInHull(p, pts, hull) {
+				t.Fatalf("point %d (%v) outside its own hull", i, p)
+			}
+		}
+	}
+}
+
+func TestPointInHull(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	hull := ConvexHull(pts)
+	if !PointInHull(Point{2, 2}, pts, hull) {
+		t.Fatal("interior point reported outside")
+	}
+	if !PointInHull(Point{0, 2}, pts, hull) {
+		t.Fatal("edge point reported outside")
+	}
+	if PointInHull(Point{5, 2}, pts, hull) {
+		t.Fatal("exterior point reported inside")
+	}
+	if PointInHull(Point{1, 1}, pts, nil) {
+		t.Fatal("empty hull contains nothing")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	o := Point{0, 0}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 0}, 0},
+		{Point{0, 1}, math.Pi / 2},
+		{Point{-1, 0}, math.Pi},
+		{Point{0, -1}, 3 * math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := Angle(o, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Angle(%v) = %f, want %f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMaxAngularGap(t *testing.T) {
+	o := Point{0, 0}
+	if g := MaxAngularGap(o, nil); math.Abs(g-2*math.Pi) > 1e-12 {
+		t.Fatalf("gap with no neighbors = %f, want 2π", g)
+	}
+	// Neighbors to the east and north: the gap spanning west/south is 3π/2.
+	g := MaxAngularGap(o, []Point{{1, 0}, {0, 1}})
+	if math.Abs(g-3*math.Pi/2) > 1e-12 {
+		t.Fatalf("gap = %f, want 3π/2", g)
+	}
+	// Surrounded on four sides: gap π/2.
+	g = MaxAngularGap(o, []Point{{1, 0}, {0, 1}, {-1, 0}, {0, -1}})
+	if math.Abs(g-math.Pi/2) > 1e-12 {
+		t.Fatalf("gap = %f, want π/2", g)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	min, max := BoundingBox([]Point{{1, 5}, {-2, 3}, {4, -1}})
+	if min != (Point{-2, -1}) || max != (Point{4, 5}) {
+		t.Fatalf("BoundingBox = %v %v", min, max)
+	}
+	min, max = BoundingBox(nil)
+	if min != (Point{}) || max != (Point{}) {
+		t.Fatal("BoundingBox(nil) should be zero points")
+	}
+}
+
+func TestCrossSign(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if Cross(a, b, Point{1, 1}) <= 0 {
+		t.Fatal("left turn must be positive")
+	}
+	if Cross(a, b, Point{1, -1}) >= 0 {
+		t.Fatal("right turn must be negative")
+	}
+	if Cross(a, b, Point{2, 0}) != 0 {
+		t.Fatal("collinear must be zero")
+	}
+}
+
+func BenchmarkConvexHull(b *testing.B) {
+	r := rng.New(4)
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{r.InRange(0, 50), r.InRange(0, 50)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ConvexHull(pts)
+	}
+}

@@ -1,0 +1,145 @@
+// Package graphio persists deployments and schedules as JSON, so that a
+// specific random instance — or a schedule computed on one machine — can
+// be shared, archived, and replayed exactly. Graphs are stored as
+// positions + radius and rebuilt with the UDG constructor, which keeps
+// files small and guarantees the decoded adjacency matches the encoder's.
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mlbs/internal/core"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/topology"
+)
+
+// deploymentJSON is the stored form of a topology.Deployment.
+type deploymentJSON struct {
+	Version   int          `json:"version"`
+	Seed      uint64       `json:"seed"`
+	Radius    float64      `json:"radius"`
+	AreaSide  float64      `json:"area_side"`
+	Source    graph.NodeID `json:"source"`
+	SourceEcc int          `json:"source_ecc"`
+	X         []float64    `json:"x"`
+	Y         []float64    `json:"y"`
+}
+
+// currentVersion guards file-format evolution.
+const currentVersion = 1
+
+// EncodeDeployment serializes a deployment.
+func EncodeDeployment(d *topology.Deployment) ([]byte, error) {
+	if d == nil || d.G == nil {
+		return nil, fmt.Errorf("graphio: nil deployment")
+	}
+	out := deploymentJSON{
+		Version:   currentVersion,
+		Seed:      d.Seed,
+		Radius:    d.Cfg.Radius,
+		AreaSide:  d.Cfg.AreaSide,
+		Source:    d.Source,
+		SourceEcc: d.SourceEcc,
+	}
+	for _, p := range d.G.Positions() {
+		out.X = append(out.X, p.X)
+		out.Y = append(out.Y, p.Y)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// DecodeDeployment rebuilds a deployment from its stored form.
+func DecodeDeployment(data []byte) (*topology.Deployment, error) {
+	var in deploymentJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if in.Version != currentVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", in.Version)
+	}
+	if len(in.X) != len(in.Y) {
+		return nil, fmt.Errorf("graphio: coordinate arrays of different lengths")
+	}
+	if len(in.X) == 0 {
+		return nil, fmt.Errorf("graphio: empty deployment")
+	}
+	if in.Radius <= 0 {
+		return nil, fmt.Errorf("graphio: non-positive radius")
+	}
+	pos := make([]geom.Point, len(in.X))
+	for i := range pos {
+		pos[i] = geom.Point{X: in.X[i], Y: in.Y[i]}
+	}
+	g := graph.FromUDG(pos, in.Radius)
+	if in.Source < 0 || in.Source >= g.N() {
+		return nil, fmt.Errorf("graphio: source %d out of range", in.Source)
+	}
+	ecc, connected := g.Eccentricity(in.Source)
+	if !connected {
+		return nil, fmt.Errorf("graphio: decoded deployment is disconnected")
+	}
+	if in.SourceEcc != 0 && ecc != in.SourceEcc {
+		return nil, fmt.Errorf("graphio: stored eccentricity %d, recomputed %d — file corrupt?", in.SourceEcc, ecc)
+	}
+	return &topology.Deployment{
+		G:         g,
+		Source:    in.Source,
+		SourceEcc: ecc,
+		Seed:      in.Seed,
+		Cfg: topology.Config{
+			N:        g.N(),
+			AreaSide: in.AreaSide,
+			Radius:   in.Radius,
+		},
+	}, nil
+}
+
+// scheduleJSON is the stored form of a core.Schedule.
+type scheduleJSON struct {
+	Version int              `json:"version"`
+	Source  graph.NodeID     `json:"source"`
+	Start   int              `json:"start"`
+	T       []int            `json:"t"`
+	Senders [][]graph.NodeID `json:"senders"`
+	Covered [][]graph.NodeID `json:"covered"`
+}
+
+// EncodeSchedule serializes a schedule.
+func EncodeSchedule(s *core.Schedule) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("graphio: nil schedule")
+	}
+	out := scheduleJSON{Version: currentVersion, Source: s.Source, Start: s.Start}
+	for _, adv := range s.Advances {
+		out.T = append(out.T, adv.T)
+		out.Senders = append(out.Senders, adv.Senders)
+		out.Covered = append(out.Covered, adv.Covered)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// DecodeSchedule rebuilds a schedule; callers should Validate it against
+// their instance before trusting it.
+func DecodeSchedule(data []byte) (*core.Schedule, error) {
+	var in scheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if in.Version != currentVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", in.Version)
+	}
+	if len(in.T) != len(in.Senders) || len(in.T) != len(in.Covered) {
+		return nil, fmt.Errorf("graphio: advance arrays of different lengths")
+	}
+	s := &core.Schedule{Source: in.Source, Start: in.Start}
+	for i := range in.T {
+		s.Advances = append(s.Advances, core.Advance{
+			T:       in.T[i],
+			Senders: in.Senders[i],
+			Covered: in.Covered[i],
+		})
+	}
+	return s, nil
+}

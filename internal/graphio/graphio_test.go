@@ -1,0 +1,131 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"mlbs/internal/core"
+	"mlbs/internal/topology"
+)
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(90), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeDeployment(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDeployment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G.N() != d.G.N() || got.G.M() != d.G.M() {
+		t.Fatalf("graph changed: %v vs %v", got.G, d.G)
+	}
+	if got.Source != d.Source || got.SourceEcc != d.SourceEcc || got.Seed != d.Seed {
+		t.Fatalf("metadata changed: %+v", got)
+	}
+	for u := 0; u < d.G.N(); u++ {
+		if got.G.Pos(u) != d.G.Pos(u) {
+			t.Fatalf("position %d changed", u)
+		}
+		for v := u + 1; v < d.G.N(); v++ {
+			if got.G.HasEdge(u, v) != d.G.HasEdge(u, v) {
+				t.Fatalf("edge {%d,%d} changed", u, v)
+			}
+		}
+	}
+}
+
+func TestScheduleRoundTripAndValidate(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(70), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Sync(d.G, d.Source)
+	res, err := core.NewGOPT(0).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSchedule(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PA() != res.PA || len(got.Advances) != len(res.Schedule.Advances) {
+		t.Fatalf("schedule changed: PA %d vs %d", got.PA(), res.PA)
+	}
+	if err := got.Validate(in); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	d, err := topology.Generate(topology.PaperConfig(60), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeDeployment(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"bad json":      "{",
+		"wrong version": strings.Replace(string(data), `"version": 1`, `"version": 99`, 1),
+		"bad ecc":       strings.Replace(string(data), `"source_ecc": `+itoa(d.SourceEcc), `"source_ecc": 99`, 1),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeDeployment([]byte(payload)); err == nil {
+			t.Fatalf("%s: corrupt file accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsStructuralErrors(t *testing.T) {
+	bad := []string{
+		`{"version":1,"radius":10,"x":[1],"y":[]}`,             // length mismatch
+		`{"version":1,"radius":10,"x":[],"y":[]}`,              // empty
+		`{"version":1,"radius":0,"x":[1],"y":[1]}`,             // bad radius
+		`{"version":1,"radius":10,"source":5,"x":[1],"y":[1]}`, // source range
+	}
+	for i, payload := range bad {
+		if _, err := DecodeDeployment([]byte(payload)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	if _, err := EncodeDeployment(nil); err == nil {
+		t.Fatal("nil deployment encoded")
+	}
+	if _, err := EncodeSchedule(nil); err == nil {
+		t.Fatal("nil schedule encoded")
+	}
+}
+
+func TestDecodeScheduleMismatchedArrays(t *testing.T) {
+	if _, err := DecodeSchedule([]byte(`{"version":1,"t":[1],"senders":[],"covered":[]}`)); err == nil {
+		t.Fatal("mismatched arrays accepted")
+	}
+	if _, err := DecodeSchedule([]byte(`{"version":2}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := ""
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}

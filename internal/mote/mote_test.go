@@ -1,0 +1,75 @@
+package mote
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMica2SlotDuration(t *testing.T) {
+	r := Mica2()
+	// 36 bytes at 19.2 kbps = 15 ms airtime + 5 ms guard = 20 ms.
+	want := 20 * time.Millisecond
+	if got := r.SlotDuration(); got != want {
+		t.Fatalf("SlotDuration = %v, want %v", got, want)
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	r := Mica2()
+	if got := r.BroadcastTime(10); got != 200*time.Millisecond {
+		t.Fatalf("BroadcastTime(10) = %v", got)
+	}
+	if got := r.BroadcastTime(0); got != 0 {
+		t.Fatalf("BroadcastTime(0) = %v", got)
+	}
+}
+
+func TestMicaZFaster(t *testing.T) {
+	if MicaZ().SlotDuration() >= Mica2().SlotDuration() {
+		t.Fatal("MicaZ slots must be shorter than Mica2 slots")
+	}
+}
+
+func TestEnergyMonotone(t *testing.T) {
+	r := Mica2()
+	base := Usage{Transmissions: 10, Receptions: 50, IdleSlots: 100, SleepSlots: 1000}
+	e0 := r.Energy(base)
+	if e0 <= 0 {
+		t.Fatalf("energy = %f, want positive", e0)
+	}
+	more := base
+	more.Transmissions++
+	if r.Energy(more) <= e0 {
+		t.Fatal("an extra transmission must cost energy")
+	}
+	withCollision := base
+	withCollision.Collisions = 5
+	if r.Energy(withCollision) <= e0 {
+		t.Fatal("collisions must cost receive energy")
+	}
+}
+
+func TestEnergyTxDominatesSleep(t *testing.T) {
+	r := Mica2()
+	tx := r.Energy(Usage{Transmissions: 1})
+	sleep := r.Energy(Usage{SleepSlots: 1})
+	if tx < 1000*sleep {
+		t.Fatalf("tx %g should dwarf sleep %g", tx, sleep)
+	}
+}
+
+func TestSlotDurationPanicsOnZeroBitrate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bitrate must panic")
+		}
+	}()
+	(Radio{FrameBytes: 10}).SlotDuration()
+}
+
+func TestString(t *testing.T) {
+	if s := Mica2().String(); !strings.Contains(s, "Mica2") || !strings.Contains(s, "19.2") {
+		t.Fatalf("String = %q", s)
+	}
+}

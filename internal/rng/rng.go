@@ -1,0 +1,131 @@
+// Package rng implements the deterministic pseudo-random generators used
+// throughout the reproduction: splitmix64 for seeding and xoshiro256** for
+// the streams themselves.
+//
+// The paper's duty-cycle model requires every node to follow "a predictable
+// pseudo-random sequence ... with a preset seed" that neighbors can replay
+// after learning the seed (Section III). Using our own generator — rather
+// than math/rand, whose algorithm is unspecified across Go releases — makes
+// deployments, wake schedules, and therefore every experiment bit-for-bit
+// reproducible, and lets the simulator model seed exchange faithfully: a
+// neighbor that learns (seed, lastWake) can forecast future wake slots by
+// re-running the same small generator.
+package rng
+
+import "math"
+
+// SplitMix64 advances the splitmix64 state and returns the next value.
+// It is used to derive independent stream seeds from a master seed.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. The zero value is invalid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed via splitmix64, as the
+// xoshiro authors recommend. Distinct seeds yield independent streams.
+func New(seed uint64) *Source {
+	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// A pathological all-zero state cannot arise from splitmix64, but guard
+	// anyway: xoshiro has a single invalid (all-zero) state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection to avoid modulo bias.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform float in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// InRange returns a uniform float in [lo, hi).
+func (r *Source) InRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a random permutation of [0, n) via Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// NormFloat64 returns a standard-normal variate (Marsaglia polar method),
+// used for jittered deployments in ablation workloads.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Fork returns a new independent Source derived from r's stream, so that
+// parallel workers can draw from decorrelated generators deterministically.
+func (r *Source) Fork() *Source {
+	return New(r.Uint64())
+}

@@ -1,0 +1,131 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: sample mean, standard deviation, extrema, and Student-t 95%
+// confidence intervals. The paper plots single curves; we attach dispersion
+// so shape comparisons across schedulers are honest about noise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations one at a time (Welford's algorithm, so
+// long sweeps stay numerically stable).
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddInt records an integer observation.
+func (s *Sample) AddInt(x int) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// tTable holds two-sided 97.5% Student-t quantiles for small degrees of
+// freedom; beyond 30 the normal approximation 1.96 is used.
+var tTable = []float64{
+	0, // df=0 unused
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (0 for n < 2).
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	df := s.n - 1
+	t := 1.96
+	if df < len(tTable) {
+		t = tTable[df]
+	}
+	return t * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// String renders "mean ± ci (n=…)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// Median returns the median of xs (0 for an empty slice); xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Ratio returns a/b, or 0 when b is 0 — used for improvement percentages.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ImprovementPct returns how much better (smaller) `ours` is than `base`,
+// as a percentage of base: 100·(base−ours)/base. Positive = improvement.
+func ImprovementPct(base, ours float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - ours) / base
+}

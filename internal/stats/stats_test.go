@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %f, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %f, want %f", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %f/%f", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.AddInt(7)
+	if s.Mean() != 7 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatalf("single obs: mean=%f var=%f ci=%f", s.Mean(), s.Var(), s.CI95())
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=2, values 0 and 2: mean 1, std √2, CI = 12.706·√2/√2 = 12.706.
+	var s Sample
+	s.Add(0)
+	s.Add(2)
+	if math.Abs(s.CI95()-12.706) > 1e-9 {
+		t.Fatalf("CI95 = %f, want 12.706", s.CI95())
+	}
+}
+
+func TestCI95LargeN(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2))
+	}
+	// df=99 ⇒ normal quantile 1.96; std ≈ 0.5025, CI ≈ 1.96·0.5025/10.
+	want := 1.96 * s.Std() / 10
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Fatalf("CI95 = %f, want %f", s.CI95(), want)
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); !strings.Contains(got, "2.00") || !strings.Contains(got, "n=2") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	xs := []float64{5, 1, 9}
+	_ = Median(xs)
+	if xs[0] != 5 {
+		t.Fatal("Median must not mutate its input")
+	}
+}
+
+func TestRatioAndImprovement(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio")
+	}
+	if ImprovementPct(10, 3) != 70 {
+		t.Fatalf("ImprovementPct = %f, want 70", ImprovementPct(10, 3))
+	}
+	if ImprovementPct(0, 5) != 0 {
+		t.Fatal("ImprovementPct with zero base")
+	}
+}
+
+// Property: Welford mean/variance agree with the two-pass formulas.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Sample
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			s.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-naiveVar) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min ≤ mean ≤ max.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.AddInt(int(r))
+		}
+		return s.Min() <= s.Mean()+1e-12 && s.Mean() <= s.Max()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

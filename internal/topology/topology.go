@@ -1,0 +1,161 @@
+// Package topology generates the deployments the paper evaluates on:
+// "50∼300 nodes, with a communication radius of 10 feet, are deployed
+// uniformly to cover an interest area of 50 × 50 Sq. Ft., creating
+// different densities ... The source is randomly selected with a distance
+// of 5∼8 hops to the farthest node" (Section V-A).
+//
+// A Deployment couples the generated unit-disk graph with the chosen source
+// and the sampling metadata (seed, density, eccentricity), so every
+// experiment run is reproducible from its configuration alone.
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/rng"
+)
+
+// Config describes a deployment family. The zero value is not valid; use
+// PaperConfig for the paper's setting.
+type Config struct {
+	N          int     // number of nodes
+	AreaSide   float64 // square side length, feet
+	Radius     float64 // communication radius, feet
+	MinSourceE int     // minimum source eccentricity (hops); 0 disables
+	MaxSourceE int     // maximum source eccentricity (hops); 0 disables
+	MaxRetries int     // attempts to find a connected deployment w/ valid source
+}
+
+// PaperConfig returns the paper's simulation setting for n nodes.
+func PaperConfig(n int) Config {
+	return Config{
+		N:          n,
+		AreaSide:   50,
+		Radius:     10,
+		MinSourceE: 5,
+		MaxSourceE: 8,
+		MaxRetries: 500,
+	}
+}
+
+// Density returns nodes per square foot, the x-axis of the paper's figures.
+func (c Config) Density() float64 { return float64(c.N) / (c.AreaSide * c.AreaSide) }
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return errors.New("topology: N must be >= 1")
+	case c.AreaSide <= 0:
+		return errors.New("topology: AreaSide must be positive")
+	case c.Radius <= 0:
+		return errors.New("topology: Radius must be positive")
+	case c.MinSourceE < 0 || c.MaxSourceE < 0 || (c.MaxSourceE > 0 && c.MinSourceE > c.MaxSourceE):
+		return errors.New("topology: invalid source eccentricity bounds")
+	}
+	return nil
+}
+
+// Deployment is a generated instance: a connected UDG plus the broadcast
+// source satisfying the eccentricity constraint.
+type Deployment struct {
+	G           *graph.Graph
+	Source      graph.NodeID
+	SourceEcc   int // hop distance from Source to the farthest node ("d" in Theorem 1)
+	Seed        uint64
+	Cfg         Config
+	Attempts    int // placements drawn before one was accepted
+	SourceDraws int // candidate sources tried on the accepted placement
+}
+
+// ErrExhausted is returned when no acceptable deployment was found within
+// Config.MaxRetries placements.
+var ErrExhausted = errors.New("topology: retries exhausted without a connected deployment and valid source")
+
+// Generate draws deployments from cfg with the given seed until one is
+// connected and admits a source with eccentricity in the configured band.
+func Generate(cfg Config, seed uint64) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	maxTries := cfg.MaxRetries
+	if maxTries <= 0 {
+		maxTries = 500
+	}
+	for attempt := 1; attempt <= maxTries; attempt++ {
+		pos := UniformPositions(cfg, r)
+		g := graph.FromUDG(pos, cfg.Radius)
+		if !g.Connected() {
+			continue
+		}
+		src, ecc, draws := pickSource(g, cfg, r)
+		if src < 0 {
+			continue
+		}
+		return &Deployment{
+			G:           g,
+			Source:      src,
+			SourceEcc:   ecc,
+			Seed:        seed,
+			Cfg:         cfg,
+			Attempts:    attempt,
+			SourceDraws: draws,
+		}, nil
+	}
+	return nil, fmt.Errorf("%w (cfg %+v seed %d)", ErrExhausted, cfg, seed)
+}
+
+// UniformPositions draws cfg.N independent uniform positions in the area.
+func UniformPositions(cfg Config, r *rng.Source) []geom.Point {
+	pos := make([]geom.Point, cfg.N)
+	for i := range pos {
+		pos[i] = geom.Point{X: r.InRange(0, cfg.AreaSide), Y: r.InRange(0, cfg.AreaSide)}
+	}
+	return pos
+}
+
+// pickSource samples nodes without replacement until one has eccentricity
+// within [MinSourceE, MaxSourceE]; returns (-1, 0, draws) when none does.
+func pickSource(g *graph.Graph, cfg Config, r *rng.Source) (graph.NodeID, int, int) {
+	perm := r.Perm(g.N())
+	for i, s := range perm {
+		ecc, ok := g.Eccentricity(s)
+		if !ok {
+			return -1, 0, i + 1 // should not happen: caller checked connectivity
+		}
+		if cfg.MinSourceE > 0 && ecc < cfg.MinSourceE {
+			continue
+		}
+		if cfg.MaxSourceE > 0 && ecc > cfg.MaxSourceE {
+			continue
+		}
+		return s, ecc, i + 1
+	}
+	return -1, 0, len(perm)
+}
+
+// PaperDensities returns the node counts the paper sweeps (50..300 step 50)
+// producing densities 0.02 .. 0.12 nodes per sq ft.
+func PaperDensities() []int { return []int{50, 100, 150, 200, 250, 300} }
+
+// GenerateBatch produces `trials` deployments for the same configuration
+// with seeds derived from masterSeed. Errors on individual instances are
+// returned eagerly: a failed instance means the configuration cannot
+// support the experiment, which the caller must know about.
+func GenerateBatch(cfg Config, masterSeed uint64, trials int) ([]*Deployment, error) {
+	state := masterSeed
+	out := make([]*Deployment, 0, trials)
+	for i := 0; i < trials; i++ {
+		seed := rng.SplitMix64(&state)
+		d, err := Generate(cfg, seed)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

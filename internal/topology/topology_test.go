@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mlbs/internal/rng"
+)
+
+func TestPaperConfig(t *testing.T) {
+	c := PaperConfig(250)
+	if c.N != 250 || c.AreaSide != 50 || c.Radius != 10 {
+		t.Fatalf("PaperConfig = %+v", c)
+	}
+	if d := c.Density(); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("Density = %f, want 0.1", d)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{N: 0, AreaSide: 50, Radius: 10},
+		{N: 10, AreaSide: 0, Radius: 10},
+		{N: 10, AreaSide: 50, Radius: 0},
+		{N: 10, AreaSide: 50, Radius: 10, MinSourceE: 5, MaxSourceE: 3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d (%+v) validated but should not", i, c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := PaperConfig(100)
+	a, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source || a.SourceEcc != b.SourceEcc || a.G.M() != b.G.M() {
+		t.Fatal("same seed produced different deployments")
+	}
+	for i := 0; i < a.G.N(); i++ {
+		if a.G.Pos(i) != b.G.Pos(i) {
+			t.Fatalf("node %d position differs between equal-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateMeetsConstraints(t *testing.T) {
+	for _, n := range []int{50, 150, 300} {
+		cfg := PaperConfig(n)
+		d, err := Generate(cfg, uint64(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !d.G.Connected() {
+			t.Fatalf("n=%d: disconnected deployment accepted", n)
+		}
+		if d.SourceEcc < 5 || d.SourceEcc > 8 {
+			t.Fatalf("n=%d: source eccentricity %d outside 5..8", n, d.SourceEcc)
+		}
+		ecc, _ := d.G.Eccentricity(d.Source)
+		if ecc != d.SourceEcc {
+			t.Fatalf("n=%d: recorded eccentricity %d, recomputed %d", n, d.SourceEcc, ecc)
+		}
+		for i := 0; i < d.G.N(); i++ {
+			p := d.G.Pos(i)
+			if p.X < 0 || p.X >= 50 || p.Y < 0 || p.Y >= 50 {
+				t.Fatalf("n=%d: node %d at %v outside the 50×50 area", n, i, p)
+			}
+		}
+	}
+}
+
+func TestGenerateExhausts(t *testing.T) {
+	// 2 nodes in a huge area are almost never connected; with 3 retries the
+	// generator must give up with ErrExhausted.
+	cfg := Config{N: 2, AreaSide: 10000, Radius: 1, MaxRetries: 3}
+	_, err := Generate(cfg, 7)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestUniformPositionsCoverage(t *testing.T) {
+	cfg := PaperConfig(2000)
+	r := rng.New(5)
+	pos := UniformPositions(cfg, r)
+	// Quadrant counts of the area should be roughly balanced.
+	var q [4]int
+	for _, p := range pos {
+		idx := 0
+		if p.X >= 25 {
+			idx |= 1
+		}
+		if p.Y >= 25 {
+			idx |= 2
+		}
+		q[idx]++
+	}
+	for i, c := range q {
+		if c < 400 || c > 600 {
+			t.Fatalf("area quadrant %d has %d of 2000 nodes; distribution not uniform", i, c)
+		}
+	}
+}
+
+func TestPaperDensities(t *testing.T) {
+	ns := PaperDensities()
+	if len(ns) != 6 || ns[0] != 50 || ns[5] != 300 {
+		t.Fatalf("PaperDensities = %v", ns)
+	}
+	lo := PaperConfig(ns[0]).Density()
+	hi := PaperConfig(ns[5]).Density()
+	if math.Abs(lo-0.02) > 1e-12 || math.Abs(hi-0.12) > 1e-12 {
+		t.Fatalf("density range = %f..%f, want 0.02..0.12", lo, hi)
+	}
+}
+
+func TestGenerateBatch(t *testing.T) {
+	cfg := PaperConfig(80)
+	batch, err := GenerateBatch(cfg, 99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 5 {
+		t.Fatalf("batch size = %d, want 5", len(batch))
+	}
+	seeds := map[uint64]bool{}
+	for _, d := range batch {
+		if seeds[d.Seed] {
+			t.Fatal("duplicate seed within batch")
+		}
+		seeds[d.Seed] = true
+	}
+	// Reproducibility of the whole batch.
+	again, err := GenerateBatch(cfg, 99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if batch[i].Seed != again[i].Seed || batch[i].Source != again[i].Source {
+			t.Fatalf("batch not reproducible at trial %d", i)
+		}
+	}
+}
+
+func TestDensityIncreasesDegree(t *testing.T) {
+	sparse, err := Generate(PaperConfig(50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Generate(PaperConfig(300), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.G.AvgDegree() <= sparse.G.AvgDegree() {
+		t.Fatalf("avg degree did not grow with density: %f vs %f",
+			sparse.G.AvgDegree(), dense.G.AvgDegree())
+	}
+}
+
+func BenchmarkGenerate300(b *testing.B) {
+	cfg := PaperConfig(300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package trace reconstructs the paper's schedule-derivation tables
+// (Tables II, III, IV): for every state along the optimal G-OPT path it
+// lists the greedy colors, the time counter M of firing each of them, the
+// selected color, and the resulting broadcasting advance. The mlb-trace
+// command renders these rows in the paper's format.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/color"
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+)
+
+// ColorEval is one column of a row: a candidate color and the value
+// M(W + C, t+1) of committing to it.
+type ColorEval struct {
+	Class []graph.NodeID
+	M     int
+	Exact bool
+}
+
+// Row is one line of the decision table.
+type Row struct {
+	W        []graph.NodeID // coverage when the decision is made
+	T        int            // slot of the decision
+	Idle     bool           // no candidate awake at T (Table IV's "N/A" rows)
+	Colors   []ColorEval
+	Selected int // index into Colors of the fired class (-1 when idle)
+	Advance  []graph.NodeID
+}
+
+// Namer maps a node ID to its display label (e.g. the paper's "s", "0"…).
+type Namer func(graph.NodeID) string
+
+// DefaultNamer prints the numeric node ID.
+func DefaultNamer(u graph.NodeID) string { return fmt.Sprintf("%d", u) }
+
+// GOPT derives the decision table of the optimal greedy-color schedule for
+// the instance. budget ≤ 0 uses the search default. The table follows the
+// optimal path: at every state each color's M is evaluated exactly and the
+// minimizing color fires (ties to the earlier greedy color, matching the
+// paper's tables).
+func GOPT(in core.Instance, budget int) ([]Row, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	w := bitset.New(n)
+	w.Add(in.Source)
+	for _, u := range in.PreCovered {
+		w.Add(u)
+	}
+	var rows []Row
+	t := in.Start
+	for w.Len() < n {
+		cands := color.AwakeCandidates(in.G, w, in.Wake, t)
+		if len(cands) == 0 {
+			rows = append(rows, Row{W: w.Members(), T: t, Idle: true, Selected: -1})
+			t = nextUseful(in, w, t)
+			continue
+		}
+		classes := color.GreedyPartition(in.G, w, cands)
+		row := Row{W: w.Members(), T: t, Selected: -1}
+		bestM, bestIdx := 0, -1
+		for ci, cls := range classes {
+			w2 := bitset.Union(w, cls.Covered(in.G, w))
+			var m int
+			exact := true
+			if w2.Len() == n {
+				m = t
+			} else {
+				sub := in
+				sub.Start = t + 1
+				sub.PreCovered = preCoveredOf(w2, in.Source)
+				res, err := core.NewGOPT(budget).Schedule(sub)
+				if err != nil {
+					return nil, fmt.Errorf("trace: evaluating color %d at t=%d: %w", ci+1, t, err)
+				}
+				m, exact = res.PA, res.Exact
+			}
+			row.Colors = append(row.Colors, ColorEval{Class: cls, M: m, Exact: exact})
+			if bestIdx < 0 || m < bestM {
+				bestM, bestIdx = m, ci
+			}
+		}
+		row.Selected = bestIdx
+		adv := classes[bestIdx].Covered(in.G, w)
+		row.Advance = adv.Members()
+		rows = append(rows, row)
+		w.UnionWith(adv)
+		t++
+	}
+	return rows, nil
+}
+
+// Tree derives the paper's *full* decision table: Tables III and IV list
+// not only the optimal path but every state reachable by committing to any
+// greedy color — the whole evaluation tree of the time counter M, breadth-
+// first, with duplicate states merged (the paper prints M({s,0−9},4) once
+// even though two branches reach it). Terminal commitments (full coverage)
+// appear as M values in their parent's row, matching the tables' "M(N,·)"
+// cells. maxRows caps the expansion; budget ≤ 0 uses the search default.
+func Tree(in core.Instance, budget, maxRows int) ([]Row, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if maxRows <= 0 {
+		maxRows = 256
+	}
+	n := in.G.N()
+	type state struct {
+		w bitset.Set
+		t int
+	}
+	w0 := bitset.New(n)
+	w0.Add(in.Source)
+	for _, u := range in.PreCovered {
+		w0.Add(u)
+	}
+	queue := []state{{w: w0, t: in.Start}}
+	seen := map[string]bool{stateKey(w0, in.Start): true}
+	var rows []Row
+	for len(queue) > 0 && len(rows) < maxRows {
+		st := queue[0]
+		queue = queue[1:]
+		cands := color.AwakeCandidates(in.G, st.w, in.Wake, st.t)
+		if len(cands) == 0 {
+			rows = append(rows, Row{W: st.w.Members(), T: st.t, Idle: true, Selected: -1})
+			t2 := nextUseful(in, st.w, st.t)
+			if key := stateKey(st.w, t2); !seen[key] {
+				seen[key] = true
+				queue = append(queue, state{w: st.w, t: t2})
+			}
+			continue
+		}
+		classes := color.GreedyPartition(in.G, st.w, cands)
+		row := Row{W: st.w.Members(), T: st.t, Selected: -1}
+		bestM, bestIdx := 0, -1
+		for ci, cls := range classes {
+			w2 := bitset.Union(st.w, cls.Covered(in.G, st.w))
+			m, exact, err := evalM(in, w2, st.t, budget)
+			if err != nil {
+				return nil, err
+			}
+			row.Colors = append(row.Colors, ColorEval{Class: cls, M: m, Exact: exact})
+			if bestIdx < 0 || m < bestM {
+				bestM, bestIdx = m, ci
+			}
+			if w2.Len() == n {
+				continue // terminal: shown as M in this row, no child row
+			}
+			if key := stateKey(w2, st.t+1); !seen[key] {
+				seen[key] = true
+				queue = append(queue, state{w: w2, t: st.t + 1})
+			}
+		}
+		row.Selected = bestIdx
+		row.Advance = classes[bestIdx].Covered(in.G, st.w).Members()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// evalM returns M(w2, ·) — the end slot of the optimal greedy-color
+// continuation after coverage reached w2 at slot t.
+func evalM(in core.Instance, w2 bitset.Set, t, budget int) (int, bool, error) {
+	if w2.Len() == in.G.N() {
+		return t, true, nil
+	}
+	sub := in
+	sub.Start = t + 1
+	sub.PreCovered = preCoveredOf(w2, in.Source)
+	res, err := core.NewGOPT(budget).Schedule(sub)
+	if err != nil {
+		return 0, false, fmt.Errorf("trace: evaluating M at t=%d: %w", t, err)
+	}
+	return res.PA, res.Exact, nil
+}
+
+func stateKey(w bitset.Set, t int) string {
+	return fmt.Sprintf("%s@%d", w.Key(), t)
+}
+
+// nextUseful returns the first slot after t at which some candidate wakes.
+func nextUseful(in core.Instance, w bitset.Set, t int) int {
+	best := -1
+	for _, u := range color.Candidates(in.G, w) {
+		nw := in.Wake.NextAwake(u, t+1)
+		if best < 0 || nw < best {
+			best = nw
+		}
+	}
+	if best < 0 {
+		return t + 1
+	}
+	return best
+}
+
+func preCoveredOf(w bitset.Set, source graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	w.ForEach(func(u int) {
+		if u != source {
+			out = append(out, u)
+		}
+	})
+	return out
+}
+
+// FormatSet renders a node set as "{s, 0, 1}" under the namer.
+func FormatSet(nodes []graph.NodeID, name Namer) string {
+	labels := make([]string, len(nodes))
+	for i, u := range nodes {
+		labels[i] = name(u)
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+// Render prints the rows in the paper's table layout.
+func Render(rows []Row, name Namer) string {
+	if name == nil {
+		name = DefaultNamer
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-22s %-26s %-10s %s\n",
+		"Task M(W,t)", "colors C1..Cλ", "M in consideration", "selected", "A(W,t)")
+	for _, row := range rows {
+		task := fmt.Sprintf("M(%s, %d)", FormatSet(row.W, name), row.T)
+		if row.Idle {
+			fmt.Fprintf(&b, "%-28s %-22s %-26s %-10s %s\n", task, "N/A", "", "N/A", "{}")
+			continue
+		}
+		for ci, ce := range row.Colors {
+			colName := fmt.Sprintf("C%d: %s", ci+1, FormatSet(ce.Class, name))
+			mval := fmt.Sprintf("M=%d", ce.M)
+			if !ce.Exact {
+				mval += " (bound)"
+			}
+			sel, adv := "", ""
+			if ci == row.Selected {
+				sel = fmt.Sprintf("C%d", ci+1)
+				adv = FormatSet(row.Advance, name)
+			}
+			lead := ""
+			if ci == 0 {
+				lead = task
+			}
+			fmt.Fprintf(&b, "%-28s %-22s %-26s %-10s %s\n", lead, colName, mval, sel, adv)
+		}
+	}
+	return b.String()
+}
+
+// PA returns the end slot implied by the trace (the T of the last firing
+// row), matching Schedule.PA of the traced schedule.
+func PA(rows []Row) int {
+	end := 0
+	for _, r := range rows {
+		if !r.Idle {
+			end = r.T
+		}
+	}
+	return end
+}
+
+// Sort guarantees deterministic member order inside every row (defensive;
+// builders already emit sorted sets).
+func Sort(rows []Row) {
+	for i := range rows {
+		sort.Ints(rows[i].W)
+		sort.Ints(rows[i].Advance)
+	}
+}

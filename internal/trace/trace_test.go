@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+	"mlbs/internal/paperfig"
+)
+
+// fig2Namer labels Figure 2 nodes 1..5 as the paper does.
+func fig2Namer(u graph.NodeID) string {
+	return string(rune('1' + u))
+}
+
+// fig1Namer labels Figure 1 nodes s, 0..10.
+func fig1Namer(u graph.NodeID) string {
+	if u == paperfig.Fig1S {
+		return "s"
+	}
+	return DefaultNamer(u - 1)
+}
+
+// Table II: two decision rows; row 1 fires {1}, row 2 evaluates colors
+// {2} (M=2, selected) and {3} (M=3).
+func TestTableIITrace(t *testing.T) {
+	g, src := paperfig.Figure2()
+	rows, err := GOPT(core.Sync(g, src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	r0 := rows[0]
+	if r0.T != 1 || len(r0.Colors) != 1 || r0.Selected != 0 {
+		t.Fatalf("row 0 = %+v", r0)
+	}
+	r1 := rows[1]
+	if len(r1.Colors) != 2 {
+		t.Fatalf("row 1 colors = %+v", r1.Colors)
+	}
+	if r1.Colors[0].M != 2 || !r1.Colors[0].Exact {
+		t.Fatalf("C1 M = %+v, want exact 2", r1.Colors[0])
+	}
+	if r1.Colors[1].M != 3 {
+		t.Fatalf("C2 M = %d, want 3", r1.Colors[1].M)
+	}
+	if r1.Selected != 0 {
+		t.Fatalf("selected = %d, want C1", r1.Selected)
+	}
+	if PA(rows) != 2 {
+		t.Fatalf("PA = %d, want 2", PA(rows))
+	}
+}
+
+// Table III's first decision at W={s,0,1,2}: M of colors {0}, {1}, {2} are
+// 4, 3, 4; the magenta color {1} is selected.
+func TestTableIIITraceFirstDecision(t *testing.T) {
+	g, src := paperfig.Figure1()
+	rows, err := GOPT(core.Sync(g, src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (P(A)=3)", len(rows))
+	}
+	r := rows[1]
+	if len(r.Colors) != 3 {
+		t.Fatalf("colors = %+v", r.Colors)
+	}
+	wantM := []int{4, 3, 4}
+	for i, ce := range r.Colors {
+		if ce.M != wantM[i] || !ce.Exact {
+			t.Fatalf("color %d M = %d (exact=%v), want %d", i+1, ce.M, ce.Exact, wantM[i])
+		}
+	}
+	if r.Selected != 1 {
+		t.Fatalf("selected = C%d, want C2 = {1}", r.Selected+1)
+	}
+	if PA(rows) != 3 {
+		t.Fatalf("PA = %d", PA(rows))
+	}
+}
+
+// Table IV: the duty-cycle trace contains the idle slot 3 between the two
+// firings, and the slot-4 decision shows M=4 for {2} vs M=13 for {3}.
+func TestTableIVTrace(t *testing.T) {
+	g, src := paperfig.Figure2()
+	in := core.Instance{G: g, Source: src, Start: 2, Wake: paperfig.TableIVWake()}
+	rows, err := GOPT(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (fire@2, idle@3, fire@4)", len(rows))
+	}
+	if !rows[1].Idle || rows[1].T != 3 {
+		t.Fatalf("row 1 = %+v, want idle at t=3", rows[1])
+	}
+	r := rows[2]
+	if r.T != 4 || len(r.Colors) != 2 {
+		t.Fatalf("slot-4 row = %+v", r)
+	}
+	if r.Colors[0].M != 4 || r.Colors[1].M != 13 {
+		t.Fatalf("slot-4 Ms = %d,%d want 4,13", r.Colors[0].M, r.Colors[1].M)
+	}
+	if r.Selected != 0 {
+		t.Fatalf("selected = C%d, want C1 = {2}", r.Selected+1)
+	}
+	if PA(rows) != 4 {
+		t.Fatalf("PA = %d, want 4", PA(rows))
+	}
+}
+
+func TestRenderContainsPaperShapes(t *testing.T) {
+	g, src := paperfig.Figure2()
+	rows, err := GOPT(core.Sync(g, src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(rows, fig2Namer)
+	for _, want := range []string{"M({1}, 1)", "C1: {2}", "C2: {3}", "M=2", "M=3", "{4,5}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderIdleRow(t *testing.T) {
+	g, src := paperfig.Figure2()
+	in := core.Instance{G: g, Source: src, Start: 2, Wake: paperfig.TableIVWake()}
+	rows, err := GOPT(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(rows, fig2Namer)
+	if !strings.Contains(out, "N/A") {
+		t.Fatalf("render missing the idle N/A row:\n%s", out)
+	}
+}
+
+func TestRenderFigure1Namer(t *testing.T) {
+	g, src := paperfig.Figure1()
+	rows, err := GOPT(core.Sync(g, src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Sort(rows)
+	out := Render(rows, fig1Namer)
+	if !strings.Contains(out, "M({s}, 1)") {
+		t.Fatalf("render missing source row:\n%s", out)
+	}
+	if !strings.Contains(out, "{3,4,10}") {
+		t.Fatalf("render missing the magenta advance:\n%s", out)
+	}
+}
+
+func TestTraceMatchesScheduler(t *testing.T) {
+	// The trace's selected path must equal the scheduler's P(A).
+	g, src := paperfig.Figure1()
+	in := core.Sync(g, src)
+	rows, err := GOPT(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewGOPT(0).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PA(rows) != res.PA {
+		t.Fatalf("trace PA %d != scheduler PA %d", PA(rows), res.PA)
+	}
+}
+
+// Table III's full row set: the decision tree of Figure 1(c) contains
+// exactly the task states the paper prints (with the two documented 3–8
+// erratum substitutions). Paper node k is our k+1; s is 0.
+func TestTableIIIFullTree(t *testing.T) {
+	g, src := paperfig.Figure1()
+	rows, err := Tree(core.Sync(g, src), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, r := range rows {
+		got[FormatSet(r.W, fig1Namer)] = true
+	}
+	// The paper's task column, translated to coverage sets. The two rows
+	// marked (*) differ from the printed table only through the 3–8 edge
+	// erratum documented in internal/paperfig.
+	want := []string{
+		"{s}",                      // M({s},1)
+		"{s,0,1,2}",                // M({s,0−2},2)
+		"{s,0,1,2,3,5,6,7}",        // M({s,0−3,5−7},3)
+		"{s,0,1,2,3,4,5,6,7,8,9}",  // M({s,0−9},4)
+		"{s,0,1,2,3,4,5,6,7,9,10}", // M({s,0−7,9−10},4)
+		"{s,0,1,2,3,4,10}",         // M({s,0−4,10},3)
+		"{s,0,1,2,3,4,6,8,9,10}",   // (*) M({s,0−4,6,9−10},·) with 8 covered too
+		"{s,0,1,2,3,4,8,10}",       // M({s,0−4,8,10},·)
+		"{s,0,1,2,3}",              // M({s,0−3},·)
+		"{s,0,1,2,3,4,6,8,9}",      // M({s,0−4,6,8−9},·)
+		"{s,0,1,2,3,4,5,6,7,10}",   // M({s,0−7,10},·)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("paper task state %s missing from the tree; have %v", w, keys(got))
+		}
+	}
+	// Spot-check the root M values within the tree rows.
+	for _, r := range rows {
+		if FormatSet(r.W, fig1Namer) == "{s,0,1,2}" {
+			if len(r.Colors) != 3 || r.Colors[1].M != 3 || r.Selected != 1 {
+				t.Fatalf("row {s,0,1,2}: %+v", r)
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestTreeMaxRows(t *testing.T) {
+	g, src := paperfig.Figure1()
+	rows, err := Tree(core.Sync(g, src), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want cap 3", len(rows))
+	}
+}
+
+func TestTreeAsyncHasIdleRows(t *testing.T) {
+	g, src := paperfig.Figure2()
+	in := core.Instance{G: g, Source: src, Start: 2, Wake: paperfig.TableIVWake()}
+	rows, err := Tree(in, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := false
+	for _, r := range rows {
+		if r.Idle {
+			idle = true
+		}
+	}
+	if !idle {
+		t.Fatal("async tree missing the Table IV idle row")
+	}
+}

@@ -1,0 +1,337 @@
+// Package mlbs is a library for minimum-latency broadcast scheduling with
+// conflict awareness in wireless sensor networks, reproducing Jiang, Wu,
+// Guo, Wu, Kline, Wang — "Minimum Latency Broadcasting with Conflict
+// Awareness in Wireless Sensor Networks", ICPP 2012.
+//
+// The package schedules a broadcast from a source node over a unit-disk
+// graph so that no two concurrent relays share an uncovered neighbor (the
+// interference model of the paper's Section III), minimizing the slot at
+// which the last node receives the message. It covers both the round-based
+// synchronous system and the asynchronous duty-cycle system, in which each
+// node's sending channel is only on at pseudo-random wake slots.
+//
+// Three schedulers implement the paper's Algorithm 3:
+//
+//   - OPT — the exact minimum over all maximal conflict-free relay sets,
+//     found by memoized branch-and-bound on the time counter M (Eq. 5/6);
+//   - GOPT — the same search restricted to the greedy color classes of
+//     Algorithm 1 (Eq. 7/8);
+//   - EModel — the practical O(1)-overhead policy driven by the quadrant
+//     estimates E₁..E₄ of Algorithm 2 (Eq. 9/10/11).
+//
+// Baseline26 and Baseline17 provide the BFS-layer-synchronized
+// state-of-the-art baselines the paper compares against, and Localized is
+// the distributed 2-hop scheme sketched as future work in Section VII.
+//
+// A minimal synchronous run:
+//
+//	dep, _ := mlbs.PaperDeployment(150, 42)
+//	in := mlbs.SyncInstance(dep.G, dep.Source)
+//	res, _ := mlbs.GOPT().Schedule(in)
+//	fmt.Println(res.PA, res.Exact)
+//
+// See the examples directory for duty-cycle and experiment-harness usage.
+package mlbs
+
+import (
+	"mlbs/internal/baseline"
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/emodel"
+	"mlbs/internal/experiments"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/graphio"
+	"mlbs/internal/localized"
+	"mlbs/internal/mote"
+	"mlbs/internal/paperfig"
+	"mlbs/internal/sim"
+	"mlbs/internal/stats"
+	"mlbs/internal/topology"
+	"mlbs/internal/trace"
+)
+
+// Core model types.
+type (
+	// Point is a node location in feet.
+	Point = geom.Point
+	// Graph is an immutable WSN topology (unit-disk or explicit).
+	Graph = graph.Graph
+	// NodeID identifies a node; IDs are dense in [0, N).
+	NodeID = graph.NodeID
+	// Instance is one broadcast problem: graph, source, start slot, wake
+	// schedule.
+	Instance = core.Instance
+	// Advance is one broadcasting advance: a conflict-free relay set and
+	// the nodes it covers.
+	Advance = core.Advance
+	// Schedule is a complete broadcast schedule; PA() is the paper's P(A).
+	Schedule = core.Schedule
+	// Result is a scheduler's outcome, including the optimality flag.
+	Result = core.Result
+	// Scheduler is the common interface of all scheduling algorithms.
+	Scheduler = core.Scheduler
+	// SearchStats reports branch-and-bound effort.
+	SearchStats = core.SearchStats
+	// WakeSchedule describes when each node's sending channel is on.
+	WakeSchedule = dutycycle.Schedule
+	// Deployment is a generated topology with its source.
+	Deployment = topology.Deployment
+	// TopologyConfig parameterizes deployment generation.
+	TopologyConfig = topology.Config
+	// Report is the physical outcome of executing a schedule.
+	Report = sim.Report
+	// Radio models mote timing and energy (Mica2 by default).
+	Radio = mote.Radio
+	// RadioUsage tallies transmissions, receptions, collisions and idling.
+	RadioUsage = mote.Usage
+	// ETable holds the per-node quadrant estimates E₁..E₄.
+	ETable = emodel.Table
+	// Figure is a regenerated paper figure.
+	Figure = experiments.Figure
+	// ExperimentConfig tunes a figure sweep.
+	ExperimentConfig = experiments.Config
+	// ExperimentSummary quantifies the Section V-C claims.
+	ExperimentSummary = experiments.Summary
+	// TraceRow is one line of a Table II/III/IV-style decision table.
+	TraceRow = trace.Row
+	// Sample accumulates mean/CI statistics.
+	Sample = stats.Sample
+	// LossFunc decides per-link frame loss for lossy-channel executions.
+	LossFunc = sim.LossFunc
+	// LossyReport extends Report with the dropped-frame count.
+	LossyReport = sim.LossyReport
+	// Ablation is a named-variant comparison (DESIGN.md §7).
+	Ablation = experiments.Ablation
+)
+
+// NewUDG builds the unit-disk graph over the given positions: nodes are
+// adjacent exactly when within the communication radius.
+func NewUDG(pos []Point, radius float64) *Graph { return graph.FromUDG(pos, radius) }
+
+// GenerateDeployment draws a connected deployment with a valid source from
+// the configuration, rejecting placements until both hold.
+func GenerateDeployment(cfg TopologyConfig, seed uint64) (*Deployment, error) {
+	return topology.Generate(cfg, seed)
+}
+
+// PaperDeployment draws a deployment with the paper's Section V-A setting:
+// n nodes, 50×50 sq ft, radius 10 ft, source eccentricity 5–8 hops.
+func PaperDeployment(n int, seed uint64) (*Deployment, error) {
+	return topology.Generate(topology.PaperConfig(n), seed)
+}
+
+// PaperTopologyConfig returns the Section V-A generation parameters for n
+// nodes, for callers who want to adjust them.
+func PaperTopologyConfig(n int) TopologyConfig { return topology.PaperConfig(n) }
+
+// SyncInstance wraps a graph and source into a round-based instance
+// starting at t_s = 1 (the paper's convention).
+func SyncInstance(g *Graph, source NodeID) Instance { return core.Sync(g, source) }
+
+// AsyncInstance wraps a graph, source and wake schedule into a duty-cycle
+// instance starting at the source's first wake slot at or after `from`.
+func AsyncInstance(g *Graph, source NodeID, wake WakeSchedule, from int) Instance {
+	return core.Async(g, source, wake, from)
+}
+
+// UniformWake builds the paper's duty-cycle schedule: every node wakes once
+// per cycle of r slots at an independent uniform pseudo-random offset.
+func UniformWake(n, r int, seed uint64) WakeSchedule {
+	return dutycycle.NewUniform(n, r, seed, 0)
+}
+
+// AlwaysAwakeWake returns the degenerate synchronous schedule (r = 1).
+func AlwaysAwakeWake(n int) WakeSchedule { return dutycycle.AlwaysAwake{Nodes: n} }
+
+// FixedWake builds an explicit periodic wake schedule; slots[u] lists node
+// u's wake slots within [0, period).
+func FixedWake(period, rate int, slots [][]int) WakeSchedule {
+	return dutycycle.NewFixed(period, rate, slots)
+}
+
+// StaggeredWake builds the constant-phase duty cycle: each node wakes every
+// r slots at a fixed pseudo-random offset (contrast UniformWake, which
+// redraws the offset per cycle).
+func StaggeredWake(n, r int, seed uint64) WakeSchedule {
+	return dutycycle.NewStaggered(n, r, seed)
+}
+
+// CWT returns the cycle waiting time t(u,v) of Table I: with u
+// transmitting at slot t, the wait until v's next wake slot after t.
+func CWT(s WakeSchedule, u, v, t int) int { return dutycycle.CWT(s, u, v, t) }
+
+// OPT returns the exact scheduler over all maximal conflict-free relay
+// sets (Eq. 5/6), with default search budget.
+func OPT() Scheduler { return core.NewOPT(0, 0) }
+
+// OPTBudget returns OPT with an explicit search budget and per-state move
+// cap (≤ 0 selects defaults). Results report Exact=false when truncated.
+func OPTBudget(budget, maxSets int) Scheduler { return core.NewOPT(budget, maxSets) }
+
+// GOPT returns the exact scheduler over greedy color classes (Eq. 7/8).
+func GOPT() Scheduler { return core.NewGOPT(0) }
+
+// GOPTBudget returns G-OPT with an explicit search budget.
+func GOPTBudget(budget int) Scheduler { return core.NewGOPT(budget) }
+
+// EModel returns the paper's practical scheduler: greedy colors selected
+// by the largest quadrant estimate (Algorithm 2 + Eq. 10).
+func EModel() Scheduler { return core.NewEModel(emodel.TwoPass) }
+
+// EModelOnePass returns the ablation variant that seeds every
+// empty-quadrant node immediately instead of edge-first.
+func EModelOnePass() Scheduler { return core.NewEModel(emodel.OnePass) }
+
+// EnergyAware returns the Section VII "energy saving" extension: Eq. 10's
+// selection with ties broken toward fewer transmitters.
+func EnergyAware() Scheduler { return core.NewEnergyAware() }
+
+// MaxCoverage returns the ablation policy that always fires the color with
+// the most uncovered receivers.
+func MaxCoverage() Scheduler {
+	return core.NewPolicy("max-coverage", core.MaxCoverageRule{})
+}
+
+// FirstColor returns the ablation policy that always fires greedy color 1.
+func FirstColor() Scheduler {
+	return core.NewPolicy("first-color", core.FirstColorRule{})
+}
+
+// Baseline26 returns the round-based BFS-layer baseline of Chen et al.
+// (the paper's 26-approximation comparison point).
+func Baseline26() Scheduler { return baseline.New26() }
+
+// Baseline17 returns the duty-cycle BFS-layer baseline of Jiao et al.
+// (the paper's 17-approximation comparison point).
+func Baseline17() Scheduler { return baseline.New17() }
+
+// BuildETable constructs the E₁..E₄ quadrant estimates for an instance —
+// hop counts in the synchronous system, mean cycle waiting times in the
+// duty-cycle system (Algorithm 2, Eq. 9/11).
+func BuildETable(in Instance) *ETable {
+	if in.Wake != nil && in.Wake.Rate() > 1 {
+		return emodel.BuildAsync(in.G, in.Wake)
+	}
+	return emodel.BuildSync(in.G)
+}
+
+// Replay executes a schedule against the interference physics and reports
+// coverage, latency, collisions, and radio usage.
+func Replay(in Instance, s *Schedule) (*Report, error) { return sim.Replay(in, s) }
+
+// LocalizedRun executes the distributed 2-hop scheme of Section VII
+// (future work) online against the physics.
+func LocalizedRun(in Instance) (*Report, *Schedule, error) { return localized.Run(in) }
+
+// IIDLoss builds a deterministic channel that drops each frame
+// independently with the given probability.
+func IIDLoss(rate float64, seed uint64) LossFunc { return sim.IIDLoss(rate, seed) }
+
+// ReplayLossy executes an offline schedule over a lossy channel; lost
+// relays strand their subtrees, quantifying the fragility of offline plans.
+func ReplayLossy(in Instance, s *Schedule, loss LossFunc) (*LossyReport, error) {
+	return sim.ReplayLossy(in, s, loss)
+}
+
+// LocalizedRunLossy executes the localized scheme over a lossy channel;
+// it retransmits naturally and completes at a latency/energy premium.
+func LocalizedRunLossy(in Instance, loss LossFunc) (*LossyReport, *Schedule, error) {
+	return localized.RunLossy(in, loss)
+}
+
+// AblationSelection compares color-selection rules (DESIGN.md §7).
+func AblationSelection(cfg ExperimentConfig) (*Ablation, error) {
+	return experiments.AblationSelection(cfg)
+}
+
+// AblationBudget sweeps the G-OPT search budget.
+func AblationBudget(cfg ExperimentConfig, budgets []int) (*Ablation, error) {
+	return experiments.AblationBudget(cfg, budgets)
+}
+
+// AblationRobustness compares the offline plan and the localized scheme
+// over lossy channels.
+func AblationRobustness(cfg ExperimentConfig, rates []float64) (*Ablation, error) {
+	return experiments.AblationRobustness(cfg, rates)
+}
+
+// AblationWakeFamily compares uniform-per-cycle and staggered wake
+// schedules at the same duty-cycle rate.
+func AblationWakeFamily(cfg ExperimentConfig) (*Ablation, error) {
+	return experiments.AblationWakeFamily(cfg)
+}
+
+// Mica2 returns the Mica2/CC1000 radio profile used to convert slots into
+// wall-clock time and radio usage into energy.
+func Mica2() Radio { return mote.Mica2() }
+
+// SyncLatencyBound returns Theorem 1's synchronous bound d+2.
+func SyncLatencyBound(d int) int { return core.SyncLatencyBound(d) }
+
+// AsyncLatencyBound returns Theorem 1's duty-cycle bound 2r(d+2).
+func AsyncLatencyBound(r, d int) int { return core.AsyncLatencyBound(r, d) }
+
+// Figure3 regenerates the paper's Figure 3 (synchronous P(A) vs density).
+func Figure3(cfg ExperimentConfig) (*Figure, error) { return experiments.Figure3(cfg) }
+
+// Figure4 regenerates Figure 4 (duty cycle, r = 10).
+func Figure4(cfg ExperimentConfig) (*Figure, error) { return experiments.Figure4(cfg) }
+
+// Figure5 regenerates Figure 5 (analytical bounds, r = 10).
+func Figure5(cfg ExperimentConfig) (*Figure, error) { return experiments.Figure5(cfg) }
+
+// Figure6 regenerates Figure 6 (light duty cycle, r = 50).
+func Figure6(cfg ExperimentConfig) (*Figure, error) { return experiments.Figure6(cfg) }
+
+// Figure7 regenerates Figure 7 (analytical bounds, r = 50).
+func Figure7(cfg ExperimentConfig) (*Figure, error) { return experiments.Figure7(cfg) }
+
+// FigureByID regenerates figure 3–7 by paper number.
+func FigureByID(id int, cfg ExperimentConfig) (*Figure, error) {
+	return experiments.ByID(id, cfg)
+}
+
+// Summarize derives the Section V-C claims from regenerated figures.
+func Summarize(figs ...*Figure) *ExperimentSummary { return experiments.Summarize(figs...) }
+
+// TraceGOPT derives a Table II/III/IV-style decision table: every state on
+// the optimal greedy-color path with each color's M value.
+func TraceGOPT(in Instance, budget int) ([]TraceRow, error) { return trace.GOPT(in, budget) }
+
+// TraceTree derives the paper's full decision table: every state reachable
+// by committing to any greedy color, breadth-first with duplicates merged
+// (Tables III and IV print this whole tree). maxRows ≤ 0 defaults to 256.
+func TraceTree(in Instance, budget, maxRows int) ([]TraceRow, error) {
+	return trace.Tree(in, budget, maxRows)
+}
+
+// RenderTrace prints trace rows in the paper's table layout; name may be
+// nil for numeric labels.
+func RenderTrace(rows []TraceRow, name func(NodeID) string) string {
+	return trace.Render(rows, name)
+}
+
+// Figure1 returns the paper's Figure 1 example network and its source.
+func Figure1() (*Graph, NodeID) { return paperfig.Figure1() }
+
+// Figure2 returns the paper's Figure 2 example network and its source.
+func Figure2() (*Graph, NodeID) { return paperfig.Figure2() }
+
+// TableIVWake returns the explicit wake schedule of the paper's Table IV
+// duty-cycle example (use with Figure2 and start slot 2).
+func TableIVWake() WakeSchedule { return paperfig.TableIVWake() }
+
+// EncodeDeployment serializes a deployment to JSON for archival/sharing.
+func EncodeDeployment(d *Deployment) ([]byte, error) { return graphio.EncodeDeployment(d) }
+
+// DecodeDeployment rebuilds a deployment from EncodeDeployment output,
+// verifying connectivity and stored metadata.
+func DecodeDeployment(data []byte) (*Deployment, error) { return graphio.DecodeDeployment(data) }
+
+// EncodeSchedule serializes a schedule to JSON.
+func EncodeSchedule(s *Schedule) ([]byte, error) { return graphio.EncodeSchedule(s) }
+
+// DecodeSchedule rebuilds a schedule; Validate it against its instance
+// before trusting it.
+func DecodeSchedule(data []byte) (*Schedule, error) { return graphio.DecodeSchedule(data) }
