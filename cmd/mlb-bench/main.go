@@ -1,0 +1,158 @@
+// Command mlb-bench measures the schedulers on the paper topology and
+// emits one machine-readable JSON file per run, so the repository's
+// performance trajectory (ns/op, allocs/op, latency) is tracked from a
+// stable tool instead of hand-copied `go test -bench` output.
+//
+// Usage:
+//
+//	mlb-bench [-n 300] [-seed 1] [-r 10] [-iters 3] [-out BENCH_schedulers.json]
+//
+// The output is a JSON object with run metadata and one record per
+// (scheduler, system) pair. Commit the numbers, not the file: BENCH_*.json
+// is gitignored by convention and meant for dashboards/CI artifacts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mlbs"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	System      string  `json:"system"`
+	Scheduler   string  `json:"scheduler"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	LatencyPA   int     `json:"latency_slots"`
+	Exact       bool    `json:"exact"`
+}
+
+type report struct {
+	Tool      string   `json:"tool"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Timestamp string   `json:"timestamp"`
+	Nodes     int      `json:"nodes"`
+	Seed      uint64   `json:"seed"`
+	DutyRate  int      `json:"duty_rate"`
+	Records   []record `json:"records"`
+}
+
+func main() {
+	var (
+		n     = flag.Int("n", 300, "deployment size (paper topology)")
+		seed  = flag.Uint64("seed", 1, "deployment seed")
+		r     = flag.Int("r", 10, "duty-cycle rate for the async system")
+		iters = flag.Int("iters", 3, "fixed benchmark iterations per case")
+		out   = flag.String("out", "BENCH_schedulers.json", "output JSON path")
+	)
+	flag.Parse()
+
+	dep, err := mlbs.PaperDeployment(*n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	syncIn := mlbs.SyncInstance(dep.G, dep.Source)
+	dutyIn := mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(*n, *r, 9), 0)
+
+	type benchCase struct {
+		name   string
+		system string
+		in     mlbs.Instance
+		sched  mlbs.Scheduler
+	}
+	cases := []benchCase{
+		{"sync/e-model", "sync", syncIn, mlbs.EModel()},
+		{"sync/g-opt", "sync", syncIn, mlbs.GOPT()},
+		{"sync/opt", "sync", syncIn, mlbs.OPT()},
+		{"sync/26-approx", "sync", syncIn, mlbs.Baseline26()},
+		{fmt.Sprintf("duty-r%d/e-model", *r), "duty", dutyIn, mlbs.EModel()},
+		{fmt.Sprintf("duty-r%d/g-opt", *r), "duty", dutyIn, mlbs.GOPT()},
+		{fmt.Sprintf("duty-r%d/17-approx", *r), "duty", dutyIn, mlbs.Baseline17()},
+	}
+
+	rep := report{
+		Tool:      "mlb-bench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Nodes:     *n,
+		Seed:      *seed,
+		DutyRate:  *r,
+	}
+	for _, c := range cases {
+		// Warm-up run; also supplies the scientific outputs (latency, Exact).
+		res, err := c.sched.Schedule(c.in)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", c.name, err))
+		}
+		nsOp, allocsOp, bytesOp, err := measure(*iters, func() error {
+			_, err := c.sched.Schedule(c.in)
+			return err
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", c.name, err))
+		}
+		rep.Records = append(rep.Records, record{
+			Name:        c.name,
+			System:      c.system,
+			Scheduler:   res.Scheduler,
+			Iterations:  *iters,
+			NsPerOp:     nsOp,
+			AllocsPerOp: allocsOp,
+			BytesPerOp:  bytesOp,
+			LatencyPA:   res.Schedule.Latency(),
+			Exact:       res.Exact,
+		})
+		fmt.Printf("%-20s %12d ns/op %8d allocs/op %6d latency\n",
+			c.name, nsOp, allocsOp, res.Schedule.Latency())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d records)\n", *out, len(rep.Records))
+}
+
+// measure runs fn a fixed number of times and reports per-op wall time and
+// allocation counts (via runtime.MemStats deltas). Fixed iterations keep
+// the tool's runtime predictable for CI, unlike testing.Benchmark's
+// auto-scaling.
+func measure(iters int, fn func() error) (nsPerOp, allocsPerOp, bytesPerOp int64, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	k := int64(iters)
+	return elapsed.Nanoseconds() / k,
+		int64(m1.Mallocs-m0.Mallocs) / k,
+		int64(m1.TotalAlloc-m0.TotalAlloc) / k,
+		nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlb-bench:", err)
+	os.Exit(1)
+}

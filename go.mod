@@ -1,0 +1,3 @@
+module mlbs
+
+go 1.24

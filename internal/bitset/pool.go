@@ -1,0 +1,58 @@
+package bitset
+
+// Pool recycles Sets so hot paths (the scheduler's memo table and move
+// generation) stop allocating once warm. Sets are binned by word count —
+// a size-classed free list — so one pool can serve coverage sets, conflict
+// masks over candidate indices, and any other capacity that shows up.
+//
+// A Pool is not safe for concurrent use; engines own one each.
+type Pool struct {
+	free [][]Set // free[words] = returned sets backed by `words` uint64s
+	gets int
+	news int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a cleared set of capacity ≥ n bits (exactly the word count
+// New(n) would use), reusing a returned set when one is available.
+func (p *Pool) Get(n int) Set {
+	words := (n + wordBits - 1) / wordBits
+	p.gets++
+	if words < len(p.free) {
+		if list := p.free[words]; len(list) > 0 {
+			s := list[len(list)-1]
+			p.free[words] = list[:len(list)-1]
+			s.Clear()
+			return s
+		}
+	}
+	p.news++
+	return make(Set, words)
+}
+
+// GetCopy returns a pooled set holding a copy of src.
+func (p *Pool) GetCopy(src Set) Set {
+	s := p.Get(src.Capacity())
+	copy(s, src)
+	return s
+}
+
+// Put returns s to the pool. Putting a set twice, or using it after Put,
+// corrupts whoever holds the other reference; nil and zero-length sets are
+// ignored.
+func (p *Pool) Put(s Set) {
+	if len(s) == 0 {
+		return
+	}
+	words := len(s)
+	for len(p.free) <= words {
+		p.free = append(p.free, nil)
+	}
+	p.free[words] = append(p.free[words], s)
+}
+
+// Stats reports pool traffic: total Get calls and how many of them had to
+// allocate. A warm steady state shows news flat while gets grows.
+func (p *Pool) Stats() (gets, news int) { return p.gets, p.news }

@@ -1,0 +1,78 @@
+package bitset
+
+import "testing"
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool()
+	a := p.Get(100)
+	if a.Capacity() != New(100).Capacity() {
+		t.Fatalf("Get(100) capacity %d, want %d", a.Capacity(), New(100).Capacity())
+	}
+	a.Add(7)
+	p.Put(a)
+	b := p.Get(100)
+	if !b.Empty() {
+		t.Fatal("recycled set not cleared")
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("Get after Put did not reuse the returned set")
+	}
+	gets, news := p.Stats()
+	if gets != 2 || news != 1 {
+		t.Fatalf("stats = (%d gets, %d news), want (2, 1)", gets, news)
+	}
+}
+
+func TestPoolSizeClasses(t *testing.T) {
+	p := NewPool()
+	small := p.Get(64)  // 1 word
+	large := p.Get(640) // 10 words
+	p.Put(small)
+	p.Put(large)
+	if got := p.Get(640); len(got) != 10 {
+		t.Fatalf("Get(640) returned %d words, want 10", len(got))
+	}
+	if got := p.Get(64); len(got) != 1 {
+		t.Fatalf("Get(64) returned %d words, want 1", len(got))
+	}
+	if _, news := p.Stats(); news != 2 {
+		t.Fatalf("size classes did not recycle: %d fresh allocations, want 2", news)
+	}
+}
+
+func TestPoolGetCopy(t *testing.T) {
+	p := NewPool()
+	src := FromMembers(200, 3, 150)
+	c := p.GetCopy(src)
+	if !c.Equal(src) {
+		t.Fatal("GetCopy content mismatch")
+	}
+	c.Add(10)
+	if src.Has(10) {
+		t.Fatal("GetCopy aliases its source")
+	}
+}
+
+func TestPoolIgnoresEmpty(t *testing.T) {
+	p := NewPool()
+	p.Put(nil)
+	p.Put(Set{})
+	if got := p.Get(1); len(got) != 1 {
+		t.Fatalf("Get(1) after empty Puts returned %d words", len(got))
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	p := NewPool()
+	allocs := testing.AllocsPerRun(100, func() {
+		a := p.Get(300)
+		b := p.Get(300)
+		a.Add(5)
+		b.Add(6)
+		p.Put(a)
+		p.Put(b)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Get/Put cycle allocated %.1f objects, want 0", allocs)
+	}
+}

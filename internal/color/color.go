@@ -12,8 +12,6 @@
 package color
 
 import (
-	"sort"
-
 	"mlbs/internal/bitset"
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/graph"
@@ -23,13 +21,19 @@ import (
 // uncovered neighbor — the relays eligible to fire (constraints 1–2 of
 // Eq. 1).
 func Candidates(g *graph.Graph, w bitset.Set) []graph.NodeID {
-	var out []graph.NodeID
-	w.ForEach(func(u int) {
+	return AppendCandidates(nil, g, w)
+}
+
+// AppendCandidates appends the candidates of w to dst and returns it — the
+// buffer-reuse form of Candidates for callers that evaluate many coverage
+// states.
+func AppendCandidates(dst []graph.NodeID, g *graph.Graph, w bitset.Set) []graph.NodeID {
+	for u := w.NextAfter(0); u >= 0; u = w.NextAfter(u + 1) {
 		if g.Nbr(u).AnyDifference(w) {
-			out = append(out, u)
+			dst = append(dst, u)
 		}
-	})
-	return out
+	}
+	return dst
 }
 
 // AwakeCandidates returns the candidates whose sending channel is on at
@@ -74,12 +78,18 @@ type Class []graph.NodeID
 // Covered returns the union of uncovered receivers of all class members —
 // the broadcasting advance A this color would produce.
 func (c Class) Covered(g *graph.Graph, w bitset.Set) bitset.Set {
-	adv := bitset.New(w.Capacity())
+	return c.CoveredInto(g, w, bitset.New(w.Capacity()))
+}
+
+// CoveredInto computes Covered into dst (cleared first) and returns it —
+// the buffer-reuse form the scheduler's move generation runs on.
+func (c Class) CoveredInto(g *graph.Graph, w bitset.Set, dst bitset.Set) bitset.Set {
+	dst.Clear()
 	for _, u := range c {
-		adv.UnionWith(g.Nbr(u))
+		dst.UnionWith(g.Nbr(u))
 	}
-	adv.DifferenceWith(w)
-	return adv
+	dst.DifferenceWith(w)
+	return dst
 }
 
 // GreedyPartition runs Algorithm 1 on the given candidates: sort by
@@ -89,45 +99,8 @@ func (c Class) Covered(g *graph.Graph, w bitset.Set) bitset.Set {
 // already labeled with it. The returned classes satisfy Eq. 1 and the
 // greedy ordering constraint of Eq. 2.
 func GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.NodeID) []Class {
-	if len(cands) == 0 {
-		return nil
-	}
-	order := append([]graph.NodeID(nil), cands...)
-	recv := make(map[graph.NodeID]int, len(order))
-	for _, u := range order {
-		recv[u] = Receivers(g, u, w)
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		if recv[order[i]] != recv[order[j]] {
-			return recv[order[i]] > recv[order[j]]
-		}
-		return order[i] < order[j]
-	})
-
-	var classes []Class
-	labeled := make(map[graph.NodeID]bool, len(order))
-	for len(labeled) < len(order) {
-		var cls Class
-		for _, u := range order {
-			if labeled[u] {
-				continue
-			}
-			ok := true
-			for _, v := range cls {
-				if Conflict(g, u, v, w) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				cls = append(cls, u)
-				labeled[u] = true
-			}
-		}
-		sort.Ints(cls)
-		classes = append(classes, cls)
-	}
-	return classes
+	var sc Scratch
+	return sc.GreedyPartition(g, w, cands)
 }
 
 // GreedySync computes the greedy colors of coverage w in the round-based
@@ -149,85 +122,8 @@ func GreedyDuty(g *graph.Graph, w bitset.Set, s dutycycle.Schedule, t int) []Cla
 // pivoting, in deterministic order. limit > 0 caps the enumeration; the
 // second return value reports whether the enumeration was truncated.
 func MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeID, limit int) ([]Class, bool) {
-	k := len(cands)
-	if k == 0 {
-		return nil, false
-	}
-	// compat[i] = bitset over candidate indices j≠i that do NOT conflict
-	// with i. Maximal independent sets of the conflict graph are maximal
-	// cliques of this compatibility graph.
-	compat := make([]bitset.Set, k)
-	for i := range compat {
-		compat[i] = bitset.New(k)
-	}
-	for i := 0; i < k; i++ {
-		for j := i + 1; j < k; j++ {
-			if !Conflict(g, cands[i], cands[j], w) {
-				compat[i].Add(j)
-				compat[j].Add(i)
-			}
-		}
-	}
-
-	var (
-		out       []Class
-		truncated bool
-		r         = bitset.New(k)
-	)
-	full := bitset.New(k)
-	for i := 0; i < k; i++ {
-		full.Add(i)
-	}
-
-	var bk func(p, x bitset.Set)
-	bk = func(p, x bitset.Set) {
-		if truncated {
-			return
-		}
-		if p.Empty() && x.Empty() {
-			cls := make(Class, 0, r.Len())
-			r.ForEach(func(i int) { cls = append(cls, cands[i]) })
-			sort.Ints(cls)
-			out = append(out, cls)
-			if limit > 0 && len(out) >= limit {
-				truncated = true
-			}
-			return
-		}
-		// Pivot: the vertex of p ∪ x with the most compatible vertices in p.
-		pivot, best := -1, -1
-		for _, set := range []bitset.Set{p, x} {
-			set.ForEach(func(i int) {
-				c := 0
-				p.ForEach(func(j int) {
-					if compat[i].Has(j) {
-						c++
-					}
-				})
-				if c > best {
-					best, pivot = c, i
-				}
-			})
-		}
-		ext := p.Clone()
-		if pivot >= 0 {
-			ext.DifferenceWith(compat[pivot])
-		}
-		ext.ForEach(func(i int) {
-			if truncated {
-				return
-			}
-			r.Add(i)
-			bk(bitset.Intersect(p, compat[i]), bitset.Intersect(x, compat[i]))
-			r.Remove(i)
-			p.Remove(i)
-			x.Add(i)
-		})
-	}
-	bk(full, bitset.New(k))
-
-	sort.Slice(out, func(a, b int) bool { return lessClasses(out[a], out[b]) })
-	return out, truncated
+	var sc Scratch
+	return sc.MaximalSets(g, w, cands, limit)
 }
 
 func lessClasses(a, b Class) bool {

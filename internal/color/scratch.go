@@ -1,0 +1,289 @@
+package color
+
+import (
+	"slices"
+	"sort"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+)
+
+// Scratch holds every buffer the color computations of one search frame
+// need: class headers and their member backing, the candidate sort order,
+// and a size-classed bitset pool for the Bron–Kerbosch working sets. After
+// warm-up, GreedyPartition and MaximalSets run allocation-free on a reused
+// Scratch — the property the scheduler's hot loop depends on.
+//
+// Results returned by Scratch methods alias its buffers and stay valid
+// only until the next call on the same Scratch. A Scratch is not safe for
+// concurrent use; the zero value is ready to go.
+type Scratch struct {
+	// Pool recycles the maximal-set enumeration's working bitsets. Lazily
+	// created on first use; engines may share one pool across the
+	// scratches of all their frames.
+	Pool *bitset.Pool
+
+	classes []Class
+	members []graph.NodeID // backing storage the returned classes slice into
+	order   []graph.NodeID
+	recv    []int
+	labeled []bool
+	sorter  recvSorter
+
+	cands []graph.NodeID
+	awake []graph.NodeID
+
+	covTmp bitset.Set
+
+	mk mkState
+}
+
+func (sc *Scratch) pool() *bitset.Pool {
+	if sc.Pool == nil {
+		sc.Pool = bitset.NewPool()
+	}
+	return sc.Pool
+}
+
+// Candidates is the buffer-reuse form of the package-level Candidates: the
+// result aliases the Scratch and is valid until its next use.
+func (sc *Scratch) Candidates(g *graph.Graph, w bitset.Set) []graph.NodeID {
+	sc.cands = AppendCandidates(sc.cands[:0], g, w)
+	return sc.cands
+}
+
+// FilterAwake narrows cands to the nodes whose sending channel is on at
+// slot t, writing into the Scratch's awake buffer. cands may be the
+// Scratch's own candidate buffer.
+func (sc *Scratch) FilterAwake(cands []graph.NodeID, s dutycycle.Schedule, t int) []graph.NodeID {
+	sc.awake = sc.awake[:0]
+	for _, u := range cands {
+		if s.Awake(u, t) {
+			sc.awake = append(sc.awake, u)
+		}
+	}
+	return sc.awake
+}
+
+// CoveredLen returns |A| for the advance A the class would produce —
+// Class.Covered(...).Len() without materializing a fresh set.
+func (sc *Scratch) CoveredLen(g *graph.Graph, w bitset.Set, c Class) int {
+	if sc.covTmp.Capacity() < w.Capacity() {
+		sc.covTmp = bitset.New(w.Capacity())
+	}
+	tmp := sc.covTmp[:w.Words()]
+	return c.CoveredInto(g, w, tmp).Len()
+}
+
+// recvSorter orders candidates by descending receiver count, ties by
+// ascending node ID — Algorithm 1's deterministic greedy order. It exists
+// as a named type so sort.Stable receives a pointer and the sort itself
+// does not allocate.
+type recvSorter struct {
+	ids  []graph.NodeID
+	recv []int
+}
+
+func (s *recvSorter) Len() int { return len(s.ids) }
+func (s *recvSorter) Less(i, j int) bool {
+	if s.recv[i] != s.recv[j] {
+		return s.recv[i] > s.recv[j]
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s *recvSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.recv[i], s.recv[j] = s.recv[j], s.recv[i]
+}
+
+// GreedyPartition is the buffer-reuse form of the package-level
+// GreedyPartition: identical classes in identical order, with all
+// intermediate state (sort order, receiver counts, labels, class members)
+// held in the Scratch.
+func (sc *Scratch) GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.NodeID) []Class {
+	if len(cands) == 0 {
+		return nil
+	}
+	sc.order = append(sc.order[:0], cands...)
+	sc.recv = sc.recv[:0]
+	for _, u := range sc.order {
+		sc.recv = append(sc.recv, Receivers(g, u, w))
+	}
+	sc.sorter.ids, sc.sorter.recv = sc.order, sc.recv
+	sort.Stable(&sc.sorter)
+
+	total := len(sc.order)
+	sc.labeled = sc.labeled[:0]
+	for i := 0; i < total; i++ {
+		sc.labeled = append(sc.labeled, false)
+	}
+	if cap(sc.members) < total {
+		sc.members = make([]graph.NodeID, 0, total)
+	} else {
+		sc.members = sc.members[:0]
+	}
+	sc.classes = sc.classes[:0]
+	done := 0
+	for done < total {
+		start := len(sc.members)
+		for oi, u := range sc.order {
+			if sc.labeled[oi] {
+				continue
+			}
+			ok := true
+			for _, v := range sc.members[start:] {
+				if Conflict(g, u, v, w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sc.members = append(sc.members, u)
+				sc.labeled[oi] = true
+				done++
+			}
+		}
+		cls := Class(sc.members[start:len(sc.members):len(sc.members)])
+		sort.Ints(cls)
+		sc.classes = append(sc.classes, cls)
+	}
+	return sc.classes
+}
+
+// MaximalSets is the buffer-reuse form of the package-level MaximalSets:
+// identical sets in identical order (and the identical truncation point
+// under a limit), with the Bron–Kerbosch working sets drawn from the
+// Scratch's pool.
+func (sc *Scratch) MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeID, limit int) ([]Class, bool) {
+	k := len(cands)
+	if k == 0 {
+		return nil, false
+	}
+	st := &sc.mk
+	st.g, st.w, st.cands, st.limit = g, w, cands, limit
+	st.pool = sc.pool()
+	st.truncated = false
+	st.out = st.out[:0]
+	st.members = st.members[:0]
+
+	// compat[i] = candidate indices j≠i that do NOT conflict with i; the
+	// maximal independent sets of the conflict graph are the maximal cliques
+	// of this compatibility graph.
+	st.compat = st.compat[:0]
+	for i := 0; i < k; i++ {
+		st.compat = append(st.compat, st.pool.Get(k))
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if !Conflict(g, cands[i], cands[j], w) {
+				st.compat[i].Add(j)
+				st.compat[j].Add(i)
+			}
+		}
+	}
+
+	st.r = st.pool.Get(k)
+	full := st.pool.Get(k)
+	for i := 0; i < k; i++ {
+		full.Add(i)
+	}
+	empty := st.pool.Get(k)
+	st.bk(full, empty)
+	st.pool.Put(full)
+	st.pool.Put(empty)
+	st.pool.Put(st.r)
+	for _, c := range st.compat {
+		st.pool.Put(c)
+	}
+	st.r = nil
+	st.compat = st.compat[:0]
+
+	slices.SortFunc(st.out, compareClasses)
+	st.g, st.w, st.cands, st.pool = nil, nil, nil, nil
+	return st.out, st.truncated
+}
+
+// compareClasses orders classes lexicographically — the deterministic
+// output order of MaximalSets.
+func compareClasses(a, b Class) int {
+	switch {
+	case lessClasses(a, b):
+		return -1
+	case lessClasses(b, a):
+		return 1
+	}
+	return 0
+}
+
+// mkState is the Bron–Kerbosch enumeration state of one MaximalSets call,
+// kept in the Scratch so the recursion is method-based (no self-referential
+// closure allocation) and its buffers persist across calls.
+type mkState struct {
+	g         *graph.Graph
+	w         bitset.Set
+	cands     []graph.NodeID
+	compat    []bitset.Set
+	limit     int
+	out       []Class
+	members   []graph.NodeID // backing for out's classes
+	truncated bool
+	r         bitset.Set
+	pool      *bitset.Pool
+}
+
+// bk emits every maximal clique of the compatibility graph extending r,
+// with candidate set p and exclusion set x (both consumed). p and x are
+// owned by the caller; bk mutates them exactly as the classic pivoted
+// enumeration prescribes.
+func (st *mkState) bk(p, x bitset.Set) {
+	if st.truncated {
+		return
+	}
+	if p.Empty() && x.Empty() {
+		start := len(st.members)
+		for i := st.r.NextAfter(0); i >= 0; i = st.r.NextAfter(i + 1) {
+			st.members = append(st.members, st.cands[i])
+		}
+		cls := Class(st.members[start:len(st.members):len(st.members)])
+		sort.Ints(cls)
+		st.out = append(st.out, cls)
+		if st.limit > 0 && len(st.out) >= st.limit {
+			st.truncated = true
+		}
+		return
+	}
+	// Pivot: the vertex of p ∪ x with the most compatible vertices in p.
+	pivot, best := -1, -1
+	for i := p.NextAfter(0); i >= 0; i = p.NextAfter(i + 1) {
+		if c := st.compat[i].CountIntersect(p); c > best {
+			best, pivot = c, i
+		}
+	}
+	for i := x.NextAfter(0); i >= 0; i = x.NextAfter(i + 1) {
+		if c := st.compat[i].CountIntersect(p); c > best {
+			best, pivot = c, i
+		}
+	}
+	ext := st.pool.GetCopy(p)
+	if pivot >= 0 {
+		ext.DifferenceWith(st.compat[pivot])
+	}
+	p2 := st.pool.Get(p.Capacity())
+	x2 := st.pool.Get(x.Capacity())
+	for i := ext.NextAfter(0); i >= 0; i = ext.NextAfter(i + 1) {
+		if st.truncated {
+			break
+		}
+		st.r.Add(i)
+		bitset.IntersectInto(p2, p, st.compat[i])
+		bitset.IntersectInto(x2, x, st.compat[i])
+		st.bk(p2, x2)
+		st.r.Remove(i)
+		p.Remove(i)
+		x.Add(i)
+	}
+	st.pool.Put(p2)
+	st.pool.Put(x2)
+	st.pool.Put(ext)
+}

@@ -20,7 +20,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"mlbs/internal/bitset"
 	"mlbs/internal/color"
@@ -215,9 +214,10 @@ func Ref12LatencyBound(r, d int) int { return 17 * 2 * r * d }
 
 // nextUsefulSlot returns the earliest slot ≥ t at which some candidate of w
 // is awake, together with the candidate list; ok=false when w has no
-// candidates at all (complete coverage or a stuck partition).
-func nextUsefulSlot(g *graph.Graph, wake dutycycle.Schedule, w bitset.Set, t int) (slot int, cands []graph.NodeID, ok bool) {
-	all := color.Candidates(g, w)
+// candidates at all (complete coverage or a stuck partition). The returned
+// list aliases sc's buffers and is valid until sc's next candidate query.
+func nextUsefulSlot(g *graph.Graph, wake dutycycle.Schedule, w bitset.Set, t int, sc *color.Scratch) (slot int, cands []graph.NodeID, ok bool) {
+	all := sc.Candidates(g, w)
 	if len(all) == 0 {
 		return 0, nil, false
 	}
@@ -228,38 +228,32 @@ func nextUsefulSlot(g *graph.Graph, wake dutycycle.Schedule, w bitset.Set, t int
 			best = nw
 		}
 	}
-	awake := make([]graph.NodeID, 0, len(all))
-	for _, u := range all {
-		if wake.Awake(u, best) {
-			awake = append(awake, u)
-		}
-	}
-	return best, awake, true
+	return best, sc.FilterAwake(all, wake, best), true
 }
 
-// classesOf converts color classes into deterministic, coverage-annotated
-// moves, sorted by descending coverage (ties: ascending lexicographic
-// senders) when byCoverage is set, else kept in greedy-class order.
+// move is one coverage-annotated color set the search can fire: the class
+// and the size of the advance it would produce. The advance's member set
+// is deliberately absent — it is materialized into the frame's single
+// active-coverage buffer only when the search actually descends into the
+// move, so pruned branches never pay for it.
 type move struct {
 	senders color.Class
-	covered bitset.Set
+	covLen  int
 }
 
-func movesOf(g *graph.Graph, w bitset.Set, classes []color.Class, byCoverage bool) []move {
-	ms := make([]move, 0, len(classes))
-	for _, c := range classes {
-		ms = append(ms, move{senders: c, covered: c.Covered(g, w)})
+// compareMoves orders moves by descending coverage, ties by ascending
+// lexicographic senders — the deterministic branch order of the search.
+func compareMoves(a, b move) int {
+	if a.covLen != b.covLen {
+		return b.covLen - a.covLen
 	}
-	if byCoverage {
-		sort.SliceStable(ms, func(i, j int) bool {
-			ci, cj := ms[i].covered.Len(), ms[j].covered.Len()
-			if ci != cj {
-				return ci > cj
-			}
-			return lessIDs(ms[i].senders, ms[j].senders)
-		})
+	switch {
+	case lessIDs(a.senders, b.senders):
+		return -1
+	case lessIDs(b.senders, a.senders):
+		return 1
 	}
-	return ms
+	return 0
 }
 
 func lessIDs(a, b []graph.NodeID) bool {

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden schedule files")
+
+// goldenCase identifies one (scheduler, system, seed) cell of the golden
+// matrix: GOPT and OPT, synchronous and r=10 duty-cycle, over 10 paper
+// deployments of 100 nodes.
+type goldenCase struct {
+	Scheduler string    `json:"scheduler"`
+	Mode      string    `json:"mode"`
+	Seed      uint64    `json:"seed"`
+	PA        int       `json:"pa"`
+	Exact     bool      `json:"exact"`
+	Advances  []Advance `json:"advances"`
+}
+
+const goldenN = 100
+
+func goldenInstance(t testing.TB, mode string, seed uint64) Instance {
+	t.Helper()
+	dep, err := topology.Generate(topology.PaperConfig(goldenN), seed)
+	if err != nil {
+		t.Fatalf("deployment seed %d: %v", seed, err)
+	}
+	switch mode {
+	case "sync":
+		return Sync(dep.G, dep.Source)
+	case "duty-r10":
+		return Async(dep.G, dep.Source, dutycycle.NewUniform(goldenN, 10, seed, 0), 0)
+	}
+	t.Fatalf("unknown mode %q", mode)
+	return Instance{}
+}
+
+func goldenScheduler(name string) Scheduler {
+	if name == "OPT" {
+		return NewOPT(0, 0)
+	}
+	return NewGOPT(0)
+}
+
+// TestGoldenSchedules locks GOPT and OPT output bit-for-bit across the
+// allocation-free refactor: the stored schedules were produced by the
+// pre-refactor map/string-key implementation, and every future change to
+// the search core must keep reproducing them byte-identically.
+func TestGoldenSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is slow; skipped with -short")
+	}
+	var cases []goldenCase
+	for _, schedName := range []string{"G-OPT", "OPT"} {
+		for _, mode := range []string{"sync", "duty-r10"} {
+			for seed := uint64(1); seed <= 10; seed++ {
+				in := goldenInstance(t, mode, seed)
+				res, err := goldenScheduler(schedName).Schedule(in)
+				if err != nil {
+					t.Fatalf("%s %s seed %d: %v", schedName, mode, seed, err)
+				}
+				if err := res.Schedule.Validate(in); err != nil {
+					t.Fatalf("%s %s seed %d produced invalid schedule: %v", schedName, mode, seed, err)
+				}
+				cases = append(cases, goldenCase{
+					Scheduler: schedName,
+					Mode:      mode,
+					Seed:      seed,
+					PA:        res.PA,
+					Exact:     res.Exact,
+					Advances:  res.Schedule.Advances,
+				})
+			}
+		}
+	}
+
+	got, err := json.MarshalIndent(cases, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden_schedules.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(cases))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		var wantCases []goldenCase
+		if err := json.Unmarshal(want, &wantCases); err != nil {
+			t.Fatalf("golden file corrupt: %v", err)
+		}
+		for i := range wantCases {
+			if i >= len(cases) {
+				break
+			}
+			if diff := describeCaseDiff(wantCases[i], cases[i]); diff != "" {
+				t.Errorf("case %d (%s %s seed %d): %s",
+					i, wantCases[i].Scheduler, wantCases[i].Mode, wantCases[i].Seed, diff)
+			}
+		}
+		t.Fatalf("schedules diverged from the pre-refactor golden output")
+	}
+}
+
+func describeCaseDiff(want, got goldenCase) string {
+	if want.PA != got.PA {
+		return fmt.Sprintf("PA %d, want %d", got.PA, want.PA)
+	}
+	if want.Exact != got.Exact {
+		return fmt.Sprintf("Exact %v, want %v", got.Exact, want.Exact)
+	}
+	if len(want.Advances) != len(got.Advances) {
+		return fmt.Sprintf("%d advances, want %d", len(got.Advances), len(want.Advances))
+	}
+	for ai := range want.Advances {
+		w, g := want.Advances[ai], got.Advances[ai]
+		if w.T != g.T || !equalIDs(w.Senders, g.Senders) || !equalIDs(w.Covered, g.Covered) {
+			return fmt.Sprintf("advance %d: got {t=%d s=%v c=%v}, want {t=%d s=%v c=%v}",
+				ai, g.T, g.Senders, g.Covered, w.T, w.Senders, w.Covered)
+		}
+	}
+	return ""
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

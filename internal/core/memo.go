@@ -1,0 +1,152 @@
+package core
+
+import "mlbs/internal/bitset"
+
+// The search memoizes M(w, t mod period) in an open-addressing hash table
+// keyed by a 64-bit digest of the coverage set plus the slot phase. The
+// previous implementation built a string key per probe (the raw words of w
+// concatenated with the phase), which made every dfs state allocate; the
+// table below hashes w in place and keeps one pooled copy of w per entry
+// purely to verify candidate slots, so steady-state probes allocate
+// nothing.
+
+// Memo entry kinds: a slot is empty, holds a proven lower bound on
+// end − slot, or holds the exact value.
+const (
+	memoEmpty uint8 = iota
+	memoLower
+	memoExact
+)
+
+type memoSlot struct {
+	hash uint64
+	r    int32 // end − slot when exact; known lower bound on it otherwise
+	tmod int32
+	kind uint8
+}
+
+// memoTable is an open-addressing (linear probing) map from
+// (coverage set, slot phase) to memoSlot. Collisions on the 64-bit digest
+// are resolved explicitly: keys[i] holds a pooled copy of the coverage set
+// stored at slot i, captured on first insert, and a probe only hits when
+// the digest, the phase, and the full set all match.
+type memoTable struct {
+	slots []memoSlot
+	keys  []bitset.Set
+	count int
+	mask  uint64
+	seed  uint64
+	slab  []uint64 // arena backing the stored key copies
+	// hashFn overrides the digest for tests that need adversarial
+	// collisions; nil selects w.HashWith(seed).
+	hashFn func(w bitset.Set) uint64
+}
+
+const (
+	memoInitialSlots = 1 << 10
+	memoSlabWords    = 1 << 14
+)
+
+func newMemoTable(seed uint64) memoTable {
+	return memoTable{seed: seed}
+}
+
+// copyKey stores a copy of w in the arena. Entries live for the whole
+// search, so a bump allocator amortizes thousands of key copies into a
+// handful of slab allocations; exhausted slabs stay referenced by the keys
+// sliced out of them.
+func (m *memoTable) copyKey(w bitset.Set) bitset.Set {
+	words := len(w)
+	if len(m.slab)+words > cap(m.slab) {
+		size := memoSlabWords
+		if words > size {
+			size = words
+		}
+		m.slab = make([]uint64, 0, size)
+	}
+	start := len(m.slab)
+	m.slab = m.slab[: start+words : cap(m.slab)]
+	k := bitset.Set(m.slab[start : start+words])
+	copy(k, w)
+	return k
+}
+
+func (m *memoTable) hash(w bitset.Set, tmod int) uint64 {
+	var h uint64
+	if m.hashFn != nil {
+		h = m.hashFn(w)
+	} else {
+		h = w.HashWith(m.seed)
+	}
+	// Fold the phase in with one extra mix round so (w, t1) and (w, t2)
+	// land independently.
+	h ^= uint64(uint32(tmod)) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// lookup returns the stored value for (w, tmod), or kind == memoEmpty.
+func (m *memoTable) lookup(w bitset.Set, tmod int) (r int32, kind uint8) {
+	if m.count == 0 {
+		return 0, memoEmpty
+	}
+	h := m.hash(w, tmod)
+	for i := h & m.mask; ; i = (i + 1) & m.mask {
+		s := &m.slots[i]
+		if s.kind == memoEmpty {
+			return 0, memoEmpty
+		}
+		if s.hash == h && s.tmod == int32(tmod) && m.keys[i].Equal(w) {
+			return s.r, s.kind
+		}
+	}
+}
+
+// put inserts or overwrites the entry for (w, tmod). The coverage set is
+// copied into the pool only when the entry is new.
+func (m *memoTable) put(w bitset.Set, tmod int, r int32, kind uint8) {
+	if 4*(m.count+1) > 3*len(m.slots) {
+		m.grow()
+	}
+	h := m.hash(w, tmod)
+	for i := h & m.mask; ; i = (i + 1) & m.mask {
+		s := &m.slots[i]
+		if s.kind == memoEmpty {
+			*s = memoSlot{hash: h, r: r, tmod: int32(tmod), kind: kind}
+			m.keys[i] = m.copyKey(w)
+			m.count++
+			return
+		}
+		if s.hash == h && s.tmod == int32(tmod) && m.keys[i].Equal(w) {
+			s.r, s.kind = r, kind
+			return
+		}
+	}
+}
+
+// grow doubles the slot array and re-places every entry by its stored
+// digest; the pooled key copies move with their entries.
+func (m *memoTable) grow() {
+	oldSlots, oldKeys := m.slots, m.keys
+	n := 2 * len(oldSlots)
+	if n == 0 {
+		n = memoInitialSlots
+	}
+	m.slots = make([]memoSlot, n)
+	m.keys = make([]bitset.Set, n)
+	m.mask = uint64(n - 1)
+	for idx := range oldSlots {
+		s := oldSlots[idx]
+		if s.kind == memoEmpty {
+			continue
+		}
+		i := s.hash & m.mask
+		for m.slots[i].kind != memoEmpty {
+			i = (i + 1) & m.mask
+		}
+		m.slots[i] = s
+		m.keys[i] = oldKeys[idx]
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"mlbs/internal/bitset"
+)
+
+func memoSet(n int, members ...int) bitset.Set {
+	return bitset.FromMembers(n, members...)
+}
+
+func TestMemoTableBasic(t *testing.T) {
+	m := newMemoTable(1)
+	w := memoSet(130, 1, 64, 129)
+	if _, kind := m.lookup(w, 3); kind != memoEmpty {
+		t.Fatalf("lookup on empty table returned kind %d", kind)
+	}
+	m.put(w, 3, 7, memoLower)
+	if r, kind := m.lookup(w, 3); kind != memoLower || r != 7 {
+		t.Fatalf("got (%d,%d), want (7,lower)", r, kind)
+	}
+	// Same coverage, different phase: a distinct entry.
+	if _, kind := m.lookup(w, 4); kind != memoEmpty {
+		t.Fatal("phase should be part of the key")
+	}
+	// Update in place must not create a second entry.
+	m.put(w, 3, 5, memoExact)
+	if r, kind := m.lookup(w, 3); kind != memoExact || r != 5 {
+		t.Fatalf("got (%d,%d), want (5,exact)", r, kind)
+	}
+	if m.count != 1 {
+		t.Fatalf("count = %d after overwrite, want 1", m.count)
+	}
+}
+
+func TestMemoTableStoredKeyIsACopy(t *testing.T) {
+	m := newMemoTable(1)
+	w := memoSet(64, 2, 5)
+	m.put(w, 0, 1, memoExact)
+	w.Add(60) // caller mutates its set after the insert
+	if _, kind := m.lookup(w, 0); kind != memoEmpty {
+		t.Fatal("mutated set should miss: the table must have stored a copy")
+	}
+	w.Remove(60)
+	if r, kind := m.lookup(w, 0); kind != memoExact || r != 1 {
+		t.Fatal("original set should still hit")
+	}
+}
+
+// TestMemoTableAdversarialCollisions forces every key onto one digest and
+// verifies the explicit collision fallback (stored-set comparison plus
+// linear probing) still resolves each entry exactly, through several
+// growth cycles.
+func TestMemoTableAdversarialCollisions(t *testing.T) {
+	m := newMemoTable(1)
+	m.hashFn = func(bitset.Set) uint64 { return 0xdead }
+	const n = 2000 // > initial 1024 slots: exercises grow under collisions
+	for i := 0; i < n; i++ {
+		m.put(memoSet(n, i), i%7, int32(i), memoExact)
+	}
+	if m.count != n {
+		t.Fatalf("count = %d, want %d", m.count, n)
+	}
+	for i := 0; i < n; i++ {
+		r, kind := m.lookup(memoSet(n, i), i%7)
+		if kind != memoExact || r != int32(i) {
+			t.Fatalf("entry %d: got (%d,%d), want (%d,exact)", i, r, kind, i)
+		}
+	}
+	// A colliding-but-distinct set must miss, not hit a stranger's value.
+	if _, kind := m.lookup(memoSet(n, 13, 17, 19), 0); kind != memoEmpty {
+		t.Fatal("distinct set with identical digest must be a miss")
+	}
+}
+
+func TestMemoTableManyDistinctHashes(t *testing.T) {
+	m := newMemoTable(42)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.put(memoSet(n, i), 0, int32(i%97), memoLower)
+	}
+	for i := 0; i < n; i++ {
+		r, kind := m.lookup(memoSet(n, i), 0)
+		if kind != memoLower || r != int32(i%97) {
+			t.Fatalf("entry %d lost after growth: got (%d,%d)", i, r, kind)
+		}
+	}
+}
+
+func TestMemoTableSlabSpill(t *testing.T) {
+	m := newMemoTable(9)
+	// Each 4096-bit key is 64 words; memoSlabWords/64 = 256 keys per slab.
+	// 512 inserts force a second slab; keys on both sides of the boundary
+	// must stay intact.
+	const n = 512
+	for i := 0; i < n; i++ {
+		m.put(memoSet(4096, i), 1, int32(i), memoExact)
+	}
+	if m.count != n {
+		t.Fatalf("count = %d, want %d distinct keys", m.count, n)
+	}
+	for _, i := range []int{0, 1, 255, 256, 511} {
+		r, kind := m.lookup(memoSet(4096, i), 1)
+		if kind != memoExact || r != int32(i) {
+			t.Fatalf("key %d corrupted across slab boundary: (%d,%d)", i, r, kind)
+		}
+	}
+}
+
+func BenchmarkMemoTablePut(b *testing.B) {
+	m := newMemoTable(7)
+	keys := make([]bitset.Set, 1024)
+	for i := range keys {
+		keys[i] = memoSet(320, i%320, (i*7)%320)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.put(keys[i%len(keys)], i%11, int32(i), memoLower)
+	}
+}
+
+func BenchmarkMemoTableLookup(b *testing.B) {
+	m := newMemoTable(7)
+	keys := make([]bitset.Set, 1024)
+	for i := range keys {
+		keys[i] = memoSet(320, i%320, (i*7)%320)
+		m.put(keys[i], i%11, int32(i), memoExact)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, kind := m.lookup(keys[i%len(keys)], i%11); kind == memoEmpty {
+			b.Fatal("unexpected miss")
+		}
+	}
+}

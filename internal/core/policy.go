@@ -12,12 +12,15 @@ import (
 
 // SelectRule picks which greedy color fires, given the classes computed at
 // the current slot. Implementations must be deterministic functions of
-// their inputs (Random carries its own seeded stream).
+// their inputs (Random carries its own seeded stream). sc is the caller's
+// color scratch: rules needing per-class coverage sizes query
+// sc.CoveredLen instead of materializing sets, keeping rollouts
+// allocation-free.
 type SelectRule interface {
 	Name() string
 	// Select returns the index of the class to fire. classes is non-empty;
 	// w is the current coverage (read-only).
-	Select(g *graph.Graph, w bitset.Set, classes []color.Class) int
+	Select(g *graph.Graph, w bitset.Set, classes []color.Class, sc *color.Scratch) int
 }
 
 // EModelRule is the paper's Eq. 10: fire the color containing the
@@ -32,17 +35,16 @@ type EModelRule struct {
 func (r EModelRule) Name() string { return "E-model" }
 
 // Select implements SelectRule.
-func (r EModelRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class) int {
+func (r EModelRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class, sc *color.Scratch) int {
 	bestIdx, bestScore, bestCover := 0, -1.0, -1
-	isUncovered := func(v graph.NodeID) bool { return !w.Has(v) }
 	for i, cls := range classes {
 		score := -1.0
 		for _, u := range cls {
-			if s := r.Table.Score(g, u, isUncovered); s > score {
+			if s := r.Table.ScoreCovered(g, u, w); s > score {
 				score = s
 			}
 		}
-		cover := cls.Covered(g, w).Len()
+		cover := sc.CoveredLen(g, w, cls)
 		if score > bestScore || (score == bestScore && cover > bestCover) {
 			bestIdx, bestScore, bestCover = i, score, cover
 		}
@@ -63,18 +65,17 @@ type EnergyAwareRule struct {
 func (r EnergyAwareRule) Name() string { return "E-model/energy" }
 
 // Select implements SelectRule.
-func (r EnergyAwareRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class) int {
+func (r EnergyAwareRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class, sc *color.Scratch) int {
 	bestIdx := 0
 	bestScore, bestCover, bestSenders := -1.0, -1, 1<<30
-	isUncovered := func(v graph.NodeID) bool { return !w.Has(v) }
 	for i, cls := range classes {
 		score := -1.0
 		for _, u := range cls {
-			if s := r.Table.Score(g, u, isUncovered); s > score {
+			if s := r.Table.ScoreCovered(g, u, w); s > score {
 				score = s
 			}
 		}
-		cover := cls.Covered(g, w).Len()
+		cover := sc.CoveredLen(g, w, cls)
 		senders := len(cls)
 		better := score > bestScore ||
 			(score == bestScore && cover > bestCover) ||
@@ -86,9 +87,9 @@ func (r EnergyAwareRule) Select(g *graph.Graph, w bitset.Set, classes []color.Cl
 	return bestIdx
 }
 
-// NewEnergyAware returns the energy-saving E-model variant (Section VII's
-// "further optimization ... with other constraints, such as energy
-// saving" built out as a selection rule).
+// NewEnergyAware returns the Section VII "energy saving" extension (Eq.
+// 10's selection with ties broken toward fewer transmitters) built out as
+// a selection rule.
 func NewEnergyAware() *Policy {
 	return &Policy{
 		RuleName: "E-model/energy",
@@ -113,10 +114,10 @@ type MaxCoverageRule struct{}
 func (MaxCoverageRule) Name() string { return "max-coverage" }
 
 // Select implements SelectRule.
-func (MaxCoverageRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class) int {
+func (MaxCoverageRule) Select(g *graph.Graph, w bitset.Set, classes []color.Class, sc *color.Scratch) int {
 	best, bestCover := 0, -1
 	for i, cls := range classes {
-		if c := cls.Covered(g, w).Len(); c > bestCover {
+		if c := sc.CoveredLen(g, w, cls); c > bestCover {
 			best, bestCover = i, c
 		}
 	}
@@ -131,7 +132,7 @@ type FirstColorRule struct{}
 func (FirstColorRule) Name() string { return "first-color" }
 
 // Select implements SelectRule.
-func (FirstColorRule) Select(*graph.Graph, bitset.Set, []color.Class) int { return 0 }
+func (FirstColorRule) Select(*graph.Graph, bitset.Set, []color.Class, *color.Scratch) int { return 0 }
 
 // RandomRule fires a uniformly random class — the ablation floor.
 type RandomRule struct{ Src *rng.Source }
@@ -140,7 +141,7 @@ type RandomRule struct{ Src *rng.Source }
 func (RandomRule) Name() string { return "random" }
 
 // Select implements SelectRule.
-func (r RandomRule) Select(_ *graph.Graph, _ bitset.Set, classes []color.Class) int {
+func (r RandomRule) Select(_ *graph.Graph, _ bitset.Set, classes []color.Class, _ *color.Scratch) int {
 	return r.Src.Intn(len(classes))
 }
 
@@ -203,26 +204,32 @@ func (p *Policy) Schedule(in Instance) (*Result, error) {
 	w := in.initialCoverage()
 	sched := &Schedule{Source: in.Source, Start: in.Start}
 
+	// One scratch and one coverage buffer serve the whole rollout: the only
+	// per-advance allocations left are the schedule's own sender/receiver
+	// lists, which outlive the loop.
+	var sc color.Scratch
+	covered := bitset.New(n)
+
 	// Safety horizon: every advance covers ≥1 node and arrives within one
 	// wake period of the previous one, so a complete broadcast needs fewer
 	// than n·(period+1) slots past the start.
 	horizon := in.Start + n*(in.Wake.Period()+1) + in.Wake.Period()
 	t := in.Start
 	for w.Len() < n {
-		slot, cands, ok := nextUsefulSlot(in.G, in.Wake, w, t)
+		slot, cands, ok := nextUsefulSlot(in.G, in.Wake, w, t, &sc)
 		if !ok {
 			return nil, fmt.Errorf("core: no candidates with coverage %v (disconnected?)", w)
 		}
 		if slot > horizon {
 			return nil, fmt.Errorf("core: policy exceeded horizon %d (wake schedule starves candidates)", horizon)
 		}
-		classes := color.GreedyPartition(in.G, w, cands)
-		pick := rule.Select(in.G, w, classes)
+		classes := sc.GreedyPartition(in.G, w, cands)
+		pick := rule.Select(in.G, w, classes, &sc)
 		if pick < 0 || pick >= len(classes) {
 			return nil, fmt.Errorf("core: rule %s selected class %d of %d", rule.Name(), pick, len(classes))
 		}
 		cls := classes[pick]
-		covered := cls.Covered(in.G, w)
+		cls.CoveredInto(in.G, w, covered)
 		sched.Advances = append(sched.Advances, Advance{
 			T:       slot,
 			Senders: append([]graph.NodeID(nil), cls...),

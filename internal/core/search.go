@@ -1,9 +1,9 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"mlbs/internal/bitset"
 	"mlbs/internal/color"
@@ -72,9 +72,26 @@ func NewSearch(name string, cfg SearchConfig) *Search { return &Search{name: nam
 // Name implements Scheduler.
 func (s *Search) Name() string { return s.name }
 
-type memoEntry struct {
-	r     int32 // end − slot when exact; known lower bound on it otherwise
-	exact bool
+// pendingAdvance is one step of the line the dfs is currently walking.
+// senders and covered alias the owning frame's scratch buffers — valid for
+// exactly as long as the entry is on the stack — and are only materialized
+// into an Advance when the line is committed as the new incumbent.
+type pendingAdvance struct {
+	t       int
+	senders color.Class
+	covered bitset.Set
+}
+
+// frame is the per-depth scratch arena of the search: color buffers, the
+// generated moves, the coverage set of the move currently being explored
+// (active), and the child-coverage buffer (w2). Frames are reused across
+// every visit to their depth, so a warm search expands states without
+// allocating.
+type frame struct {
+	scratch color.Scratch
+	moves   []move
+	active  bitset.Set
+	w2      bitset.Set
 }
 
 type engine struct {
@@ -82,15 +99,43 @@ type engine struct {
 	cfg     SearchConfig
 	n       int
 	period  int
-	memo    map[string]memoEntry
+	memo    memoTable
 	stats   SearchStats
 	budget  int
 	trunc   bool
 	bestEnd int
-	best    []Advance // walked incumbent achieving bestEnd
-	stack   []Advance
+	best    []Advance // materialized incumbent achieving bestEnd
+	stack   []pendingAdvance
+	pool    *bitset.Pool
+	frames  []*frame
 	distBuf []int
 	quBuf   []graph.NodeID
+}
+
+// memoSeed keys the digest; any constant works, it only decorrelates the
+// hash from the raw set contents.
+const memoSeed = 0x6d6c62732d6d656d
+
+func newEngine(in Instance, cfg SearchConfig) *engine {
+	return &engine{
+		in:     in,
+		cfg:    cfg,
+		n:      in.G.N(),
+		period: in.Wake.Period(),
+		memo:   newMemoTable(memoSeed),
+		budget: cfg.Budget,
+		pool:   bitset.NewPool(),
+	}
+}
+
+// frame returns the depth-th scratch frame, creating it on first descent.
+func (e *engine) frame(depth int) *frame {
+	for len(e.frames) <= depth {
+		f := &frame{active: bitset.New(e.n), w2: bitset.New(e.n)}
+		f.scratch.Pool = e.pool
+		e.frames = append(e.frames, f)
+	}
+	return e.frames[depth]
 }
 
 // Schedule implements Scheduler.
@@ -126,16 +171,9 @@ func (s *Search) Schedule(in Instance) (*Result, error) {
 		return nil, fmt.Errorf("core: incumbent rollout failed: %w", err)
 	}
 
-	e := &engine{
-		in:      in,
-		cfg:     cfg,
-		n:       in.G.N(),
-		period:  in.Wake.Period(),
-		memo:    make(map[string]memoEntry),
-		budget:  cfg.Budget,
-		bestEnd: seed.Schedule.End(),
-		best:    append([]Advance(nil), seed.Schedule.Advances...),
-	}
+	e := newEngine(in, cfg)
+	e.bestEnd = seed.Schedule.End()
+	e.best = append([]Advance(nil), seed.Schedule.Advances...)
 
 	w0 := in.initialCoverage()
 	var (
@@ -147,7 +185,7 @@ func (s *Search) Schedule(in Instance) (*Result, error) {
 		sched = &Schedule{Source: in.Source, Start: in.Start}
 		exact = true
 	} else {
-		val, ex := e.dfs(w0, in.Start, e.bestEnd)
+		val, ex := e.dfs(0, w0, in.Start, e.bestEnd)
 		switch {
 		case ex && val <= e.bestEnd:
 			// The search established the exact optimum; rebuild its path
@@ -173,7 +211,7 @@ func (s *Search) Schedule(in Instance) (*Result, error) {
 			sched = &Schedule{Source: in.Source, Start: in.Start, Advances: e.best}
 		}
 	}
-	e.stats.MemoEntries = len(e.memo)
+	e.stats.MemoEntries = e.memo.count
 	return &Result{
 		Scheduler: s.name,
 		Schedule:  sched,
@@ -205,29 +243,45 @@ func (e *engine) maxHop(w bitset.Set) int {
 	return max
 }
 
-func (e *engine) memoKey(w bitset.Set, tmod int) string {
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(tmod))
-	return w.Key() + string(buf[:])
-}
-
-// moves enumerates the color sets available at slot among the awake
-// candidates, largest coverage first.
-func (e *engine) moves(w bitset.Set, cands []graph.NodeID, slot int) []move {
+// moves generates the color sets available at slot among the awake
+// candidates into fr, largest coverage first (ties: ascending lexicographic
+// senders). The returned slice and everything it references belong to fr
+// and are clobbered by the frame's next use.
+func (e *engine) moves(fr *frame, w bitset.Set, cands []graph.NodeID, slot int) []move {
 	var classes []color.Class
 	switch e.cfg.Moves {
 	case GreedyMoves:
-		classes = color.GreedyPartition(e.in.G, w, cands)
+		classes = fr.scratch.GreedyPartition(e.in.G, w, cands)
 	case MaximalMoves:
 		var capped bool
-		classes, capped = color.MaximalSets(e.in.G, w, cands, e.cfg.MaxSets)
+		classes, capped = fr.scratch.MaximalSets(e.in.G, w, cands, e.cfg.MaxSets)
 		if capped {
 			e.stats.MovesCapped = true
 		}
 	default:
 		panic("core: unknown move generator")
 	}
-	return movesOf(e.in.G, w, classes, true)
+	fr.moves = fr.moves[:0]
+	for _, c := range classes {
+		fr.moves = append(fr.moves, move{senders: c, covLen: fr.scratch.CoveredLen(e.in.G, w, c)})
+	}
+	slices.SortStableFunc(fr.moves, compareMoves)
+	return fr.moves
+}
+
+// commitBest materializes the walked line on the stack into e.best. Only
+// here do pending advances turn into real Advance values (copied senders,
+// member-list coverage): improvements are rare, so the whole search defers
+// that work until a line actually wins.
+func (e *engine) commitBest() {
+	e.best = e.best[:0]
+	for _, p := range e.stack {
+		e.best = append(e.best, Advance{
+			T:       p.t,
+			Senders: append([]graph.NodeID(nil), p.senders...),
+			Covered: p.covered.Members(),
+		})
+	}
 }
 
 // dfs evaluates M(w, t): the minimal end time (slot of the last advance)
@@ -235,9 +289,11 @@ func (e *engine) moves(w bitset.Set, cands []graph.NodeID, slot int) []move {
 // the kind of the first: true — the value is exact; false — it is only a
 // lower bound (the branch was cut off at `limit`, or the budget ran out).
 // limit is a pure search-control: the caller does not care about values
-// ≥ limit, so subtrees provably at or above it are cut.
-func (e *engine) dfs(w bitset.Set, t, limit int) (int, bool) {
-	slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t)
+// ≥ limit, so subtrees provably at or above it are cut. depth indexes the
+// engine's frame arena; w is owned by the caller and read-only here.
+func (e *engine) dfs(depth int, w bitset.Set, t, limit int) (int, bool) {
+	fr := e.frame(depth)
+	slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t, &fr.scratch)
 	if !ok {
 		return inf, true // no candidate can ever fire again
 	}
@@ -249,13 +305,13 @@ func (e *engine) dfs(w bitset.Set, t, limit int) (int, bool) {
 	if lb >= limit {
 		return lb, false
 	}
-	key := e.memoKey(w, slot%e.period)
-	if ent, hit := e.memo[key]; hit {
-		if ent.exact {
+	tmod := slot % e.period
+	if r, kind := e.memo.lookup(w, tmod); kind != memoEmpty {
+		if kind == memoExact {
 			e.stats.MemoHits++
-			return slot + int(ent.r), true
+			return slot + int(r), true
 		}
-		if v := slot + int(ent.r); v >= limit {
+		if v := slot + int(r); v >= limit {
 			e.stats.MemoHits++
 			return v, false
 		}
@@ -268,29 +324,31 @@ func (e *engine) dfs(w bitset.Set, t, limit int) (int, bool) {
 	e.stats.Expanded++
 
 	bestExact, minLB := inf, inf
-	for _, m := range e.moves(w, cands, slot) {
-		if m.covered.Empty() {
+	for i := range e.moves(fr, w, cands, slot) {
+		m := &fr.moves[i]
+		if m.covLen == 0 {
 			continue // defensive: candidates always cover someone
 		}
-		w2 := bitset.Union(w, m.covered)
-		e.stack = append(e.stack, Advance{T: slot, Senders: m.senders, Covered: m.covered.Members()})
-		if w2.Len() == e.n {
+		m.senders.CoveredInto(e.in.G, w, fr.active)
+		bitset.UnionInto(fr.w2, w, fr.active)
+		e.stack = append(e.stack, pendingAdvance{t: slot, senders: m.senders, covered: fr.active})
+		if m.covLen+w.Len() == e.n {
 			// Ending at the current slot is unbeatable from this state
 			// (full coverage in one advance forces hop == 1, so lb == slot);
 			// exact regardless of the other moves.
 			if slot < e.bestEnd {
 				e.bestEnd = slot
-				e.best = append([]Advance(nil), e.stack...)
+				e.commitBest()
 			}
 			e.stack = e.stack[:len(e.stack)-1]
-			e.memo[key] = memoEntry{r: 0, exact: true}
+			e.memo.put(w, tmod, 0, memoExact)
 			return slot, true
 		}
 		childLimit := limit
 		if bestExact < childLimit {
 			childLimit = bestExact
 		}
-		v, exact := e.dfs(w2, slot+1, childLimit)
+		v, exact := e.dfs(depth+1, fr.w2, slot+1, childLimit)
 		e.stack = e.stack[:len(e.stack)-1]
 		if exact {
 			if v < bestExact {
@@ -307,15 +365,15 @@ func (e *engine) dfs(w bitset.Set, t, limit int) (int, bool) {
 	// Exact when every alternative is proven no better (bestExact ≤ minLB)
 	// or the value meets the admissible floor (bestExact == lb).
 	if bestExact <= minLB || bestExact == lb {
-		e.memo[key] = memoEntry{r: int32(bestExact - slot), exact: true}
+		e.memo.put(w, tmod, int32(bestExact-slot), memoExact)
 		return bestExact, true
 	}
 	res := minLB
 	if lb > res {
 		res = lb
 	}
-	if ent, hit := e.memo[key]; !hit || (!ent.exact && int(ent.r) < res-slot) {
-		e.memo[key] = memoEntry{r: int32(res - slot)}
+	if r, kind := e.memo.lookup(w, tmod); kind == memoEmpty || (kind == memoLower && int(r) < res-slot) {
+		e.memo.put(w, tmod, int32(res-slot), memoLower)
 	}
 	return res, false
 }
@@ -324,36 +382,44 @@ func (e *engine) dfs(w bitset.Set, t, limit int) (int, bool) {
 // exact improving search: at every state it re-derives the moves in the
 // same deterministic order and follows the child whose exact value matches
 // the expected end time.
-func (e *engine) reconstruct(w bitset.Set, t, want int) ([]Advance, error) {
+func (e *engine) reconstruct(w0 bitset.Set, t, want int) ([]Advance, error) {
 	var out []Advance
-	w = w.Clone()
+	w := w0.Clone()
+	w2 := bitset.New(e.n)
+	fr, probe := e.frame(0), e.frame(1)
 	for w.Len() < e.n {
-		slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t)
+		slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t, &fr.scratch)
 		if !ok {
 			return nil, errors.New("core: reconstruction reached a dead state")
 		}
 		found := false
-		for _, m := range e.moves(w, cands, slot) {
-			if m.covered.Empty() {
+		for i := range e.moves(fr, w, cands, slot) {
+			m := &fr.moves[i]
+			if m.covLen == 0 {
 				continue
 			}
-			w2 := bitset.Union(w, m.covered)
+			m.senders.CoveredInto(e.in.G, w, fr.active)
+			bitset.UnionInto(w2, w, fr.active)
 			if w2.Len() == e.n {
 				if slot != want {
 					continue
 				}
 			} else {
-				slot2, _, ok2 := nextUsefulSlot(e.in.G, e.in.Wake, w2, slot+1)
+				slot2, _, ok2 := nextUsefulSlot(e.in.G, e.in.Wake, w2, slot+1, &probe.scratch)
 				if !ok2 {
 					continue
 				}
-				ent, hit := e.memo[e.memoKey(w2, slot2%e.period)]
-				if !hit || !ent.exact || slot2+int(ent.r) != want {
+				r, kind := e.memo.lookup(w2, slot2%e.period)
+				if kind != memoExact || slot2+int(r) != want {
 					continue
 				}
 			}
-			out = append(out, Advance{T: slot, Senders: m.senders, Covered: m.covered.Members()})
-			w = w2
+			out = append(out, Advance{
+				T:       slot,
+				Senders: append([]graph.NodeID(nil), m.senders...),
+				Covered: fr.active.Members(),
+			})
+			w.UnionWith(fr.active)
 			t = slot + 1
 			found = true
 			break

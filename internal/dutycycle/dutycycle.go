@@ -277,6 +277,9 @@ func CWT(s Schedule, u, v, t int) int {
 // the proactive estimate a node can compute offline from its neighbor's
 // seed, used by the asynchronous E-model (Eq. 11).
 func MeanCWT(s Schedule, u, v int) float64 {
+	if un, ok := s.(*Uniform); ok {
+		return un.meanCWT(u, v)
+	}
 	period := s.Period()
 	sum, count := 0, 0
 	for t := s.NextAwake(u, 0); t < period; t = s.NextAwake(u, t+1) {
@@ -287,6 +290,31 @@ func MeanCWT(s Schedule, u, v int) float64 {
 		return float64(period)
 	}
 	return float64(sum) / float64(count)
+}
+
+// meanCWT is MeanCWT specialized to the uniform-per-cycle schedule: u
+// wakes exactly once per cycle, so the generic NextAwake scan collapses to
+// two offset draws per cycle (u's wake, v's next-cycle wake, with v's
+// current-cycle offset carried over). Values are bit-identical to the
+// generic path; this exists because the asynchronous E-model build
+// evaluates it once per directed edge and it dominates duty-cycle
+// scheduling time.
+func (s *Uniform) meanCWT(u, v int) float64 {
+	sum := 0
+	ov := s.offset(v, 0)
+	for c := 0; c < s.cycles; c++ {
+		ovn := s.offset(v, c+1)
+		t := c*s.r + s.offset(u, c)
+		wv := c*s.r + ov
+		if wv <= t {
+			// v's wake this cycle is not strictly after t; the next one is
+			// in cycle c+1 (always ≥ t+1 since t+1 ≤ (c+1)·r).
+			wv = (c+1)*s.r + ovn
+		}
+		sum += wv - t
+		ov = ovn
+	}
+	return float64(sum) / float64(s.cycles)
 }
 
 // WakeSlotsInWindow lists u's wake slots in [from, to), mainly for tests

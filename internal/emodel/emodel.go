@@ -14,9 +14,9 @@
 package emodel
 
 import (
-	"container/heap"
 	"math"
 
+	"mlbs/internal/bitset"
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/geom"
 	"mlbs/internal/graph"
@@ -74,15 +74,18 @@ func EdgeNodes(g *graph.Graph) []bool {
 	for _, h := range geom.ConvexHull(g.Positions()) {
 		edge[h] = true
 	}
+	maxDeg := g.MaxDegree()
+	nbrs := make([]geom.Point, 0, maxDeg)
+	angles := make([]float64, maxDeg)
 	for u := 0; u < n; u++ {
 		if edge[u] {
 			continue
 		}
-		nbrs := make([]geom.Point, 0, g.Degree(u))
+		nbrs = nbrs[:0]
 		for _, v := range g.Adj(u) {
 			nbrs = append(nbrs, g.Pos(v))
 		}
-		if geom.MaxAngularGap(g.Pos(u), nbrs) >= math.Pi/2-1e-12 {
+		if geom.MaxAngularGapBuf(g.Pos(u), nbrs, angles) >= math.Pi/2-1e-12 {
 			edge[u] = true
 		}
 	}
@@ -103,6 +106,45 @@ func CWTWeight(s dutycycle.Schedule) Weight {
 	return func(u, v graph.NodeID) float64 { return dutycycle.MeanCWT(s, u, v) }
 }
 
+// weightCache memoizes a Weight per directed edge. The duty-cycle weight
+// (mean CWT) walks a full schedule period per evaluation, and relaxation
+// queries each edge once per quadrant per pass — up to eight times — so
+// Build evaluates through this cache instead. cost[v][j] stores
+// w(adj(v)[j], v), the direction relaxQuadrant asks for; NaN marks unset.
+type weightCache struct {
+	g    *graph.Graph
+	w    Weight
+	cost [][]float64
+}
+
+func newWeightCache(g *graph.Graph, w Weight) *weightCache {
+	n := g.N()
+	total := 0
+	for v := 0; v < n; v++ {
+		total += g.Degree(v)
+	}
+	flat := make([]float64, total)
+	for i := range flat {
+		flat[i] = math.NaN()
+	}
+	cost := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		cost[v], flat = flat[:d:d], flat[d:]
+	}
+	return &weightCache{g: g, w: w, cost: cost}
+}
+
+// weight returns w(u→v) where u is the j-th neighbor of v.
+func (c *weightCache) weight(v graph.NodeID, j int) float64 {
+	if x := c.cost[v][j]; !math.IsNaN(x) {
+		return x
+	}
+	x := c.w(c.g.Adj(v)[j], v)
+	c.cost[v][j] = x
+	return x
+}
+
 // Build constructs the E table for graph g per Algorithm 2.
 //
 // Relaxation solves E_i(u) = min over v ∈ N(u)∩Q_i(u) of w(u,v) + E_i(v)
@@ -119,14 +161,23 @@ func Build(g *graph.Graph, w Weight, seeding Seeding) *Table {
 	emptyQ := make([][4]bool, n)
 	for u := 0; u < n; u++ {
 		for qi := range geom.Quadrants {
-			emptyQ[u][qi] = len(g.NeighborsInQuadrant(u, geom.Quadrants[qi])) == 0
+			emptyQ[u][qi] = !g.HasNeighborInQuadrant(u, geom.Quadrants[qi])
 			t.E[u][qi] = Inf
 		}
 	}
 
+	// One relaxation scratch serves every quadrant of every pass: the
+	// search constructs an incumbent E-model rollout inside each OPT/G-OPT
+	// call, so Build must not allocate per node settled.
+	rx := &relaxScratch{
+		eligible: make([]bool, n),
+		settled:  make([]bool, n),
+	}
+	cw := newWeightCache(g, w)
+	var seeds []graph.NodeID
 	seedAndRelax := func(maySeed func(u int) bool) {
 		for qi, q := range geom.Quadrants {
-			var seeds []graph.NodeID
+			seeds = seeds[:0]
 			for u := 0; u < n; u++ {
 				if math.IsInf(t.E[u][qi], 1) && emptyQ[u][qi] && maySeed(u) {
 					t.E[u][qi] = 0
@@ -134,7 +185,7 @@ func Build(g *graph.Graph, w Weight, seeding Seeding) *Table {
 					seeds = append(seeds, u)
 				}
 			}
-			relaxQuadrant(g, w, q, t, seeds)
+			relaxQuadrant(g, cw, q, t, seeds, rx)
 		}
 	}
 
@@ -163,22 +214,64 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a typed binary min-heap over (dist, node). container/heap would
+// box every pushed pqItem into an interface, allocating once per edge
+// relaxation; the hand-rolled sift functions keep the frontier
+// allocation-free on a reused backing array.
 type pq []pqItem
 
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
+func (p pq) less(i, j int) bool {
 	if p[i].dist != p[j].dist {
 		return p[i].dist < p[j].dist
 	}
 	return p[i].node < p[j].node
 }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	it := old[len(old)-1]
-	*p = old[:len(old)-1]
-	return it
+
+func (p *pq) push(it pqItem) {
+	*p = append(*p, it)
+	h := *p
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (p *pq) pop() pqItem {
+	h := *p
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*p = h
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// relaxScratch holds the per-node Dijkstra state reused across quadrants
+// and passes: eligibility (entry was ∞ at pass start), settlement, and the
+// frontier heap's backing array.
+type relaxScratch struct {
+	eligible []bool
+	settled  []bool
+	frontier pq
 }
 
 // relaxQuadrant runs Dijkstra for quadrant q from the given zero seeds.
@@ -189,39 +282,42 @@ func (p *pq) Pop() interface{} {
 // within the pass an unsettled entry may still tighten (Dijkstra's
 // decrease-key — the node has not announced its value yet, so this is not
 // a second information exchange).
-func relaxQuadrant(g *graph.Graph, w Weight, q geom.Quadrant, t *Table, seeds []graph.NodeID) {
+func relaxQuadrant(g *graph.Graph, cw *weightCache, q geom.Quadrant, t *Table, seeds []graph.NodeID, rx *relaxScratch) {
 	qi := q.Index()
-	var frontier pq
-	eligible := make(map[graph.NodeID]bool) // entry was ∞ at pass start
+	frontier := rx.frontier[:0]
+	eligible, settled := rx.eligible, rx.settled
+	for i := range eligible {
+		eligible[i] = false
+		settled[i] = false
+	}
 	for _, s := range seeds {
-		frontier = append(frontier, pqItem{s, 0})
+		frontier.push(pqItem{s, 0})
 		eligible[s] = true
 	}
-	heap.Init(&frontier)
-	settled := make(map[graph.NodeID]bool)
-	for frontier.Len() > 0 {
-		it := heap.Pop(&frontier).(pqItem)
+	for len(frontier) > 0 {
+		it := frontier.pop()
 		v := it.node
 		if settled[v] || it.dist > t.E[v][qi] {
 			continue
 		}
 		settled[v] = true
-		for _, u := range g.Adj(v) {
+		for j, u := range g.Adj(v) {
 			if geom.QuadrantOf(g.Pos(u), g.Pos(v)) != q {
 				continue // v is not in u's quadrant q
 			}
-			cand := w(u, v) + t.E[v][qi]
+			cand := cw.weight(v, j) + t.E[v][qi]
 			if math.IsInf(t.E[u][qi], 1) {
 				t.E[u][qi] = cand
 				t.Updates[u]++
 				eligible[u] = true
-				heap.Push(&frontier, pqItem{u, cand})
+				frontier.push(pqItem{u, cand})
 			} else if eligible[u] && !settled[u] && cand < t.E[u][qi] {
 				t.E[u][qi] = cand
-				heap.Push(&frontier, pqItem{u, cand})
+				frontier.push(pqItem{u, cand})
 			}
 		}
 	}
+	rx.frontier = frontier[:0]
 }
 
 // Score evaluates Eq. 10 for a candidate u: the maximum E_k(u) over
@@ -233,6 +329,22 @@ func (t *Table) Score(g *graph.Graph, u graph.NodeID, isUncovered func(v graph.N
 	best := -1.0
 	for _, v := range g.Adj(u) {
 		if !isUncovered(v) {
+			continue
+		}
+		if e := t.E[u][geom.QuadrantOf(g.Pos(u), g.Pos(v)).Index()]; e > best {
+			best = e
+		}
+	}
+	return best
+}
+
+// ScoreCovered is Score with coverage given directly as a bitset — the
+// form the scheduler's rollout loop calls, avoiding a per-evaluation
+// predicate closure.
+func (t *Table) ScoreCovered(g *graph.Graph, u graph.NodeID, covered bitset.Set) float64 {
+	best := -1.0
+	for _, v := range g.Adj(u) {
+		if covered.Has(v) {
 			continue
 		}
 		if e := t.E[u][geom.QuadrantOf(g.Pos(u), g.Pos(v)).Index()]; e > best {

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mlbs/internal/core"
 	"mlbs/internal/rng"
@@ -57,6 +59,7 @@ func sweep(cfg Config, id, title, ylabel string, names []string,
 	jobCh := make(chan job)
 	resCh := make(chan []trialResult, len(jobs))
 	errCh := make(chan error, len(jobs))
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -65,6 +68,7 @@ func sweep(cfg Config, id, title, ylabel string, names []string,
 			for j := range jobCh {
 				results, err := runTrial(cfg, j.n, j.seed, j.point, makeInstance, makeSchedulers)
 				if err != nil {
+					failed.Store(true)
 					errCh <- fmt.Errorf("n=%d seed=%d: %w", j.n, j.seed, err)
 					continue
 				}
@@ -72,15 +76,28 @@ func sweep(cfg Config, id, title, ylabel string, names []string,
 			}
 		}()
 	}
+	// Stop feeding once any worker reports a failure: in-flight trials
+	// finish, queued ones are abandoned, and the sweep fails fast instead
+	// of burning the remaining grid on a doomed run.
 	for _, j := range jobs {
+		if failed.Load() {
+			break
+		}
 		jobCh <- j
 	}
 	close(jobCh)
 	wg.Wait()
 	close(resCh)
 	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	// Report every worker error, not just the first drained: concurrent
+	// failures (several seeds tripping the same validation) would otherwise
+	// vanish silently.
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 
 	points := make([]Point, len(cfg.NodeCounts))

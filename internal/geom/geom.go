@@ -214,12 +214,18 @@ func Angle(o, p Point) float64 {
 // neighborhood — the classic hole/boundary-detection heuristic the paper
 // cites via reference [1]. With no neighbors the gap is a full circle.
 func MaxAngularGap(o Point, neighbors []Point) float64 {
+	return MaxAngularGapBuf(o, neighbors, nil)
+}
+
+// MaxAngularGapBuf is MaxAngularGap with a caller-supplied scratch buffer
+// for the sorted angles, reused across calls by per-node sweeps.
+func MaxAngularGapBuf(o Point, neighbors []Point, buf []float64) float64 {
 	if len(neighbors) == 0 {
 		return 2 * math.Pi
 	}
-	angles := make([]float64, len(neighbors))
-	for i, nb := range neighbors {
-		angles[i] = Angle(o, nb)
+	angles := buf[:0]
+	for _, nb := range neighbors {
+		angles = append(angles, Angle(o, nb))
 	}
 	sort.Float64s(angles)
 	maxGap := 2*math.Pi - angles[len(angles)-1] + angles[0]

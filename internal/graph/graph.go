@@ -347,6 +347,17 @@ func (g *Graph) NeighborsInQuadrant(u NodeID, q geom.Quadrant) []NodeID {
 	return out
 }
 
+// HasNeighborInQuadrant reports whether u has any neighbor in quadrant q —
+// the empty-quadrant test of Algorithm 2 without materializing the list.
+func (g *Graph) HasNeighborInQuadrant(u NodeID, q geom.Quadrant) bool {
+	for _, v := range g.adj[u] {
+		if geom.QuadrantOf(g.pos[u], g.pos[v]) == q {
+			return true
+		}
+	}
+	return false
+}
+
 // String summarizes the graph for debugging.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d r=%.1f}", g.N(), g.M(), g.radius)
