@@ -5,55 +5,76 @@
 //
 // Usage:
 //
-//	mlb-bench [-n 300] [-seed 1] [-r 10] [-iters 3] [-out BENCH_schedulers.json]
+//	mlb-bench [-n 300] [-seed 1] [-r 10] [-iters 3] [-svcreqs 32]
+//	          [-out BENCH_schedulers.json]
 //
-// The output is a JSON object with run metadata and one record per
-// (scheduler, system) pair. Commit the numbers, not the file: BENCH_*.json
-// is gitignored by convention and meant for dashboards/CI artifacts.
+// The output is a JSON object with run metadata, one record per
+// (scheduler, system) pair, and a service section measuring the plan
+// service's cold-cache vs warm-cache throughput on the n=150 and n=300
+// paper topologies. Commit the numbers, not the file: BENCH_*.json is
+// gitignored by convention and meant for dashboards/CI artifacts.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"mlbs"
 )
 
 type record struct {
-	Name        string  `json:"name"`
-	System      string  `json:"system"`
-	Scheduler   string  `json:"scheduler"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	LatencyPA   int     `json:"latency_slots"`
-	Exact       bool    `json:"exact"`
+	Name        string `json:"name"`
+	System      string `json:"system"`
+	Scheduler   string `json:"scheduler"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	LatencyPA   int    `json:"latency_slots"`
+	Exact       bool   `json:"exact"`
+}
+
+// serviceRecord captures the serving layer's headline numbers for one
+// topology size: the cold path (every request runs the search, no_cache)
+// against the warm path (every request is a content-addressed cache hit).
+type serviceRecord struct {
+	Name            string  `json:"name"`
+	Nodes           int     `json:"nodes"`
+	Requests        int     `json:"requests"`
+	ColdPlansPerSec float64 `json:"cold_plans_per_sec"`
+	ColdP99Ns       int64   `json:"cold_p99_ns"`
+	WarmPlansPerSec float64 `json:"warm_plans_per_sec"`
+	WarmP99Ns       int64   `json:"warm_p99_ns"`
+	Speedup         float64 `json:"warm_over_cold_speedup"`
 }
 
 type report struct {
-	Tool      string   `json:"tool"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Timestamp string   `json:"timestamp"`
-	Nodes     int      `json:"nodes"`
-	Seed      uint64   `json:"seed"`
-	DutyRate  int      `json:"duty_rate"`
-	Records   []record `json:"records"`
+	Tool      string          `json:"tool"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	Timestamp string          `json:"timestamp"`
+	Nodes     int             `json:"nodes"`
+	Seed      uint64          `json:"seed"`
+	DutyRate  int             `json:"duty_rate"`
+	Records   []record        `json:"records"`
+	Service   []serviceRecord `json:"service"`
 }
 
 func main() {
 	var (
-		n     = flag.Int("n", 300, "deployment size (paper topology)")
-		seed  = flag.Uint64("seed", 1, "deployment seed")
-		r     = flag.Int("r", 10, "duty-cycle rate for the async system")
-		iters = flag.Int("iters", 3, "fixed benchmark iterations per case")
-		out   = flag.String("out", "BENCH_schedulers.json", "output JSON path")
+		n       = flag.Int("n", 300, "deployment size (paper topology)")
+		seed    = flag.Uint64("seed", 1, "deployment seed")
+		r       = flag.Int("r", 10, "duty-cycle rate for the async system")
+		iters   = flag.Int("iters", 3, "fixed benchmark iterations per case")
+		svcReqs = flag.Int("svcreqs", 32, "requests per service throughput phase")
+		out     = flag.String("out", "BENCH_schedulers.json", "output JSON path")
 	)
 	flag.Parse()
 
@@ -118,6 +139,16 @@ func main() {
 			c.name, nsOp, allocsOp, res.Schedule.Latency())
 	}
 
+	for _, sn := range []int{150, 300} {
+		sr, err := benchService(sn, *seed, *svcReqs)
+		if err != nil {
+			fatal(fmt.Errorf("service n=%d: %w", sn, err))
+		}
+		rep.Service = append(rep.Service, sr)
+		fmt.Printf("%-20s %12.1f cold plans/s %10.1f warm plans/s %6.1fx\n",
+			sr.Name, sr.ColdPlansPerSec, sr.WarmPlansPerSec, sr.Speedup)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -127,6 +158,57 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d records)\n", *out, len(rep.Records))
+}
+
+// benchService measures the plan service end to end on the n-node sync
+// paper topology: reqs no_cache requests (cold — every one searches)
+// followed by reqs cached requests (warm — every one hits), sequentially
+// so the two phases are directly comparable.
+func benchService(n int, seed uint64, reqs int) (serviceRecord, error) {
+	if reqs < 4 {
+		reqs = 4
+	}
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: runtime.GOMAXPROCS(0)})
+	defer svc.Close()
+	ctx := context.Background()
+	send := func(noCache bool) (time.Duration, error) {
+		t0 := time.Now()
+		_, err := svc.Plan(ctx, mlbs.PlanRequest{
+			Generator: &mlbs.PlanGenerator{N: n, Seed: seed},
+			NoCache:   noCache,
+		})
+		return time.Since(t0), err
+	}
+	if _, err := send(true); err != nil { // materialize the deployment
+		return serviceRecord{}, err
+	}
+	phase := func(noCache bool) (perSec float64, p99 int64, err error) {
+		lat := make([]time.Duration, reqs)
+		start := time.Now()
+		for i := range lat {
+			if lat[i], err = send(noCache); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		slices.Sort(lat)
+		return float64(reqs) / elapsed.Seconds(), lat[reqs*99/100].Nanoseconds(), nil
+	}
+	rec := serviceRecord{Name: fmt.Sprintf("service/sync-n%d", n), Nodes: n, Requests: reqs}
+	var err error
+	if rec.ColdPlansPerSec, rec.ColdP99Ns, err = phase(true); err != nil {
+		return rec, err
+	}
+	if _, err := send(false); err != nil { // prime the cache
+		return rec, err
+	}
+	if rec.WarmPlansPerSec, rec.WarmP99Ns, err = phase(false); err != nil {
+		return rec, err
+	}
+	if rec.ColdPlansPerSec > 0 {
+		rec.Speedup = rec.WarmPlansPerSec / rec.ColdPlansPerSec
+	}
+	return rec, nil
 }
 
 // measure runs fn a fixed number of times and reports per-op wall time and

@@ -1,0 +1,211 @@
+// Command mlb-load drives the plan service and reports plans/sec and
+// latency percentiles for the cold path (every request runs the search)
+// versus the warm path (every request is a cache hit) — the number that
+// justifies the serving layer's existence.
+//
+// Usage:
+//
+//	mlb-load [-n 300] [-seed 1] [-r 0] [-sched gopt] [-requests 64]
+//	         [-conc 8] [-addr http://host:8080] [-out BENCH_load.json]
+//
+// Without -addr the service runs in-process (no HTTP in the way); with
+// -addr requests go over the wire to a running mlb-serve. The cold phase
+// sends no_cache requests for one fixed instance, so every request pays
+// the full branch-and-bound; the warm phase primes the cache once and then
+// measures pure hits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"mlbs"
+)
+
+type phaseStats struct {
+	Requests    int     `json:"requests"`
+	PlansPerSec float64 `json:"plans_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+}
+
+type loadReport struct {
+	Tool      string     `json:"tool"`
+	GoVersion string     `json:"go_version"`
+	Timestamp string     `json:"timestamp"`
+	Target    string     `json:"target"` // "in-process" or the HTTP address
+	Nodes     int        `json:"nodes"`
+	Seed      uint64     `json:"seed"`
+	DutyRate  int        `json:"duty_rate"`
+	Scheduler string     `json:"scheduler"`
+	Conc      int        `json:"concurrency"`
+	Cold      phaseStats `json:"cold"`
+	Warm      phaseStats `json:"warm"`
+	Speedup   float64    `json:"warm_over_cold_speedup"`
+}
+
+func main() {
+	var (
+		n     = flag.Int("n", 300, "deployment size (paper topology)")
+		seed  = flag.Uint64("seed", 1, "deployment seed")
+		r     = flag.Int("r", 0, "duty-cycle rate; 0 or 1 = synchronous")
+		sched = flag.String("sched", "gopt", "scheduler: gopt|opt|emodel|energy|baseline")
+		reqs  = flag.Int("requests", 64, "requests per phase")
+		conc  = flag.Int("conc", 8, "concurrent clients")
+		addr  = flag.String("addr", "", "target a running mlb-serve (default: in-process)")
+		out   = flag.String("out", "", "also write the report JSON here")
+	)
+	flag.Parse()
+
+	var send func(noCache bool) error
+	target := "in-process"
+	if *addr == "" {
+		svc := mlbs.NewService(mlbs.ServiceConfig{Workers: runtime.GOMAXPROCS(0)})
+		defer svc.Close()
+		send = func(noCache bool) error {
+			_, err := svc.Plan(context.Background(), mlbs.PlanRequest{
+				Generator: &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
+				Scheduler: *sched,
+				NoCache:   noCache,
+			})
+			return err
+		}
+	} else {
+		target = *addr
+		client := &http.Client{Timeout: 5 * time.Minute}
+		send = func(noCache bool) error {
+			body, _ := json.Marshal(map[string]any{
+				"n": *n, "seed": *seed, "r": *r,
+				"scheduler": *sched, "no_cache": noCache,
+			})
+			resp, err := client.Post(*addr+"/v1/plan", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			return nil
+		}
+	}
+
+	rep := loadReport{
+		Tool:      "mlb-load",
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Target:    target,
+		Nodes:     *n,
+		Seed:      *seed,
+		DutyRate:  *r,
+		Scheduler: *sched,
+		Conc:      *conc,
+	}
+
+	// One throwaway request materializes the deployment so the cold phase
+	// measures scheduling, not topology sampling.
+	if err := send(true); err != nil {
+		fatal(err)
+	}
+
+	var err error
+	rep.Cold, err = runPhase(*reqs, *conc, func() error { return send(true) })
+	if err != nil {
+		fatal(err)
+	}
+	// Prime, then measure pure hits.
+	if err := send(false); err != nil {
+		fatal(err)
+	}
+	rep.Warm, err = runPhase(*reqs, *conc, func() error { return send(false) })
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Cold.PlansPerSec > 0 {
+		rep.Speedup = rep.Warm.PlansPerSec / rep.Cold.PlansPerSec
+	}
+
+	fmt.Printf("target=%s n=%d r=%d sched=%s conc=%d\n", target, *n, *r, *sched, *conc)
+	fmt.Printf("cold: %10.1f plans/sec  p50=%-12v p99=%v\n",
+		rep.Cold.PlansPerSec, time.Duration(rep.Cold.P50Ns), time.Duration(rep.Cold.P99Ns))
+	fmt.Printf("warm: %10.1f plans/sec  p50=%-12v p99=%v\n",
+		rep.Warm.PlansPerSec, time.Duration(rep.Warm.P50Ns), time.Duration(rep.Warm.P99Ns))
+	fmt.Printf("warm/cold speedup: %.1f×\n", rep.Speedup)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// runPhase fires total requests from conc workers and aggregates wall
+// throughput plus per-request latency percentiles.
+func runPhase(total, conc int, send func() error) (phaseStats, error) {
+	if conc < 1 {
+		conc = 1
+	}
+	lat := make([]time.Duration, total)
+	errs := make([]error, conc)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				if errs[w] != nil {
+					continue // drain so the feeder never blocks
+				}
+				t0 := time.Now()
+				if err := send(); err != nil {
+					errs[w] = err
+					continue
+				}
+				lat[i] = time.Since(t0)
+			}
+		}(w)
+	}
+	for i := 0; i < total; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return phaseStats{}, err
+		}
+	}
+	slices.Sort(lat)
+	return phaseStats{
+		Requests:    total,
+		PlansPerSec: float64(total) / elapsed.Seconds(),
+		P50Ns:       lat[total/2].Nanoseconds(),
+		P99Ns:       lat[total*99/100].Nanoseconds(),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlb-load:", err)
+	os.Exit(1)
+}

@@ -3,14 +3,20 @@
 //
 // Usage:
 //
-//	mlb-run [-n 150] [-seed 1] [-r 0] [-sched gopt] [-v]
+//	mlb-run [-n 150] [-seed 1] [-r 0] [-sched gopt] [-v] [-json]
 //
 // -r 0 selects the round-based synchronous system; r > 1 the duty-cycle
 // system with that cycle rate. -sched is one of opt, gopt, emodel,
 // baseline, localized.
+//
+// -json swaps the human-readable output for one machine-readable object —
+// the instance digest, the graphio-encoded Result, and the replay Report,
+// the same schema `mlb-serve` answers with — so runs can be scripted
+// against the service's contract.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,20 +26,46 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 150, "number of nodes (paper sweeps 50..300)")
-		seed    = flag.Uint64("seed", 1, "deployment seed")
-		r       = flag.Int("r", 0, "duty-cycle rate r; 0 or 1 = synchronous")
-		sched   = flag.String("sched", "gopt", "scheduler: opt|gopt|emodel|baseline|localized")
-		verbose = flag.Bool("v", false, "print every advance")
+		n        = flag.Int("n", 150, "number of nodes (paper sweeps 50..300)")
+		seed     = flag.Uint64("seed", 1, "deployment seed")
+		r        = flag.Int("r", 0, "duty-cycle rate r; 0 or 1 = synchronous")
+		sched    = flag.String("sched", "gopt", "scheduler: opt|gopt|emodel|baseline|localized")
+		verbose  = flag.Bool("v", false, "print every advance")
+		jsonMode = flag.Bool("json", false, "emit machine-readable digest+result+report JSON")
 	)
 	flag.Parse()
-	if err := run(*n, *seed, *r, *sched, *verbose); err != nil {
+	if err := run(*n, *seed, *r, *sched, *verbose, *jsonMode); err != nil {
 		fmt.Fprintln(os.Stderr, "mlb-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed uint64, r int, schedName string, verbose bool) error {
+// jsonOutput mirrors the service's plan response: the content address of
+// the instance, the result in graphio's schema, and the physical replay.
+type jsonOutput struct {
+	Digest string          `json:"digest"`
+	Result json.RawMessage `json:"result"`
+	Report *mlbs.Report    `json:"report"`
+}
+
+func emitJSON(in mlbs.Instance, res *mlbs.Result, rep *mlbs.Report) error {
+	digest, err := mlbs.InstanceDigest(in)
+	if err != nil {
+		return err
+	}
+	resJSON, err := mlbs.EncodeResult(res)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(jsonOutput{Digest: digest.String(), Result: resJSON, Report: rep}, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(out))
+	return err
+}
+
+func run(n int, seed uint64, r int, schedName string, verbose, jsonMode bool) error {
 	dep, err := mlbs.PaperDeployment(n, seed)
 	if err != nil {
 		return err
@@ -44,13 +76,18 @@ func run(n int, seed uint64, r int, schedName string, verbose bool) error {
 	} else {
 		in = mlbs.SyncInstance(dep.G, dep.Source)
 	}
-	fmt.Printf("deployment: n=%d density=%.3f edges=%d source=%d ecc=%d seed=%d\n",
-		n, dep.Cfg.Density(), dep.G.M(), dep.Source, dep.SourceEcc, seed)
+	if !jsonMode {
+		fmt.Printf("deployment: n=%d density=%.3f edges=%d source=%d ecc=%d seed=%d\n",
+			n, dep.Cfg.Density(), dep.G.M(), dep.Source, dep.SourceEcc, seed)
+	}
 
 	if schedName == "localized" {
 		rep, s, err := mlbs.LocalizedRun(in)
 		if err != nil {
 			return err
+		}
+		if jsonMode {
+			return emitJSON(in, &mlbs.Result{Scheduler: "localized", Schedule: s, PA: s.PA()}, rep)
 		}
 		printOutcome(in, s, rep, r, dep.SourceEcc, verbose)
 		return nil
@@ -83,6 +120,9 @@ func run(n int, seed uint64, r int, schedName string, verbose bool) error {
 	rep, err := mlbs.Replay(in, res.Schedule)
 	if err != nil {
 		return err
+	}
+	if jsonMode {
+		return emitJSON(in, res, rep)
 	}
 	fmt.Printf("scheduler: %s  exact=%v  expanded=%d states\n",
 		res.Scheduler, res.Exact, res.Stats.Expanded)

@@ -1,0 +1,252 @@
+// Command mlb-serve exposes the plan service over HTTP/JSON: a
+// content-addressed schedule cache with singleflight deduplication in
+// front of a sharded pool of reusable search engines.
+//
+// Usage:
+//
+//	mlb-serve [-addr :8080] [-workers 0] [-cache 4096] [-queue 16]
+//
+// Endpoints:
+//
+//	POST /v1/plan    one plan request (generator params or inline instance)
+//	POST /v1/sweep   streaming parameter sweep (NDJSON, one item per line)
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text format
+//	/debug/pprof/    runtime profiles
+//
+// A generator-form request and its response:
+//
+//	curl -s localhost:8080/v1/plan -d '{"n":150,"seed":1,"r":10,"scheduler":"gopt"}'
+//	{"digest":"…","cache_hit":false,"result":{"pa":64,…},…}
+//
+// Ship an exact instance instead with {"instance": <EncodeInstance JSON>}.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mlbs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "scheduling workers (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 4096, "plan cache capacity (entries)")
+		queue   = flag.Int("queue", 16, "per-worker job queue depth")
+	)
+	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	svc := mlbs.NewService(mlbs.ServiceConfig{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cache,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
+	go func() {
+		log.Printf("mlb-serve: listening on %s (%d workers, cache %d)", *addr, *workers, *cache)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("mlb-serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("mlb-serve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+func newMux(svc *mlbs.PlanService) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) { handlePlan(svc, w, r) })
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(svc, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, w) })
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// planHTTPRequest is the wire form of a plan request: either the paper
+// generator's parameters or an inline graphio instance encoding.
+type planHTTPRequest struct {
+	N         int             `json:"n,omitempty"`
+	Seed      uint64          `json:"seed,omitempty"`
+	R         int             `json:"r,omitempty"`
+	WakeSeed  uint64          `json:"wake_seed,omitempty"`
+	Instance  json.RawMessage `json:"instance,omitempty"`
+	Scheduler string          `json:"scheduler,omitempty"`
+	Budget    int             `json:"budget,omitempty"`
+	NoCache   bool            `json:"no_cache,omitempty"`
+	Replay    bool            `json:"replay,omitempty"`
+}
+
+type planHTTPResponse struct {
+	Digest    string          `json:"digest"`
+	Scheduler string          `json:"scheduler"`
+	CacheHit  bool            `json:"cache_hit"`
+	Coalesced bool            `json:"coalesced"`
+	ElapsedNs int64           `json:"elapsed_ns"`
+	Result    json.RawMessage `json:"result"`
+	Report    *mlbs.Report    `json:"report,omitempty"`
+}
+
+func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+	var hr planHTTPRequest
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(data, &hr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	req := mlbs.PlanRequest{Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
+	var inst *mlbs.Instance
+	if len(hr.Instance) > 0 {
+		in, err := mlbs.DecodeInstance(hr.Instance)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Instance, inst = &in, &in
+	} else {
+		req.Generator = &mlbs.PlanGenerator{N: hr.N, Seed: hr.Seed, DutyRate: hr.R, WakeSeed: hr.WakeSeed}
+	}
+
+	resp, err := svc.Plan(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resJSON, err := mlbs.EncodeResult(resp.Result)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := planHTTPResponse{
+		Digest:    resp.Digest,
+		Scheduler: resp.Scheduler,
+		CacheHit:  resp.CacheHit,
+		Coalesced: resp.Coalesced,
+		ElapsedNs: resp.Elapsed.Nanoseconds(),
+		Result:    resJSON,
+	}
+	if hr.Replay {
+		if inst == nil {
+			// Generator form: rebuild the instance the service planned
+			// (deterministic from the same parameters).
+			in, err := generatorInstance(hr)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			inst = &in
+		}
+		rep, err := mlbs.Replay(*inst, resp.Result.Schedule)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out.Report = rep
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// generatorInstance mirrors the service's generator resolution (and
+// mlb-run's conventions) for the replay path.
+func generatorInstance(hr planHTTPRequest) (mlbs.Instance, error) {
+	dep, err := mlbs.PaperDeployment(hr.N, hr.Seed)
+	if err != nil {
+		return mlbs.Instance{}, err
+	}
+	if hr.R > 1 {
+		ws := hr.WakeSeed
+		if ws == 0 {
+			ws = hr.Seed ^ 0xA5
+		}
+		return mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(hr.N, hr.R, ws), 0), nil
+	}
+	return mlbs.SyncInstance(dep.G, dep.Source), nil
+}
+
+func handleSweep(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+	var req mlbs.SweepRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := svc.Sweep(r.Context(), req, func(it mlbs.SweepItem) error {
+		if err := enc.Encode(it); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Headers are gone; best effort is a terminal NDJSON error line.
+		_ = enc.Encode(mlbs.SweepItem{Err: err.Error()})
+	}
+}
+
+func handleMetrics(svc *mlbs.PlanService, w http.ResponseWriter) {
+	m := svc.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE mlbs_plan_requests_total counter\nmlbs_plan_requests_total %d\n", m.Requests)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_hits_total counter\nmlbs_plan_cache_hits_total %d\n", m.Hits)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_misses_total counter\nmlbs_plan_cache_misses_total %d\n", m.Misses)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_coalesced_total counter\nmlbs_plan_coalesced_total %d\n", m.Coalesced)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_searches_total counter\nmlbs_plan_searches_total %d\n", m.Searches)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_errors_total counter\nmlbs_plan_errors_total %d\n", m.Errors)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_evictions_total counter\nmlbs_plan_cache_evictions_total %d\n", m.Evictions)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_entries gauge\nmlbs_plan_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "# TYPE mlbs_plan_latency_seconds summary\n")
+	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.5\"} %g\n", m.P50.Seconds())
+	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.99\"} %g\n", m.P99.Seconds())
+	fmt.Fprintf(w, "mlbs_plan_hit_latency_seconds{quantile=\"0.5\"} %g\n", m.HitP50.Seconds())
+	fmt.Fprintf(w, "mlbs_plan_hit_latency_seconds{quantile=\"0.99\"} %g\n", m.HitP99.Seconds())
+	fmt.Fprintf(w, "mlbs_plan_miss_latency_seconds{quantile=\"0.5\"} %g\n", m.MissP50.Seconds())
+	fmt.Fprintf(w, "mlbs_plan_miss_latency_seconds{quantile=\"0.99\"} %g\n", m.MissP99.Seconds())
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

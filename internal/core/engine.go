@@ -1,0 +1,40 @@
+package core
+
+// Engine is a reusable search scheduler: it runs the same branch-and-bound
+// as its parent Search but keeps the frame arena, bitset pool, BFS buffers
+// and memo storage across calls, so a warm engine schedules instance after
+// instance without re-growing its arenas — the serving layer's per-worker
+// allocation discipline. Results returned from an Engine are immutable;
+// the engine never writes into a schedule it has handed out.
+//
+// An Engine is NOT safe for concurrent use. Give each worker goroutine its
+// own (the service layer does exactly that); the parent Search remains
+// safe to share because Search.Schedule builds a fresh engine per call.
+type Engine struct {
+	search *Search
+	e      *engine
+	// inc is the reusable incumbent engine for maximal-set searches: OPT
+	// seeds its upper bound with a full G-OPT run, which would otherwise
+	// pay a cold engine per call.
+	inc *Engine
+}
+
+// NewEngine returns a reusable engine for this search configuration.
+func (s *Search) NewEngine() *Engine { return &Engine{search: s} }
+
+// Name implements Scheduler.
+func (en *Engine) Name() string { return en.search.name }
+
+// Schedule implements Scheduler, recycling the engine's arenas.
+func (en *Engine) Schedule(in Instance) (*Result, error) {
+	cfg := en.search.cfg
+	if cfg.Incumbent == nil && cfg.Moves == MaximalMoves {
+		if en.inc == nil {
+			en.inc = NewGOPT(cfg.Budget).NewEngine()
+		}
+		cfg.Incumbent = en.inc
+	}
+	res, e, err := en.search.run(in, cfg, en.e)
+	en.e = e
+	return res, err
+}

@@ -51,6 +51,20 @@ func newMemoTable(seed uint64) memoTable {
 	return memoTable{seed: seed}
 }
 
+// reset empties the table while keeping its slot array and current key
+// slab, so a reused engine's next search fills warm storage instead of
+// reallocating it. Keys are nilled out to release retired slabs to the GC.
+func (m *memoTable) reset() {
+	for i := range m.slots {
+		m.slots[i] = memoSlot{}
+	}
+	for i := range m.keys {
+		m.keys[i] = nil
+	}
+	m.count = 0
+	m.slab = m.slab[:0]
+}
+
 // copyKey stores a copy of w in the arena. Entries live for the whole
 // search, so a bump allocator amortizes thousands of key copies into a
 // handful of slab allocations; exhausted slabs stay referenced by the keys

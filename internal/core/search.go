@@ -128,6 +128,30 @@ func newEngine(in Instance, cfg SearchConfig) *engine {
 	}
 }
 
+// reset rebinds a used engine to a new instance while keeping every arena
+// that can survive: the bitset pool always carries over (it is binned by
+// word count), and the frame arena, BFS buffers and memo storage carry
+// over whenever the node count is unchanged. The incumbent slice is
+// detached, not truncated — the previous Result still aliases it.
+func (e *engine) reset(in Instance, cfg SearchConfig) {
+	n := in.G.N()
+	if n != e.n {
+		e.frames = nil
+		e.distBuf, e.quBuf = nil, nil
+	}
+	e.in = in
+	e.cfg = cfg
+	e.n = n
+	e.period = in.Wake.Period()
+	e.memo.reset()
+	e.stats = SearchStats{}
+	e.budget = cfg.Budget
+	e.trunc = false
+	e.bestEnd = 0
+	e.best = nil
+	e.stack = e.stack[:0]
+}
+
 // frame returns the depth-th scratch frame, creating it on first descent.
 func (e *engine) frame(depth int) *frame {
 	for len(e.frames) <= depth {
@@ -140,10 +164,17 @@ func (e *engine) frame(depth int) *frame {
 
 // Schedule implements Scheduler.
 func (s *Search) Schedule(in Instance) (*Result, error) {
+	res, _, err := s.run(in, s.cfg, nil)
+	return res, err
+}
+
+// run executes one search. reuse, when non-nil, is a previously-used
+// engine whose arenas are recycled; the engine actually used is returned
+// so callers holding one (the reusable Engine) can keep it warm.
+func (s *Search) run(in Instance, cfg SearchConfig, reuse *engine) (*Result, *engine, error) {
 	if err := in.Validate(); err != nil {
-		return nil, err
+		return nil, reuse, err
 	}
-	cfg := s.cfg
 	if cfg.Budget <= 0 {
 		cfg.Budget = DefaultBudget
 	}
@@ -168,10 +199,15 @@ func (s *Search) Schedule(in Instance) (*Result, error) {
 	}
 	seed, err := incumbent.Schedule(in)
 	if err != nil {
-		return nil, fmt.Errorf("core: incumbent rollout failed: %w", err)
+		return nil, reuse, fmt.Errorf("core: incumbent rollout failed: %w", err)
 	}
 
-	e := newEngine(in, cfg)
+	e := reuse
+	if e == nil {
+		e = newEngine(in, cfg)
+	} else {
+		e.reset(in, cfg)
+	}
 	e.bestEnd = seed.Schedule.End()
 	e.best = append([]Advance(nil), seed.Schedule.Advances...)
 
@@ -193,12 +229,12 @@ func (s *Search) Schedule(in Instance) (*Result, error) {
 			// move set, which is not a global optimality proof.
 			adv, rerr := e.reconstruct(w0, in.Start, val)
 			if rerr != nil {
-				return nil, rerr
+				return nil, e, rerr
 			}
 			sched = &Schedule{Source: in.Source, Start: in.Start, Advances: adv}
 			exact = !e.stats.MovesCapped
 		case ex:
-			return nil, errors.New("core: search returned exact value above the incumbent (internal error)")
+			return nil, e, errors.New("core: search returned exact value above the incumbent (internal error)")
 		case val >= e.bestEnd:
 			// Fail-high: every alternative is provably ≥ the incumbent, so
 			// the incumbent is optimal. Lower bounds stay valid under
@@ -218,7 +254,7 @@ func (s *Search) Schedule(in Instance) (*Result, error) {
 		PA:        sched.PA(),
 		Exact:     exact,
 		Stats:     e.stats,
-	}, nil
+	}, e, nil
 }
 
 // maxHop returns the largest hop distance from coverage w to any uncovered

@@ -61,6 +61,7 @@ func (a AlwaysAwake) N() int { return a.Nodes }
 type Uniform struct {
 	r      int
 	cycles int // period = r * cycles
+	master uint64
 	seeds  []uint64
 }
 
@@ -82,8 +83,16 @@ func NewUniform(n, r int, masterSeed uint64, cycles int) *Uniform {
 	for i := range seeds {
 		seeds[i] = rng.SplitMix64(&state)
 	}
-	return &Uniform{r: r, cycles: cycles, seeds: seeds}
+	return &Uniform{r: r, cycles: cycles, master: masterSeed, seeds: seeds}
 }
+
+// MasterSeed returns the seed the schedule was built from; together with
+// (N, Rate, Cycles) it reconstructs the schedule exactly, which is what
+// graphio's instance encoding and digest rely on.
+func (s *Uniform) MasterSeed() uint64 { return s.master }
+
+// Cycles returns the period length in cycles (Period = Rate × Cycles).
+func (s *Uniform) Cycles() int { return s.cycles }
 
 // offset returns the wake offset of node u within cycle c, in [0, r).
 func (s *Uniform) offset(u, c int) int {
@@ -196,6 +205,10 @@ func (s *Fixed) NextAwake(u, t int) int {
 	return base + s.period + s.slots[u][0]
 }
 
+// SlotLists returns the per-node wake-slot lists within [0, Period);
+// callers must not modify the returned slices.
+func (s *Fixed) SlotLists() [][]int { return s.slots }
+
 // Period returns the schedule period.
 func (s *Fixed) Period() int { return s.period }
 
@@ -241,6 +254,10 @@ func NewPeriodicPhase(r int, phases []int) *PeriodicPhase {
 	}
 	return &PeriodicPhase{r: r, phases: append([]int(nil), phases...)}
 }
+
+// Phases returns the per-node wake phases in [0, Rate); callers must not
+// modify the returned slice.
+func (s *PeriodicPhase) Phases() []int { return s.phases }
 
 // Awake reports whether u is awake at slot t.
 func (s *PeriodicPhase) Awake(u, t int) bool { return t >= 0 && t%s.r == s.phases[u] }

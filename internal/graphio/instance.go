@@ -1,0 +1,344 @@
+package graphio
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"slices"
+
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+)
+
+// wakeJSON is the stored form of a dutycycle.Schedule: the constructor
+// kind plus exactly the parameters that rebuild it. Pseudo-random
+// schedules store their seed, never their expansion, so files stay small
+// and the decoded schedule is bit-identical to the encoder's.
+type wakeJSON struct {
+	Kind   string  `json:"kind"` // always | uniform | fixed | phase
+	Nodes  int     `json:"nodes"`
+	Rate   int     `json:"rate,omitempty"`
+	Cycles int     `json:"cycles,omitempty"` // uniform
+	Seed   uint64  `json:"seed,omitempty"`   // uniform
+	Period int     `json:"period,omitempty"` // fixed
+	Phases []int   `json:"phases,omitempty"` // phase
+	Slots  [][]int `json:"slots,omitempty"`  // fixed
+}
+
+// instanceJSON is the stored form of a core.Instance. Unit-disk graphs are
+// stored as positions + radius; abstract graphs as explicit edge lists.
+type instanceJSON struct {
+	Version    int       `json:"version"`
+	Nodes      int       `json:"nodes"`
+	X          []float64 `json:"x,omitempty"`
+	Y          []float64 `json:"y,omitempty"`
+	Radius     float64   `json:"radius,omitempty"`
+	EdgeU      []int     `json:"edge_u,omitempty"`
+	EdgeV      []int     `json:"edge_v,omitempty"`
+	Source     int       `json:"source"`
+	Start      int       `json:"start"`
+	PreCovered []int     `json:"pre_covered,omitempty"`
+	Wake       wakeJSON  `json:"wake"`
+}
+
+func encodeWake(s dutycycle.Schedule) (wakeJSON, error) {
+	switch w := s.(type) {
+	case dutycycle.AlwaysAwake:
+		return wakeJSON{Kind: "always", Nodes: w.Nodes}, nil
+	case *dutycycle.Uniform:
+		return wakeJSON{Kind: "uniform", Nodes: w.N(), Rate: w.Rate(),
+			Cycles: w.Cycles(), Seed: w.MasterSeed()}, nil
+	case *dutycycle.Fixed:
+		return wakeJSON{Kind: "fixed", Nodes: w.N(), Rate: w.Rate(),
+			Period: w.Period(), Slots: w.SlotLists()}, nil
+	case *dutycycle.PeriodicPhase:
+		return wakeJSON{Kind: "phase", Nodes: w.N(), Rate: w.Rate(),
+			Phases: w.Phases()}, nil
+	default:
+		return wakeJSON{}, fmt.Errorf("graphio: wake schedule %T has no stored form", s)
+	}
+}
+
+func decodeWake(w wakeJSON) (dutycycle.Schedule, error) {
+	switch w.Kind {
+	case "always":
+		return dutycycle.AlwaysAwake{Nodes: w.Nodes}, nil
+	case "uniform":
+		if w.Rate < 1 || w.Cycles < 1 {
+			return nil, fmt.Errorf("graphio: uniform wake needs rate ≥ 1 and cycles ≥ 1")
+		}
+		return dutycycle.NewUniform(w.Nodes, w.Rate, w.Seed, w.Cycles), nil
+	case "fixed":
+		if w.Period < 1 || w.Rate < 1 || len(w.Slots) != w.Nodes {
+			return nil, fmt.Errorf("graphio: malformed fixed wake schedule")
+		}
+		return dutycycle.NewFixed(w.Period, w.Rate, w.Slots), nil
+	case "phase":
+		if w.Rate < 1 || len(w.Phases) != w.Nodes {
+			return nil, fmt.Errorf("graphio: malformed phase wake schedule")
+		}
+		return dutycycle.NewPeriodicPhase(w.Rate, w.Phases), nil
+	default:
+		return nil, fmt.Errorf("graphio: unknown wake kind %q", w.Kind)
+	}
+}
+
+// EncodeInstance serializes a broadcast instance — graph, source, start
+// slot, pre-covered set and wake schedule — so the exact problem a
+// schedule answers can be shipped to the plan service or archived next to
+// its result.
+func EncodeInstance(in core.Instance) ([]byte, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	wake, err := encodeWake(in.Wake)
+	if err != nil {
+		return nil, err
+	}
+	out := instanceJSON{
+		Version: currentVersion,
+		Nodes:   in.G.N(),
+		Source:  in.Source,
+		Start:   in.Start,
+		Wake:    wake,
+	}
+	if len(in.PreCovered) > 0 {
+		out.PreCovered = append([]int(nil), in.PreCovered...)
+		slices.Sort(out.PreCovered)
+	}
+	// Positions are always stored: abstract (radius-0) graphs may still
+	// carry geometry the E-model reads, and InstanceDigest hashes it —
+	// dropping it here would change the digest across a round trip.
+	for _, p := range in.G.Positions() {
+		out.X = append(out.X, p.X)
+		out.Y = append(out.Y, p.Y)
+	}
+	if in.G.Radius() > 0 {
+		out.Radius = in.G.Radius()
+	} else {
+		for u := 0; u < in.G.N(); u++ {
+			for _, v := range in.G.Adj(u) {
+				if v > u {
+					out.EdgeU = append(out.EdgeU, u)
+					out.EdgeV = append(out.EdgeV, v)
+				}
+			}
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// DecodeInstance rebuilds an instance from EncodeInstance output and
+// validates it.
+func DecodeInstance(data []byte) (core.Instance, error) {
+	var st instanceJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		return core.Instance{}, fmt.Errorf("graphio: %w", err)
+	}
+	if st.Version != currentVersion {
+		return core.Instance{}, fmt.Errorf("graphio: unsupported version %d", st.Version)
+	}
+	if st.Nodes < 1 {
+		return core.Instance{}, fmt.Errorf("graphio: instance has %d nodes", st.Nodes)
+	}
+	var pos []geom.Point
+	if len(st.X) > 0 || len(st.Y) > 0 {
+		if len(st.X) != st.Nodes || len(st.Y) != st.Nodes {
+			return core.Instance{}, fmt.Errorf("graphio: %d nodes but %d/%d coordinates", st.Nodes, len(st.X), len(st.Y))
+		}
+		pos = make([]geom.Point, st.Nodes)
+		for i := range pos {
+			pos[i] = geom.Point{X: st.X[i], Y: st.Y[i]}
+		}
+	}
+	var g *graph.Graph
+	switch {
+	case st.Radius > 0:
+		if pos == nil {
+			return core.Instance{}, fmt.Errorf("graphio: UDG instance without coordinates")
+		}
+		g = graph.FromUDG(pos, st.Radius)
+	default:
+		if len(st.EdgeU) != len(st.EdgeV) {
+			return core.Instance{}, fmt.Errorf("graphio: edge arrays of different lengths")
+		}
+		b := graph.NewBuilder(st.Nodes, pos)
+		for i := range st.EdgeU {
+			u, v := st.EdgeU[i], st.EdgeV[i]
+			if u < 0 || v < 0 || u >= st.Nodes || v >= st.Nodes || u == v {
+				return core.Instance{}, fmt.Errorf("graphio: bad edge {%d,%d}", u, v)
+			}
+			b.AddEdge(u, v)
+		}
+		g = b.Build()
+	}
+	wake, err := decodeWake(st.Wake)
+	if err != nil {
+		return core.Instance{}, err
+	}
+	in := core.Instance{
+		G:          g,
+		Source:     st.Source,
+		Start:      st.Start,
+		Wake:       wake,
+		PreCovered: st.PreCovered,
+	}
+	if err := in.Validate(); err != nil {
+		return core.Instance{}, fmt.Errorf("graphio: %w", err)
+	}
+	return in, nil
+}
+
+// Digest is the content address of a broadcast instance: a SHA-256 over a
+// canonical binary encoding of everything a scheduler's answer depends on
+// — node positions, radius, the edge set, source, start slot, pre-covered
+// nodes, and the wake schedule's parameters. Equal instances digest
+// equally across processes and architectures; changing any input changes
+// the digest.
+type Digest [sha256.Size]byte
+
+// String returns the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// digestMagic versions the canonical encoding; bump it whenever the byte
+// layout below changes, so stale cache keys can never alias new ones.
+const digestMagic = "mlbs-instance-v1"
+
+type digestWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *digestWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *digestWriter) i(v int)     { w.u64(uint64(int64(v))) }
+func (w *digestWriter) f(v float64) { w.u64(math.Float64bits(v)) }
+func (w *digestWriter) s(v string)  { w.i(len(v)); w.h.Write([]byte(v)) }
+func (w *digestWriter) ints(v []int) {
+	w.i(len(v))
+	for _, x := range v {
+		w.i(x)
+	}
+}
+
+// InstanceDigest computes the content address of an instance.
+func InstanceDigest(in core.Instance) (Digest, error) {
+	if in.G == nil || in.Wake == nil {
+		return Digest{}, fmt.Errorf("graphio: cannot digest an instance with a nil graph or wake schedule")
+	}
+	wake, err := encodeWake(in.Wake)
+	if err != nil {
+		return Digest{}, err
+	}
+	w := &digestWriter{h: sha256.New()}
+	w.s(digestMagic)
+	n := in.G.N()
+	w.i(n)
+	w.f(in.G.Radius())
+	for _, p := range in.G.Positions() {
+		w.f(p.X)
+		w.f(p.Y)
+	}
+	w.i(in.G.M())
+	for u := 0; u < n; u++ {
+		for _, v := range in.G.Adj(u) { // sorted by construction
+			if v > u {
+				w.i(u)
+				w.i(v)
+			}
+		}
+	}
+	w.i(in.Source)
+	w.i(in.Start)
+	pre := append([]int(nil), in.PreCovered...)
+	slices.Sort(pre)
+	w.ints(pre)
+	w.s(wake.Kind)
+	w.i(wake.Nodes)
+	w.i(wake.Rate)
+	w.i(wake.Cycles)
+	w.u64(wake.Seed)
+	w.i(wake.Period)
+	w.ints(wake.Phases)
+	w.i(len(wake.Slots))
+	for _, s := range wake.Slots {
+		w.ints(s)
+	}
+	var d Digest
+	w.h.Sum(d[:0])
+	return d, nil
+}
+
+// resultJSON is the stored form of a core.Result — the schema both
+// `mlb-run -json` and the plan service's HTTP responses emit.
+type resultJSON struct {
+	Version   int              `json:"version"`
+	Scheduler string           `json:"scheduler"`
+	PA        int              `json:"pa"`
+	Latency   int              `json:"latency"`
+	Exact     bool             `json:"exact"`
+	Stats     core.SearchStats `json:"stats"`
+	Schedule  scheduleJSON     `json:"schedule"`
+}
+
+// EncodeResult serializes a scheduler result, schedule included.
+func EncodeResult(res *core.Result) ([]byte, error) {
+	if res == nil || res.Schedule == nil {
+		return nil, fmt.Errorf("graphio: nil result")
+	}
+	s := res.Schedule
+	out := resultJSON{
+		Version:   currentVersion,
+		Scheduler: res.Scheduler,
+		PA:        res.PA,
+		Latency:   s.Latency(),
+		Exact:     res.Exact,
+		Stats:     res.Stats,
+		Schedule:  scheduleJSON{Version: currentVersion, Source: s.Source, Start: s.Start},
+	}
+	for _, adv := range s.Advances {
+		out.Schedule.T = append(out.Schedule.T, adv.T)
+		out.Schedule.Senders = append(out.Schedule.Senders, adv.Senders)
+		out.Schedule.Covered = append(out.Schedule.Covered, adv.Covered)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// DecodeResult rebuilds a result from EncodeResult output; Validate the
+// inner schedule against its instance before trusting it.
+func DecodeResult(data []byte) (*core.Result, error) {
+	var st resultJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if st.Version != currentVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", st.Version)
+	}
+	if len(st.Schedule.T) != len(st.Schedule.Senders) || len(st.Schedule.T) != len(st.Schedule.Covered) {
+		return nil, fmt.Errorf("graphio: advance arrays of different lengths")
+	}
+	s := &core.Schedule{Source: st.Schedule.Source, Start: st.Schedule.Start}
+	for i := range st.Schedule.T {
+		s.Advances = append(s.Advances, core.Advance{
+			T:       st.Schedule.T[i],
+			Senders: st.Schedule.Senders[i],
+			Covered: st.Schedule.Covered[i],
+		})
+	}
+	return &core.Result{
+		Scheduler: st.Scheduler,
+		Schedule:  s,
+		PA:        st.PA,
+		Exact:     st.Exact,
+		Stats:     st.Stats,
+	}, nil
+}

@@ -1,0 +1,264 @@
+// Package plancache is the serving layer's content-addressed store: a
+// sharded, LRU-bounded map from a canonical instance digest (plus the
+// scheduler spec) to the immutable plan computed for it. Real deployments
+// re-plan the same broadcast instance constantly — same topology, same
+// wake family, new request — so the cache turns the steady-state cost of
+// a plan from a branch-and-bound search into a map probe.
+//
+// Two properties matter beyond plain caching:
+//
+//   - The hit path allocates nothing once warm: a probe is a shard lock,
+//     a map lookup and two pointer swings on the intrusive LRU list.
+//   - GetOrCompute deduplicates concurrent misses per key (singleflight):
+//     N simultaneous requests for the same uncached instance trigger
+//     exactly one computation; the other N−1 block on the leader's result.
+//
+// Values must be treated as immutable by all callers — the same pointer is
+// handed to every hit.
+package plancache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of cache traffic.
+type Stats struct {
+	Hits      int64 // probes answered from the cache
+	Misses    int64 // probes that found nothing (leaders count here)
+	Coalesced int64 // misses that piggybacked on an inflight computation
+	Evictions int64 // entries pushed out by the LRU bound
+	Errors    int64 // computations that failed (nothing stored)
+	Entries   int   // current resident entries
+}
+
+// Cache is a sharded LRU keyed by string. The zero value is not usable;
+// call New.
+type Cache[V any] struct {
+	shards    []shard[V]
+	mask      uint64
+	perShard  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	errors    atomic.Int64
+}
+
+type entry[V any] struct {
+	key        string
+	val        V
+	prev, next *entry[V] // intrusive LRU list; head = most recently used
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	entries  map[string]*entry[V]
+	head     *entry[V]
+	tail     *entry[V]
+	inflight map[string]*call[V]
+	_        [24]byte // pad shards apart so their locks don't false-share
+}
+
+// New builds a cache bounded at capacity entries spread over the given
+// shard count (rounded up to a power of two). capacity ≤ 0 selects 4096;
+// shards ≤ 0 selects 16.
+func New[V any](capacity, shards int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache[V]{
+		shards:   make([]shard[V], n),
+		mask:     uint64(n - 1),
+		perShard: (capacity + n - 1) / n,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry[V])
+		c.shards[i].inflight = make(map[string]*call[V])
+	}
+	return c
+}
+
+// KeyHash hashes a cache key (FNV-1a, allocation-free, deterministic).
+// Exported so callers that co-shard their own structures with the cache —
+// the service's worker pool keys engine locality off the same hash — stay
+// in lockstep with the cache's shard selection by construction.
+func KeyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[KeyHash(key)&c.mask]
+}
+
+// unlink removes e from the LRU list (it must be resident).
+func (s *shard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// Get probes the cache, bumping the entry's recency on a hit. The value
+// is copied out under the shard lock — Put may overwrite e.val in place.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var val V
+	if ok {
+		if s.head != e {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+		val = e.val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return val, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores val under key, evicting the shard's least recently used entry
+// when the shard is at its bound. Storing an existing key refreshes the
+// value and its recency.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	c.putLocked(s, key, val)
+	s.mu.Unlock()
+}
+
+// putLocked is Put's body; s.mu must be held.
+func (c *Cache[V]) putLocked(s *shard[V], key string, val V) {
+	if e, ok := s.entries[key]; ok {
+		e.val = val
+		if s.head != e {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+		return
+	}
+	if len(s.entries) >= c.perShard {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		c.evictions.Add(1)
+	}
+	e := &entry[V]{key: key, val: val}
+	s.entries[key] = e
+	s.pushFront(e)
+}
+
+// GetOrCompute returns the cached value for key, or runs compute to fill
+// it. Concurrent callers for the same key are coalesced: one runs compute,
+// the rest wait and share its result. A failed compute is not cached; its
+// error is returned to the leader and every coalesced waiter.
+//
+// hit reports a cache hit (compute not involved); coalesced reports that
+// this caller waited on another's computation.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (val V, hit, coalesced bool, err error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if s.head != e {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+		v := e.val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, false, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-cl.done
+		return cl.val, false, true, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = cl
+	c.misses.Add(1)
+	s.mu.Unlock()
+
+	cl.val, cl.err = compute()
+
+	// Store and retire the inflight record in one critical section: a gap
+	// between them would let a new request find neither and re-run the
+	// computation, breaking the exactly-one-search guarantee.
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if cl.err == nil {
+		c.putLocked(s, key, cl.val)
+	}
+	s.mu.Unlock()
+	if cl.err != nil {
+		c.errors.Add(1)
+	}
+	close(cl.done)
+	return cl.val, false, false, cl.err
+}
+
+// Len returns the resident entry count.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Errors:    c.errors.Load(),
+		Entries:   c.Len(),
+	}
+}

@@ -1,0 +1,255 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](8, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("a", 10) // refresh
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("refresh lost: got %d", v)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](4, 1) // single shard so the bound is exact
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Get("k0") // bump k0 to most recent; k1 is now the LRU victim
+	c.Put("k4", 4)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestShardedCapacity(t *testing.T) {
+	c := New[int](64, 8)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	// Per-shard bounds make the global bound approximate; it must never
+	// exceed capacity rounded up to shards.
+	if n := c.Len(); n > 64 {
+		t.Fatalf("cache holds %d entries, bound is 64", n)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions recorded after overfilling")
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New[int](16, 4)
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const waiters = 32
+	var wg sync.WaitGroup
+	vals := make([]int, waiters)
+	hits := make([]bool, waiters)
+	coal := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, co, err := c.GetOrCompute("key", func() (int, error) {
+				computes.Add(1)
+				<-release // hold every concurrent caller in the window
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], hits[i], coal[i] = v, hit, co
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times; singleflight wants exactly 1", n)
+	}
+	leaders, coalesced := 0, 0
+	for i := range vals {
+		if vals[i] != 42 {
+			t.Fatalf("caller %d got %d", i, vals[i])
+		}
+		if !hits[i] && !coal[i] {
+			leaders++
+		}
+		if coal[i] {
+			coalesced++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders; want 1", leaders)
+	}
+	if leaders+coalesced != waiters-countTrue(hits) {
+		t.Fatalf("accounting mismatch: leaders=%d coalesced=%d hits=%d", leaders, coalesced, countTrue(hits))
+	}
+	// Subsequent calls are pure hits.
+	if _, hit, _, _ := c.GetOrCompute("key", func() (int, error) {
+		t.Fatal("compute ran on a resident key")
+		return 0, nil
+	}); !hit {
+		t.Fatal("resident key did not hit")
+	}
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New[int](16, 4)
+	boom := errors.New("boom")
+	if _, _, _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed computation was cached")
+	}
+	// The key must be computable again after a failure.
+	v, _, _, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error: %d, %v", v, err)
+	}
+	if st := c.Stats(); st.Errors != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestHitPathAllocs pins the warm probe: a Get and a resident GetOrCompute
+// must not allocate at all — the serving layer's hit path rides on this.
+func TestHitPathAllocs(t *testing.T) {
+	c := New[*int](16, 4)
+	v := 42
+	c.Put("key", &v)
+	compute := func() (*int, error) { return nil, errors.New("must not run") }
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := c.Get("key"); !ok {
+			t.Fatal("miss")
+		}
+	}); allocs != 0 {
+		t.Errorf("Get allocated %.1f objects per hit; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, hit, _, _ := c.GetOrCompute("key", compute); !hit {
+			t.Fatal("miss")
+		}
+	}); allocs != 0 {
+		t.Errorf("GetOrCompute allocated %.1f objects per hit; want 0", allocs)
+	}
+}
+
+// TestConcurrentPutGetSameKey exercises in-place value refreshes against
+// concurrent readers of the same entry — the Put path overwrites e.val
+// under the shard lock, so readers must copy it out before unlocking.
+// The race detector is the assertion here.
+func TestConcurrentPutGetSameKey(t *testing.T) {
+	c := New[*int](8, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := i
+			c.Put("k", &v)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v, ok := c.Get("k"); ok && *v < 0 {
+				t.Error("impossible value")
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, _, _, err := c.GetOrCompute("k", func() (*int, error) { zero := 0; return &zero, nil })
+			if err != nil || *v < 0 {
+				t.Error("impossible value")
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	c := New[int](128, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%200)
+				v, _, _, err := c.GetOrCompute(k, func() (int, error) { return i % 200, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != i%200 {
+					t.Errorf("key %s holds %d", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 128 {
+		t.Fatalf("bound violated: %d entries", n)
+	}
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// hist is a lock-free log-linear latency histogram: 4 linear sub-buckets
+// per power-of-two octave of nanoseconds, giving ~25% relative resolution
+// over the full range from 1ns to ~146h with a fixed 256-counter footprint
+// and an allocation-free observe path.
+type hist struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+const (
+	histSub     = 4 // linear sub-buckets per octave
+	histBuckets = 64 * histSub
+)
+
+func histBucket(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	if ns < 1 {
+		ns = 1
+	}
+	octave := bits.Len64(ns) - 1
+	sub := 0
+	if octave >= 2 {
+		sub = int((ns >> (octave - 2)) & (histSub - 1))
+	}
+	b := octave*histSub + sub
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// histBucketUpper returns the inclusive upper edge of bucket b — the value
+// percentiles report.
+func histBucketUpper(b int) time.Duration {
+	octave := b / histSub
+	sub := b % histSub
+	if octave < 2 {
+		return time.Duration(int64(1) << (octave + 1))
+	}
+	lower := int64(1)<<octave + int64(sub)<<(octave-2)
+	return time.Duration(lower + int64(1)<<(octave-2))
+}
+
+func (h *hist) observe(d time.Duration) {
+	h.counts[histBucket(d)].Add(1)
+	h.total.Add(1)
+}
+
+func (h *hist) count() int64 { return h.total.Load() }
+
+func (h *hist) snapshot(into *[histBuckets]int64) int64 {
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		into[i] += c
+		total += c
+	}
+	return total
+}
+
+// percentileOf walks a (possibly merged) snapshot and returns the upper
+// edge of the bucket holding the q-quantile observation; 0 when empty.
+func percentileOf(counts *[histBuckets]int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total-1))
+	var cum int64
+	for b := range counts {
+		cum += counts[b]
+		if cum > rank {
+			return histBucketUpper(b)
+		}
+	}
+	return histBucketUpper(histBuckets - 1)
+}
+
+func (h *hist) percentile(q float64) time.Duration {
+	var snap [histBuckets]int64
+	total := h.snapshot(&snap)
+	return percentileOf(&snap, total, q)
+}

@@ -1,0 +1,514 @@
+// Package service is the concurrent plan-serving layer: it fronts the
+// schedulers with a content-addressed cache and a sharded worker pool so
+// many clients can request broadcast plans at once while the PR 1
+// allocation discipline survives — every worker goroutine owns its own
+// reusable search engine (scratch + memo arenas), and a warm cache hit
+// never touches an engine at all.
+//
+// Request flow:
+//
+//	Plan → resolve instance → InstanceDigest → cache key (digest|scheduler)
+//	     → hit: return the immutable cached Result
+//	     → miss: singleflight-dispatch one search onto the worker shard
+//	       picked by the key; coalesced callers wait for the leader.
+//
+// Results handed out by the service are shared and immutable: callers must
+// not modify the schedules they receive.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlbs/internal/baseline"
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/emodel"
+	"mlbs/internal/graphio"
+	"mlbs/internal/plancache"
+	"mlbs/internal/topology"
+)
+
+// ErrClosed is returned by Plan after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Config sizes the service. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// Workers is the number of scheduling goroutines, each owning one
+	// reusable engine per scheduler spec it has seen. Default 4.
+	Workers int
+	// QueueDepth is each worker's job buffer. Default 16.
+	QueueDepth int
+	// CacheCapacity bounds the plan cache (entries). Default 4096.
+	CacheCapacity int
+	// CacheShards is the plan cache's shard count. Default 16.
+	CacheShards int
+	// GenCacheCapacity bounds the generated-deployment cache that backs
+	// Generator requests. Default 256.
+	GenCacheCapacity int
+}
+
+// Generator asks the service to build the instance itself from the
+// paper's topology family — the request form remote clients use when they
+// don't want to ship a full instance encoding.
+type Generator struct {
+	// N is the node count of the paper deployment (Section V-A setting).
+	N int `json:"n"`
+	// Seed is the deployment seed.
+	Seed uint64 `json:"seed"`
+	// DutyRate r selects the duty-cycle system when > 1; 0 or 1 is the
+	// round-based synchronous system.
+	DutyRate int `json:"r,omitempty"`
+	// WakeSeed seeds the uniform wake schedule; 0 derives Seed^0xA5, the
+	// same convention mlb-run uses.
+	WakeSeed uint64 `json:"wake_seed,omitempty"`
+}
+
+// Request is one plan request. Exactly one of Instance and Generator must
+// be set.
+type Request struct {
+	Instance  *core.Instance
+	Generator *Generator
+	// Scheduler is one of gopt (default), opt, emodel, energy, baseline
+	// (resolves to the 26- or 17-approximation by wake system).
+	Scheduler string
+	// Budget caps search effort for gopt/opt; 0 selects the default.
+	Budget int
+	// NoCache bypasses the cache lookup (the result is still stored) —
+	// load generators use it to measure the cold path.
+	NoCache bool
+}
+
+// Response is one plan answer. Result is shared and immutable.
+type Response struct {
+	Digest    string
+	Scheduler string
+	Result    *core.Result
+	CacheHit  bool
+	Coalesced bool
+	Elapsed   time.Duration
+	// Err is set instead of Result on per-item failures inside PlanBatch.
+	Err error
+}
+
+// Metrics is a point-in-time snapshot of service traffic.
+type Metrics struct {
+	Requests     int64
+	Hits         int64
+	Misses       int64
+	Coalesced    int64
+	Searches     int64
+	Errors       int64
+	Evictions    int64
+	CacheEntries int
+	HitP50       time.Duration
+	HitP99       time.Duration
+	MissP50      time.Duration
+	MissP99      time.Duration
+	P50          time.Duration
+	P99          time.Duration
+}
+
+// spec is a normalized scheduler selection — part of the cache key and the
+// per-worker engine map key.
+type spec struct {
+	kind   string
+	budget int
+}
+
+func parseSpec(name string, budget int) (spec, error) {
+	if name == "" {
+		name = "gopt"
+	}
+	switch name {
+	case "gopt", "opt":
+		if budget <= 0 {
+			budget = core.DefaultBudget
+		}
+		return spec{kind: name, budget: budget}, nil
+	case "emodel", "energy", "baseline":
+		return spec{kind: name}, nil
+	default:
+		return spec{}, fmt.Errorf("service: unknown scheduler %q (want gopt|opt|emodel|energy|baseline)", name)
+	}
+}
+
+type job struct {
+	in    core.Instance
+	sp    spec
+	reply chan<- jobResult
+}
+
+type jobResult struct {
+	res *core.Result
+	err error
+}
+
+// worker owns one goroutine and the reusable engines it has instantiated;
+// the engines map is touched only from the worker's own goroutine, so no
+// lock guards it and the engines' arenas stay warm call after call.
+type worker struct {
+	jobs    chan job
+	engines map[spec]core.Scheduler
+}
+
+func (w *worker) run(s *Service) {
+	defer s.wg.Done()
+	for jb := range w.jobs {
+		res, err := w.exec(jb)
+		if err == nil {
+			s.searches.Add(1)
+		}
+		jb.reply <- jobResult{res: res, err: err}
+	}
+}
+
+func (w *worker) exec(jb job) (*core.Result, error) {
+	sp := jb.sp
+	if sp.kind == "baseline" {
+		// The paper's baselines are system-specific; resolve by the
+		// instance's wake system like mlb-run does.
+		if jb.in.Wake.Rate() > 1 {
+			sp.kind = "baseline17"
+		} else {
+			sp.kind = "baseline26"
+		}
+	}
+	sched, ok := w.engines[sp]
+	if !ok {
+		sched = newScheduler(sp)
+		w.engines[sp] = sched
+	}
+	return sched.Schedule(jb.in)
+}
+
+func newScheduler(sp spec) core.Scheduler {
+	switch sp.kind {
+	case "gopt":
+		return core.NewGOPT(sp.budget).NewEngine()
+	case "opt":
+		return core.NewOPT(sp.budget, 0).NewEngine()
+	case "emodel":
+		return core.NewEModel(emodel.TwoPass)
+	case "energy":
+		return core.NewEnergyAware()
+	case "baseline26":
+		return baseline.New26()
+	case "baseline17":
+		return baseline.New17()
+	default:
+		panic("service: unreachable scheduler kind " + sp.kind)
+	}
+}
+
+// Service serves broadcast plans concurrently. Build with New; Close when
+// done.
+type Service struct {
+	cfg     Config
+	cache   *plancache.Cache[*core.Result]
+	gens    *plancache.Cache[core.Instance]
+	workers []*worker
+	wg      sync.WaitGroup
+
+	mu       sync.RWMutex // guards closed against in-flight Plan entries
+	closed   bool
+	inflight sync.WaitGroup
+
+	requests atomic.Int64
+	searches atomic.Int64
+	errs     atomic.Int64
+	hitHist  hist
+	missHist hist
+}
+
+// New builds and starts a service.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.GenCacheCapacity <= 0 {
+		cfg.GenCacheCapacity = 256
+	}
+	s := &Service{
+		cfg:   cfg,
+		cache: plancache.New[*core.Result](cfg.CacheCapacity, cfg.CacheShards),
+		gens:  plancache.New[core.Instance](cfg.GenCacheCapacity, 4),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{jobs: make(chan job, cfg.QueueDepth), engines: make(map[spec]core.Scheduler)}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go w.run(s)
+	}
+	return s
+}
+
+// Close waits for in-flight requests, stops the workers, and makes further
+// Plan calls fail with ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	for _, w := range s.workers {
+		close(w.jobs)
+	}
+	s.wg.Wait()
+}
+
+// enter registers an in-flight request; it fails once Close has begun.
+func (s *Service) enter() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// resolve materializes the request's instance, serving Generator requests
+// from the deployment cache so repeat generator traffic never re-samples
+// the topology.
+func (s *Service) resolve(req Request) (core.Instance, error) {
+	switch {
+	case req.Instance != nil && req.Generator != nil:
+		return core.Instance{}, errors.New("service: request sets both Instance and Generator")
+	case req.Instance != nil:
+		return *req.Instance, nil
+	case req.Generator == nil:
+		return core.Instance{}, errors.New("service: request sets neither Instance nor Generator")
+	}
+	gen := *req.Generator
+	if gen.N < 1 {
+		return core.Instance{}, fmt.Errorf("service: generator node count %d", gen.N)
+	}
+	key := "gen|" + strconv.Itoa(gen.N) + "|" + strconv.FormatUint(gen.Seed, 10) +
+		"|" + strconv.Itoa(gen.DutyRate) + "|" + strconv.FormatUint(gen.WakeSeed, 10)
+	in, _, _, err := s.gens.GetOrCompute(key, func() (core.Instance, error) {
+		dep, err := topology.Generate(topology.PaperConfig(gen.N), gen.Seed)
+		if err != nil {
+			return core.Instance{}, err
+		}
+		if gen.DutyRate > 1 {
+			ws := gen.WakeSeed
+			if ws == 0 {
+				ws = gen.Seed ^ 0xA5
+			}
+			wake := dutycycle.NewUniform(gen.N, gen.DutyRate, ws, 0)
+			return core.Async(dep.G, dep.Source, wake, 0), nil
+		}
+		return core.Sync(dep.G, dep.Source), nil
+	})
+	return in, err
+}
+
+// dispatch queues one search on the worker shard owned by key and waits
+// for its result. Once queued the search runs to completion (its budget
+// bounds the time); ctx only guards the queueing itself.
+func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp spec) (*core.Result, error) {
+	// plancache.KeyHash, not a local hash: worker selection deliberately
+	// co-shards with the cache so repeats of an instance land on the
+	// worker whose engine arenas are already sized for it.
+	w := s.workers[int(plancache.KeyHash(key)%uint64(len(s.workers)))]
+	reply := make(chan jobResult, 1)
+	select {
+	case w.jobs <- job{in: in, sp: sp, reply: reply}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	r := <-reply
+	return r.res, r.err
+}
+
+// Plan answers one request: from the cache when the instance has been
+// planned before, otherwise by exactly one search even under concurrent
+// identical requests.
+func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
+	start := time.Now()
+	if err := s.enter(); err != nil {
+		return Response{}, err
+	}
+	defer s.inflight.Done()
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	sp, err := parseSpec(req.Scheduler, req.Budget)
+	if err != nil {
+		return Response{}, err
+	}
+	in, err := s.resolve(req)
+	if err != nil {
+		return Response{}, err
+	}
+	digest, err := graphio.InstanceDigest(in)
+	if err != nil {
+		return Response{}, err
+	}
+	key := digest.String() + "|" + sp.kind + "|" + strconv.Itoa(sp.budget)
+
+	s.requests.Add(1)
+	var (
+		res            *core.Result
+		hit, coalesced bool
+	)
+	if req.NoCache {
+		res, err = s.dispatch(ctx, key, in, sp)
+		if err == nil {
+			s.cache.Put(key, res)
+		}
+	} else {
+		// The singleflight computation is shared by every coalesced
+		// waiter, so it must not die with the leader's request context —
+		// a leader disconnecting would fail N−1 innocent callers.
+		shared := context.WithoutCancel(ctx)
+		res, hit, coalesced, err = s.cache.GetOrCompute(key, func() (*core.Result, error) {
+			return s.dispatch(shared, key, in, sp)
+		})
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		s.errs.Add(1)
+		return Response{}, err
+	}
+	if hit {
+		s.hitHist.observe(elapsed)
+	} else {
+		s.missHist.observe(elapsed)
+	}
+	return Response{
+		Digest:    digest.String(),
+		Scheduler: res.Scheduler,
+		Result:    res,
+		CacheHit:  hit,
+		Coalesced: coalesced,
+		Elapsed:   elapsed,
+	}, nil
+}
+
+// PlanBatch answers many requests concurrently, preserving order.
+// Per-item failures land in Response.Err; the batch itself always returns.
+func (s *Service) PlanBatch(ctx context.Context, reqs []Request) []Response {
+	resps := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Plan(ctx, reqs[i])
+			if err != nil {
+				r.Err = err
+			}
+			resps[i] = r
+		}(i)
+	}
+	wg.Wait()
+	return resps
+}
+
+// SweepRequest is a streaming parameter sweep over the paper topology
+// family: the cross product of Sizes × Seeds, one plan per cell.
+type SweepRequest struct {
+	Sizes     []int    `json:"sizes"`
+	Seeds     []uint64 `json:"seeds"`
+	DutyRate  int      `json:"r,omitempty"`
+	WakeSeed  uint64   `json:"wake_seed,omitempty"`
+	Scheduler string   `json:"scheduler,omitempty"`
+	Budget    int      `json:"budget,omitempty"`
+	NoCache   bool     `json:"no_cache,omitempty"`
+}
+
+// SweepItem is one streamed sweep result.
+type SweepItem struct {
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
+	Digest    string `json:"digest,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	PA        int    `json:"pa"`
+	Latency   int    `json:"latency"`
+	Exact     bool   `json:"exact"`
+	CacheHit  bool   `json:"cache_hit"`
+	Coalesced bool   `json:"coalesced"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	Err       string `json:"error,omitempty"`
+}
+
+// Sweep plans every (size, seed) cell and streams each result through emit
+// as soon as it is ready. A failing cell is reported in its item and the
+// sweep continues; emit returning an error, or ctx expiring, stops it.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest, emit func(SweepItem) error) error {
+	if len(req.Sizes) == 0 {
+		return errors.New("service: sweep needs at least one size")
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	for _, n := range req.Sizes {
+		for _, seed := range seeds {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			resp, err := s.Plan(ctx, Request{
+				Generator: &Generator{N: n, Seed: seed, DutyRate: req.DutyRate, WakeSeed: req.WakeSeed},
+				Scheduler: req.Scheduler,
+				Budget:    req.Budget,
+				NoCache:   req.NoCache,
+			})
+			item := SweepItem{N: n, Seed: seed}
+			if err != nil {
+				item.Err = err.Error()
+			} else {
+				item.Digest = resp.Digest
+				item.Scheduler = resp.Scheduler
+				item.PA = resp.Result.PA
+				item.Latency = resp.Result.Schedule.Latency()
+				item.Exact = resp.Result.Exact
+				item.CacheHit = resp.CacheHit
+				item.Coalesced = resp.Coalesced
+				item.ElapsedNs = resp.Elapsed.Nanoseconds()
+			}
+			if err := emit(item); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Metrics snapshots the service counters and latency percentiles.
+func (s *Service) Metrics() Metrics {
+	cs := s.cache.Stats()
+	var merged [histBuckets]int64
+	total := s.hitHist.snapshot(&merged)
+	total += s.missHist.snapshot(&merged)
+	return Metrics{
+		Requests:     s.requests.Load(),
+		Hits:         cs.Hits,
+		Misses:       cs.Misses,
+		Coalesced:    cs.Coalesced,
+		Searches:     s.searches.Load(),
+		Errors:       s.errs.Load(),
+		Evictions:    cs.Evictions,
+		CacheEntries: cs.Entries,
+		HitP50:       s.hitHist.percentile(0.50),
+		HitP99:       s.hitHist.percentile(0.99),
+		MissP50:      s.missHist.percentile(0.50),
+		MissP99:      s.missHist.percentile(0.99),
+		P50:          percentileOf(&merged, total, 0.50),
+		P99:          percentileOf(&merged, total, 0.99),
+	}
+}

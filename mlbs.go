@@ -45,6 +45,7 @@ import (
 	"mlbs/internal/localized"
 	"mlbs/internal/mote"
 	"mlbs/internal/paperfig"
+	"mlbs/internal/service"
 	"mlbs/internal/sim"
 	"mlbs/internal/stats"
 	"mlbs/internal/topology"
@@ -103,6 +104,30 @@ type (
 	LossyReport = sim.LossyReport
 	// Ablation is a named-variant comparison (DESIGN.md §7).
 	Ablation = experiments.Ablation
+	// SearchEngine is a reusable search scheduler: same algorithm as
+	// OPT/G-OPT but its arenas survive across calls. Not concurrency-safe;
+	// one per worker goroutine.
+	SearchEngine = core.Engine
+	// Digest is the content address of a broadcast instance.
+	Digest = graphio.Digest
+	// PlanService serves broadcast plans concurrently behind a
+	// content-addressed cache (DESIGN.md §9).
+	PlanService = service.Service
+	// ServiceConfig sizes a PlanService.
+	ServiceConfig = service.Config
+	// PlanRequest is one plan-service request.
+	PlanRequest = service.Request
+	// PlanGenerator is the request form that asks the service to build the
+	// paper-topology instance itself.
+	PlanGenerator = service.Generator
+	// PlanResponse is one plan-service answer.
+	PlanResponse = service.Response
+	// ServiceMetrics snapshots plan-service traffic.
+	ServiceMetrics = service.Metrics
+	// SweepRequest is a streaming parameter sweep over the topology family.
+	SweepRequest = service.SweepRequest
+	// SweepItem is one streamed sweep result.
+	SweepItem = service.SweepItem
 )
 
 // NewUDG builds the unit-disk graph over the given positions: nodes are
@@ -335,3 +360,40 @@ func EncodeSchedule(s *Schedule) ([]byte, error) { return graphio.EncodeSchedule
 // DecodeSchedule rebuilds a schedule; Validate it against its instance
 // before trusting it.
 func DecodeSchedule(data []byte) (*Schedule, error) { return graphio.DecodeSchedule(data) }
+
+// EncodeInstance serializes a broadcast instance (graph, source, start,
+// wake schedule) for shipping to the plan service or archival.
+func EncodeInstance(in Instance) ([]byte, error) { return graphio.EncodeInstance(in) }
+
+// DecodeInstance rebuilds and validates an instance from EncodeInstance
+// output.
+func DecodeInstance(data []byte) (Instance, error) { return graphio.DecodeInstance(data) }
+
+// InstanceDigest computes the content address of an instance: a SHA-256
+// over a canonical encoding of the graph, source, start slot, pre-covered
+// set and wake-schedule parameters. Equal instances digest equally across
+// processes; the plan cache is keyed by it.
+func InstanceDigest(in Instance) (Digest, error) { return graphio.InstanceDigest(in) }
+
+// EncodeResult serializes a scheduler result (schedule included) in the
+// same schema the plan service's HTTP API returns.
+func EncodeResult(res *Result) ([]byte, error) { return graphio.EncodeResult(res) }
+
+// DecodeResult rebuilds a result; Validate the inner schedule against its
+// instance before trusting it.
+func DecodeResult(data []byte) (*Result, error) { return graphio.DecodeResult(data) }
+
+// NewReusableGOPT returns a G-OPT engine whose arenas (scratch frames,
+// memo storage, bitset pool) are recycled across Schedule calls — the
+// per-worker scheduler of the serving layer. Not safe for concurrent use.
+func NewReusableGOPT(budget int) *SearchEngine { return core.NewGOPT(budget).NewEngine() }
+
+// NewReusableOPT returns a reusable OPT engine; see NewReusableGOPT.
+func NewReusableOPT(budget, maxSets int) *SearchEngine {
+	return core.NewOPT(budget, maxSets).NewEngine()
+}
+
+// NewService starts a concurrent plan service: a content-addressed,
+// LRU-bounded, singleflight-deduplicated schedule cache in front of a
+// sharded worker pool of reusable engines. Close it when done.
+func NewService(cfg ServiceConfig) *PlanService { return service.New(cfg) }
