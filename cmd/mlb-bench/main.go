@@ -54,17 +54,32 @@ type serviceRecord struct {
 	Speedup         float64 `json:"warm_over_cold_speedup"`
 }
 
+// reliabilityRecord captures the Monte-Carlo engine's throughput on one
+// topology size: batched lossy replays per second and the per-replay
+// allocation count (which must stay ~0 — the engine's reuse discipline).
+type reliabilityRecord struct {
+	Name            string  `json:"name"`
+	Nodes           int     `json:"nodes"`
+	Trials          int     `json:"trials"`
+	LossRate        float64 `json:"loss_rate"`
+	ReplaysPerSec   float64 `json:"replays_per_sec"`
+	NsPerReplay     int64   `json:"ns_per_replay"`
+	AllocsPerReplay float64 `json:"allocs_per_replay"`
+	MeanDelivery    float64 `json:"mean_delivery_ratio"`
+}
+
 type report struct {
-	Tool      string          `json:"tool"`
-	GoVersion string          `json:"go_version"`
-	GOOS      string          `json:"goos"`
-	GOARCH    string          `json:"goarch"`
-	Timestamp string          `json:"timestamp"`
-	Nodes     int             `json:"nodes"`
-	Seed      uint64          `json:"seed"`
-	DutyRate  int             `json:"duty_rate"`
-	Records   []record        `json:"records"`
-	Service   []serviceRecord `json:"service"`
+	Tool        string              `json:"tool"`
+	GoVersion   string              `json:"go_version"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	Timestamp   string              `json:"timestamp"`
+	Nodes       int                 `json:"nodes"`
+	Seed        uint64              `json:"seed"`
+	DutyRate    int                 `json:"duty_rate"`
+	Records     []record            `json:"records"`
+	Service     []serviceRecord     `json:"service"`
+	Reliability []reliabilityRecord `json:"reliability"`
 }
 
 func main() {
@@ -74,6 +89,7 @@ func main() {
 		r       = flag.Int("r", 10, "duty-cycle rate for the async system")
 		iters   = flag.Int("iters", 3, "fixed benchmark iterations per case")
 		svcReqs = flag.Int("svcreqs", 32, "requests per service throughput phase")
+		relTr   = flag.Int("reltrials", 500, "Monte-Carlo trials per reliability case")
 		out     = flag.String("out", "BENCH_schedulers.json", "output JSON path")
 	)
 	flag.Parse()
@@ -149,6 +165,16 @@ func main() {
 			sr.Name, sr.ColdPlansPerSec, sr.WarmPlansPerSec, sr.Speedup)
 	}
 
+	for _, rn := range []int{150, 300} {
+		rr, err := benchReliability(rn, *seed, *relTr)
+		if err != nil {
+			fatal(fmt.Errorf("reliability n=%d: %w", rn, err))
+		}
+		rep.Reliability = append(rep.Reliability, rr)
+		fmt.Printf("%-20s %12.0f replays/s %8.2f allocs/replay %8.4f delivery\n",
+			rr.Name, rr.ReplaysPerSec, rr.AllocsPerReplay, rr.MeanDelivery)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -207,6 +233,52 @@ func benchService(n int, seed uint64, reqs int) (serviceRecord, error) {
 	}
 	if rec.ColdPlansPerSec > 0 {
 		rec.Speedup = rec.WarmPlansPerSec / rec.ColdPlansPerSec
+	}
+	return rec, nil
+}
+
+// benchReliability measures the Monte-Carlo engine: one warm-up batch,
+// then a timed batch of `trials` lossy replays of the G-OPT schedule on
+// the n-node sync paper topology at 5% per-link loss.
+func benchReliability(n int, seed uint64, trials int) (reliabilityRecord, error) {
+	if trials < 10 {
+		trials = 10
+	}
+	dep, err := mlbs.PaperDeployment(n, seed)
+	if err != nil {
+		return reliabilityRecord{}, err
+	}
+	in := mlbs.SyncInstance(dep.G, dep.Source)
+	res, err := mlbs.GOPT().Schedule(in)
+	if err != nil {
+		return reliabilityRecord{}, err
+	}
+	model := mlbs.ReliabilityLossModel{Rate: 0.05, Seed: seed}
+	cfg := mlbs.ReliabilityConfig{Trials: trials, Workers: 1}
+	est := mlbs.NewReliabilityEstimator()
+	rel, err := est.Estimate(in, res.Schedule, model, cfg) // warm-up
+	if err != nil {
+		return reliabilityRecord{}, err
+	}
+	nsOp, allocsOp, _, err := measure(1, func() error {
+		_, err := est.Estimate(in, res.Schedule, model, cfg)
+		return err
+	})
+	if err != nil {
+		return reliabilityRecord{}, err
+	}
+	nsPerReplay := nsOp / int64(trials)
+	rec := reliabilityRecord{
+		Name:            fmt.Sprintf("reliability/sync-n%d", n),
+		Nodes:           n,
+		Trials:          trials,
+		LossRate:        model.Rate,
+		NsPerReplay:     nsPerReplay,
+		AllocsPerReplay: float64(allocsOp) / float64(trials),
+		MeanDelivery:    rel.MeanDeliveryRatio,
+	}
+	if nsPerReplay > 0 {
+		rec.ReplaysPerSec = 1e9 / float64(nsPerReplay)
 	}
 	return rec, nil
 }

@@ -1,23 +1,31 @@
 // Command mlb-serve exposes the plan service over HTTP/JSON: a
 // content-addressed schedule cache with singleflight deduplication in
-// front of a sharded pool of reusable search engines.
+// front of a sharded pool of reusable search engines, plus the Monte-Carlo
+// reliability engine behind /v1/validate.
 //
 // Usage:
 //
 //	mlb-serve [-addr :8080] [-workers 0] [-cache 4096] [-queue 16]
+//	          [-read-header-timeout 5s] [-read-timeout 60s] [-idle-timeout 2m]
 //
 // Endpoints:
 //
-//	POST /v1/plan    one plan request (generator params or inline instance)
-//	POST /v1/sweep   streaming parameter sweep (NDJSON, one item per line)
-//	GET  /healthz    liveness
-//	GET  /metrics    Prometheus text format
-//	/debug/pprof/    runtime profiles
+//	POST /v1/plan      one plan request (generator params or inline instance)
+//	POST /v1/sweep     streaming parameter sweep (NDJSON, one item per line)
+//	POST /v1/validate  Monte-Carlo reliability report (+ optional repair)
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text format
+//	/debug/pprof/      runtime profiles
 //
 // A generator-form request and its response:
 //
 //	curl -s localhost:8080/v1/plan -d '{"n":150,"seed":1,"r":10,"scheduler":"gopt"}'
 //	{"digest":"…","cache_hit":false,"result":{"pa":64,…},…}
+//
+// Reliability validation of the same plan at 5% frame loss:
+//
+//	curl -s localhost:8080/v1/validate \
+//	  -d '{"n":150,"seed":1,"loss_rate":0.05,"trials":1000,"target":0.99}'
 //
 // Ship an exact instance instead with {"instance": <EncodeInstance JSON>}.
 package main
@@ -40,27 +48,75 @@ import (
 	"mlbs"
 )
 
+// serveConfig is the parsed flag set — separated from main so the
+// plumbing from flags to the http.Server is testable.
+type serveConfig struct {
+	addr              string
+	workers           int
+	cache             int
+	queue             int
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+}
+
+// parseServeFlags parses args (without the program name). Defaults keep
+// one slow or stalled client from pinning a connection forever; write
+// timeouts stay off because /v1/sweep streams for as long as the sweep
+// runs.
+func parseServeFlags(args []string) (serveConfig, error) {
+	var cfg serveConfig
+	fs := flag.NewFlagSet("mlb-serve", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "scheduling workers (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.cache, "cache", 4096, "plan cache capacity (entries)")
+	fs.IntVar(&cfg.queue, "queue", 16, "per-worker job queue depth")
+	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second,
+		"max time to read a request's headers (0 disables)")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 60*time.Second,
+		"max time to read a full request including its body (0 disables)")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute,
+		"max keep-alive idle time between requests (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg, nil
+}
+
+// buildServer wires the parsed timeouts into the http.Server — without
+// them a single client that opens a connection and never finishes its
+// request holds a goroutine and a socket until the process dies.
+func buildServer(cfg serveConfig, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              cfg.addr,
+		Handler:           h,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "scheduling workers (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 4096, "plan cache capacity (entries)")
-		queue   = flag.Int("queue", 16, "per-worker job queue depth")
-	)
-	flag.Parse()
-	if *workers <= 0 {
-		*workers = runtime.GOMAXPROCS(0)
+	cfg, err := parseServeFlags(os.Args[1:])
+	if err == flag.ErrHelp {
+		os.Exit(0)
+	}
+	if err != nil {
+		os.Exit(2)
 	}
 	svc := mlbs.NewService(mlbs.ServiceConfig{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheCapacity: *cache,
+		Workers:       cfg.workers,
+		QueueDepth:    cfg.queue,
+		CacheCapacity: cfg.cache,
 	})
 	defer svc.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
+	srv := buildServer(cfg, newMux(svc))
 	go func() {
-		log.Printf("mlb-serve: listening on %s (%d workers, cache %d)", *addr, *workers, *cache)
+		log.Printf("mlb-serve: listening on %s (%d workers, cache %d)", cfg.addr, cfg.workers, cfg.cache)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("mlb-serve: %v", err)
 		}
@@ -79,6 +135,7 @@ func newMux(svc *mlbs.PlanService) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) { handlePlan(svc, w, r) })
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(svc, w, r) })
+	mux.HandleFunc("POST /v1/validate", func(w http.ResponseWriter, r *http.Request) { handleValidate(svc, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -195,6 +252,124 @@ func generatorInstance(hr planHTTPRequest) (mlbs.Instance, error) {
 	return mlbs.SyncInstance(dep.G, dep.Source), nil
 }
 
+// validateHTTPRequest is the wire form of a reliability validation: the
+// plan selection plus the loss model and Monte-Carlo parameters.
+type validateHTTPRequest struct {
+	N             int             `json:"n,omitempty"`
+	Seed          uint64          `json:"seed,omitempty"`
+	R             int             `json:"r,omitempty"`
+	WakeSeed      uint64          `json:"wake_seed,omitempty"`
+	Instance      json.RawMessage `json:"instance,omitempty"`
+	Scheduler     string          `json:"scheduler,omitempty"`
+	Budget        int             `json:"budget,omitempty"`
+	LossKind      string          `json:"loss_kind,omitempty"`
+	LossRate      float64         `json:"loss_rate"`
+	LossSeed      uint64          `json:"loss_seed,omitempty"`
+	Trials        int             `json:"trials,omitempty"`
+	Target        float64         `json:"target,omitempty"`
+	MaxExtraSlots int             `json:"max_extra_slots,omitempty"`
+	NoCache       bool            `json:"no_cache,omitempty"`
+}
+
+type validateHTTPResponse struct {
+	Digest       string          `json:"digest"`
+	Scheduler    string          `json:"scheduler"`
+	CacheHit     bool            `json:"cache_hit"`
+	Coalesced    bool            `json:"coalesced"`
+	PlanCacheHit bool            `json:"plan_cache_hit"`
+	ElapsedNs    int64           `json:"elapsed_ns"`
+	Report       json.RawMessage `json:"report"`
+	Repair       *repairHTTP     `json:"repair,omitempty"`
+}
+
+type repairHTTP struct {
+	Target          float64         `json:"target"`
+	TargetMet       bool            `json:"target_met"`
+	Rounds          int             `json:"rounds"`
+	AddedAdvances   int             `json:"added_advances"`
+	AddedSlots      int             `json:"added_slots"`
+	BaseLatency     int             `json:"base_latency"`
+	RepairedLatency int             `json:"repaired_latency"`
+	Before          json.RawMessage `json:"before"`
+	Schedule        json.RawMessage `json:"schedule"`
+}
+
+func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+	var hr validateHTTPRequest
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(data, &hr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	req := mlbs.ValidateRequest{
+		Scheduler:     hr.Scheduler,
+		Budget:        hr.Budget,
+		Loss:          mlbs.ReliabilityLossModel{Kind: hr.LossKind, Rate: hr.LossRate, Seed: hr.LossSeed},
+		Trials:        hr.Trials,
+		Target:        hr.Target,
+		MaxExtraSlots: hr.MaxExtraSlots,
+		NoCache:       hr.NoCache,
+	}
+	if len(hr.Instance) > 0 {
+		in, err := mlbs.DecodeInstance(hr.Instance)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Instance = &in
+	} else {
+		req.Generator = &mlbs.PlanGenerator{N: hr.N, Seed: hr.Seed, DutyRate: hr.R, WakeSeed: hr.WakeSeed}
+	}
+
+	resp, err := svc.Validate(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	repJSON, err := mlbs.EncodeReliabilityReport(resp.Report)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := validateHTTPResponse{
+		Digest:       resp.Digest,
+		Scheduler:    resp.Scheduler,
+		CacheHit:     resp.CacheHit,
+		Coalesced:    resp.Coalesced,
+		PlanCacheHit: resp.PlanCacheHit,
+		ElapsedNs:    resp.Elapsed.Nanoseconds(),
+		Report:       repJSON,
+	}
+	if rr := resp.Repair; rr != nil {
+		beforeJSON, err := mlbs.EncodeReliabilityReport(rr.Before)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		schedJSON, err := mlbs.EncodeSchedule(rr.Schedule)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out.Repair = &repairHTTP{
+			Target:          rr.Target,
+			TargetMet:       rr.TargetMet,
+			Rounds:          rr.Rounds,
+			AddedAdvances:   rr.AddedAdvances,
+			AddedSlots:      rr.AddedSlots,
+			BaseLatency:     rr.BaseLatency,
+			RepairedLatency: rr.RepairedLatency,
+			Before:          beforeJSON,
+			Schedule:        schedJSON,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func handleSweep(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 	var req mlbs.SweepRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
@@ -230,6 +405,11 @@ func handleMetrics(svc *mlbs.PlanService, w http.ResponseWriter) {
 	fmt.Fprintf(w, "# TYPE mlbs_plan_errors_total counter\nmlbs_plan_errors_total %d\n", m.Errors)
 	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_evictions_total counter\nmlbs_plan_cache_evictions_total %d\n", m.Evictions)
 	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_entries gauge\nmlbs_plan_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "# TYPE mlbs_validate_requests_total counter\nmlbs_validate_requests_total %d\n", m.Validations)
+	fmt.Fprintf(w, "# TYPE mlbs_validate_trials_total counter\nmlbs_validate_trials_total %d\n", m.MonteCarloTrials)
+	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_hits_total counter\nmlbs_validate_cache_hits_total %d\n", m.ValidateHits)
+	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_misses_total counter\nmlbs_validate_cache_misses_total %d\n", m.ValidateMisses)
+	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_entries gauge\nmlbs_validate_cache_entries %d\n", m.ValidateEntries)
 	fmt.Fprintf(w, "# TYPE mlbs_plan_latency_seconds summary\n")
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.5\"} %g\n", m.P50.Seconds())
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.99\"} %g\n", m.P99.Seconds())

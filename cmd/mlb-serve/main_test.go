@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mlbs"
+)
+
+// TestParseServeFlagsDefaults pins the satellite fix: the server must ship
+// with non-zero read-header/read/idle timeouts so a single slow client
+// cannot pin a connection forever.
+func TestParseServeFlagsDefaults(t *testing.T) {
+	cfg, err := parseServeFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.readHeaderTimeout <= 0 || cfg.readTimeout <= 0 || cfg.idleTimeout <= 0 {
+		t.Fatalf("default timeouts must be positive: %+v", cfg)
+	}
+	if cfg.workers <= 0 {
+		t.Fatalf("workers default %d", cfg.workers)
+	}
+	if cfg.addr != ":8080" || cfg.cache != 4096 || cfg.queue != 16 {
+		t.Fatalf("defaults drifted: %+v", cfg)
+	}
+}
+
+func TestParseServeFlagsPlumbing(t *testing.T) {
+	cfg, err := parseServeFlags([]string{
+		"-addr", "127.0.0.1:9999", "-workers", "3", "-cache", "7", "-queue", "2",
+		"-read-header-timeout", "1s", "-read-timeout", "2s", "-idle-timeout", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := buildServer(cfg, http.NewServeMux())
+	if srv.Addr != "127.0.0.1:9999" {
+		t.Fatalf("addr %q", srv.Addr)
+	}
+	if srv.ReadHeaderTimeout != time.Second || srv.ReadTimeout != 2*time.Second || srv.IdleTimeout != 3*time.Second {
+		t.Fatalf("timeouts not plumbed: %+v", srv)
+	}
+	if cfg.workers != 3 || cfg.cache != 7 || cfg.queue != 2 {
+		t.Fatalf("pool flags not plumbed: %+v", cfg)
+	}
+	if _, err := parseServeFlags([]string{"-read-timeout", "nonsense"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+// TestValidateEndpointSmoke drives the full HTTP path: plan + Monte-Carlo
+// validation with repair, then a warm repeat that must be a cache hit.
+func TestValidateEndpointSmoke(t *testing.T) {
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(svc))
+	defer ts.Close()
+
+	body := `{"n":80,"seed":3,"loss_rate":0.1,"loss_seed":1,"trials":100,"target":0.98}`
+	resp, err := http.Post(ts.URL+"/v1/validate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out validateHTTPResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Digest) != 64 || out.CacheHit {
+		t.Fatalf("cold response: %+v", out)
+	}
+	rep, err := mlbs.DecodeReliabilityReport(out.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 100 || len(rep.NodeCovered) != 80 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if out.Repair == nil {
+		t.Fatal("no repair section despite target")
+	}
+	if out.Repair.RepairedLatency < out.Repair.BaseLatency {
+		t.Fatalf("repair: %+v", out.Repair)
+	}
+	if _, err := mlbs.DecodeSchedule(out.Repair.Schedule); err != nil {
+		t.Fatalf("repaired schedule does not decode: %v", err)
+	}
+
+	// Warm repeat: same parameters must hit the reliability cache.
+	resp2, err := http.Post(ts.URL+"/v1/validate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 validateHTTPResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit {
+		t.Fatal("warm validation was not a cache hit")
+	}
+	if string(out2.Report) != string(out.Report) {
+		t.Fatal("warm report differs from cold report")
+	}
+
+	// Bad requests surface as 400s, not 500s.
+	for _, bad := range []string{`{"n":80,"seed":3,"loss_rate":2}`, `{not json`} {
+		r, err := http.Post(ts.URL+"/v1/validate", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %q → status %d", bad, r.StatusCode)
+		}
+	}
+
+	// Metrics expose the validation counters.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	metrics, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "mlbs_validate_requests_total 2") {
+		t.Fatalf("validate counters missing from /metrics:\n%s", metrics)
+	}
+}

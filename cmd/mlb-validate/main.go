@@ -1,0 +1,217 @@
+// Command mlb-validate drives Monte-Carlo reliability sweeps through the
+// plan service: for each loss rate it validates the schedule cold (the
+// full Monte-Carlo batch runs) and warm (the content-addressed reliability
+// cache answers), printing delivery ratio with its Wilson interval, the
+// lossy latency distribution, the repair outcome when a target is set, and
+// the cold-path replay throughput.
+//
+// Usage:
+//
+//	mlb-validate [-n 300] [-seed 1] [-r 0] [-scheduler gopt] [-budget 0]
+//	             [-rates 0.02,0.05,0.1] [-loss-seed 1] [-trials 1000]
+//	             [-target 0] [-max-extra 64] [-out BENCH_validate.json]
+//
+// The -out JSON mirrors what the sweep printed, one record per rate, in
+// the BENCH_*.json convention mlb-bench established.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlbs"
+)
+
+type sweepRecord struct {
+	Name              string   `json:"name"`
+	Nodes             int      `json:"nodes"`
+	DutyRate          int      `json:"duty_rate"`
+	Scheduler         string   `json:"scheduler"`
+	LossRate          float64  `json:"loss_rate"`
+	Trials            int      `json:"trials"`
+	MeanDeliveryRatio float64  `json:"mean_delivery_ratio"`
+	FullCoverageRate  float64  `json:"full_coverage_rate"`
+	FullCoverageLo    float64  `json:"full_coverage_lo"`
+	FullCoverageHi    float64  `json:"full_coverage_hi"`
+	ScheduleLatency   int      `json:"schedule_latency"`
+	LatencyP99        int      `json:"latency_p99"`
+	ColdNs            int64    `json:"cold_ns"`
+	WarmNs            int64    `json:"warm_ns"`
+	ReplaysPerSec     float64  `json:"cold_replays_per_sec"`
+	TargetMet         *bool    `json:"target_met,omitempty"`
+	AddedSlots        *int     `json:"added_slots,omitempty"`
+	RepairedDelivery  *float64 `json:"repaired_delivery,omitempty"`
+}
+
+type output struct {
+	Tool      string        `json:"tool"`
+	GoVersion string        `json:"go_version"`
+	Timestamp string        `json:"timestamp"`
+	Nodes     int           `json:"nodes"`
+	Seed      uint64        `json:"seed"`
+	Records   []sweepRecord `json:"records"`
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 300, "deployment size (paper topology)")
+		seed      = flag.Uint64("seed", 1, "deployment seed")
+		r         = flag.Int("r", 0, "duty-cycle rate (0/1 = synchronous)")
+		scheduler = flag.String("scheduler", "gopt", "scheduler: gopt|opt|emodel|energy|baseline")
+		budget    = flag.Int("budget", 0, "search budget (0 = default)")
+		rates     = flag.String("rates", "0.02,0.05,0.1", "comma-separated per-link loss rates")
+		lossSeed  = flag.Uint64("loss-seed", 1, "loss-model master seed")
+		trials    = flag.Int("trials", 1000, "Monte-Carlo trials per rate")
+		target    = flag.Float64("target", 0, "repair target delivery ratio (0 = no repair)")
+		maxExtra  = flag.Int("max-extra", 64, "repair latency budget in slots")
+		out       = flag.String("out", "", "optional output JSON path")
+	)
+	flag.Parse()
+
+	rateList, err := parseRates(*rates)
+	if err != nil {
+		fatal(err)
+	}
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: runtime.GOMAXPROCS(0)})
+	defer svc.Close()
+	ctx := context.Background()
+
+	// Prime the deployment and the plan once, outside any timed window:
+	// the schedule is shared by every rate, and folding its one-time
+	// search into the first rate's "cold" time would distort the recorded
+	// Monte-Carlo throughput.
+	if _, err := svc.Plan(ctx, mlbs.PlanRequest{
+		Generator: &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
+		Scheduler: *scheduler,
+		Budget:    *budget,
+	}); err != nil {
+		fatal(err)
+	}
+
+	rep := output{
+		Tool:      "mlb-validate",
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Nodes:     *n,
+		Seed:      *seed,
+	}
+	fmt.Printf("%-8s %10s %22s %8s %12s %12s %14s\n",
+		"rate", "delivery", "full-coverage (95% CI)", "p99", "cold", "warm", "replays/s")
+	for _, rate := range rateList {
+		req := mlbs.ValidateRequest{
+			Generator:     &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
+			Scheduler:     *scheduler,
+			Budget:        *budget,
+			Loss:          mlbs.ReliabilityLossModel{Rate: rate, Seed: *lossSeed},
+			Trials:        *trials,
+			Target:        *target,
+			MaxExtraSlots: *maxExtra,
+		}
+		cold0 := time.Now()
+		resp, err := svc.Validate(ctx, req)
+		if err != nil {
+			fatal(fmt.Errorf("rate %v: %w", rate, err))
+		}
+		coldNs := time.Since(cold0).Nanoseconds()
+		if resp.CacheHit {
+			fatal(fmt.Errorf("rate %v: first request unexpectedly hit the cache", rate))
+		}
+		warm0 := time.Now()
+		warmResp, err := svc.Validate(ctx, req)
+		if err != nil {
+			fatal(fmt.Errorf("rate %v warm: %w", rate, err))
+		}
+		warmNs := time.Since(warm0).Nanoseconds()
+		if !warmResp.CacheHit {
+			fatal(fmt.Errorf("rate %v: warm request missed the cache", rate))
+		}
+
+		rp := resp.Report
+		rec := sweepRecord{
+			Name:              fmt.Sprintf("validate/n%d-rate%g", *n, rate),
+			Nodes:             *n,
+			DutyRate:          *r,
+			Scheduler:         resp.Scheduler,
+			LossRate:          rate,
+			Trials:            rp.Trials,
+			MeanDeliveryRatio: rp.MeanDeliveryRatio,
+			FullCoverageRate:  rp.FullCoverageRate,
+			FullCoverageLo:    rp.FullCoverageLo,
+			FullCoverageHi:    rp.FullCoverageHi,
+			ScheduleLatency:   rp.ScheduleLatency,
+			LatencyP99:        rp.Latency.P99,
+			ColdNs:            coldNs,
+			WarmNs:            warmNs,
+			ReplaysPerSec:     replaysPerSec(resp, coldNs),
+		}
+		line := fmt.Sprintf("%-8g %10.4f %10.4f [%.3f,%.3f] %8d %12s %12s %14.0f",
+			rate, rp.MeanDeliveryRatio, rp.FullCoverageRate, rp.FullCoverageLo, rp.FullCoverageHi,
+			rp.Latency.P99, time.Duration(coldNs), time.Duration(warmNs), rec.ReplaysPerSec)
+		if rr := resp.Repair; rr != nil {
+			met := rr.TargetMet
+			added := rr.AddedSlots
+			del := rr.After.MeanDeliveryRatio
+			rec.TargetMet, rec.AddedSlots, rec.RepairedDelivery = &met, &added, &del
+			line += fmt.Sprintf("  repair: %.4f→%.4f (+%d slots, met=%v)",
+				rr.Before.MeanDeliveryRatio, del, added, met)
+		}
+		fmt.Println(line)
+		rep.Records = append(rep.Records, rec)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d records)\n", *out, len(rep.Records))
+	}
+}
+
+// replaysPerSec reports the cold Monte-Carlo throughput. Repair runs
+// re-estimate once per round, so the replay count multiplies.
+func replaysPerSec(resp mlbs.ValidateResponse, coldNs int64) float64 {
+	if coldNs <= 0 {
+		return 0
+	}
+	replays := resp.Report.Trials
+	if rr := resp.Repair; rr != nil {
+		replays = rr.Before.Trials * (rr.Rounds + 1)
+	}
+	return float64(replays) / (float64(coldNs) / 1e9)
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no loss rates given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlb-validate:", err)
+	os.Exit(1)
+}

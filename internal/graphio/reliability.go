@@ -1,0 +1,42 @@
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mlbs/internal/reliability"
+)
+
+// reliabilityJSON is the stored form of a reliability.Report — the
+// canonical schema both `mlb-validate` and the plan service's
+// /v1/validate endpoint emit. Every field of the report is deterministic
+// in (instance, schedule, loss model, trials), so the encoding is stable
+// across runs and machines and can be cached by content address.
+type reliabilityJSON struct {
+	Version int                `json:"version"`
+	Report  reliability.Report `json:"report"`
+}
+
+// EncodeReliabilityReport serializes a Monte-Carlo reliability report.
+func EncodeReliabilityReport(rep *reliability.Report) ([]byte, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("graphio: nil reliability report")
+	}
+	return json.MarshalIndent(reliabilityJSON{Version: currentVersion, Report: *rep}, "", " ")
+}
+
+// DecodeReliabilityReport rebuilds a report from EncodeReliabilityReport
+// output.
+func DecodeReliabilityReport(data []byte) (*reliability.Report, error) {
+	var st reliabilityJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if st.Version != currentVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", st.Version)
+	}
+	if st.Report.Trials < 0 || len(st.Report.NodeCovered) == 0 && st.Report.Trials > 0 {
+		return nil, fmt.Errorf("graphio: malformed reliability report")
+	}
+	return &st.Report, nil
+}

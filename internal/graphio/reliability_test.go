@@ -1,0 +1,108 @@
+package graphio
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlbs/internal/reliability"
+)
+
+func sampleReport() *reliability.Report {
+	return &reliability.Report{
+		Trials:            4,
+		Loss:              reliability.LossModel{Kind: reliability.KindIID, Rate: 0.25, Seed: 7},
+		ScheduleLatency:   6,
+		MeanDeliveryRatio: 0.9375,
+		MeanDeliveryCI:    0.1194,
+		FullCoverageRate:  0.75,
+		FullCoverageLo:    0.3006,
+		FullCoverageHi:    0.9544,
+		DeliveredTrials:   3,
+		Latency:           reliability.Quantiles{P50: 6, P90: 7, P99: 7, Max: 7},
+		NodeCovered:       []int{4, 4, 3, 4},
+		MeanLostFrames:    1.5,
+		MeanCollisions:    0.25,
+	}
+}
+
+func TestReliabilityReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	data, err := EncodeReliabilityReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReliabilityReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, rep)
+	}
+	// Encoding is canonical: re-encoding the decoded report is
+	// byte-identical.
+	again, err := EncodeReliabilityReport(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoding is not byte-stable")
+	}
+}
+
+// TestReliabilitySchemaGolden pins the wire schema: adding, renaming, or
+// reordering fields changes cached/archived reports and must be a
+// conscious, version-bumped decision.
+func TestReliabilitySchemaGolden(t *testing.T) {
+	data, err := EncodeReliabilityReport(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+ "version": 1,
+ "report": {
+  "trials": 4,
+  "loss": {
+   "kind": "iid",
+   "rate": 0.25,
+   "seed": 7
+  },
+  "schedule_latency": 6,
+  "mean_delivery_ratio": 0.9375,
+  "mean_delivery_ci": 0.1194,
+  "full_coverage_rate": 0.75,
+  "full_coverage_lo": 0.3006,
+  "full_coverage_hi": 0.9544,
+  "delivered_trials": 3,
+  "latency": {
+   "p50": 6,
+   "p90": 7,
+   "p99": 7,
+   "max": 7
+  },
+  "node_covered": [
+   4,
+   4,
+   3,
+   4
+  ],
+  "mean_lost_frames": 1.5,
+  "mean_collisions": 0.25
+ }
+}`
+	if strings.TrimSpace(string(data)) != golden {
+		t.Fatalf("reliability schema drifted:\n%s", data)
+	}
+}
+
+func TestReliabilityReportRejectsBadInput(t *testing.T) {
+	if _, err := EncodeReliabilityReport(nil); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	if _, err := DecodeReliabilityReport([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeReliabilityReport([]byte(`{"version":99,"report":{}}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

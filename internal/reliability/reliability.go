@@ -1,0 +1,364 @@
+// Package reliability is the Monte-Carlo engine that answers the question
+// the scheduler's own coverage claim cannot: what does a conflict-free
+// broadcast schedule actually deliver on a channel that loses frames?
+//
+// The paper's schedules are provably collision-free on the ideal channel of
+// Section III, but one lost relay frame strands the relay's whole subtree
+// (the fragility Section VI attributes to offline interference-free
+// plans). Estimate batches N independently seeded lossy replays of a
+// schedule — each trial a full physics execution on a sim.LossyReplayer
+// whose buffers are reused, so the batch runs allocation-free after warm-up
+// — and aggregates delivery ratio, per-node coverage probability with
+// Wilson confidence intervals, the latency distribution over delivering
+// trials, and frame-loss/collision tallies.
+//
+// Repair then closes the loop: from the measured per-node miss counts it
+// greedily appends conflict-aware rebroadcast slots (greedy color classes
+// over the miss set, the same color.Scratch machinery the schedulers use)
+// until the estimated delivery ratio clears a target, reporting the latency
+// the insurance costs.
+//
+// Every quantity is deterministic in (instance, schedule, loss model,
+// trials): trial seeds are derived from the model seed and the trial index
+// alone, per-trial observations land in arrays indexed by trial, and
+// cross-worker aggregation sums integers — so a report is reproducible
+// across runs, worker counts, and machines, and the serving layer can cache
+// it by content address.
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+	"mlbs/internal/rng"
+	"mlbs/internal/sim"
+	"mlbs/internal/stats"
+)
+
+// KindIID names the independent-per-frame loss model.
+const KindIID = "iid"
+
+// LossModel describes the stochastic channel of a validation run. The zero
+// Kind means KindIID.
+type LossModel struct {
+	Kind string  `json:"kind"`
+	Rate float64 `json:"rate"`
+	Seed uint64  `json:"seed"`
+}
+
+// Normalize fills defaults and rejects malformed models.
+func (m LossModel) Normalize() (LossModel, error) {
+	if m.Kind == "" {
+		m.Kind = KindIID
+	}
+	if m.Kind != KindIID {
+		return m, fmt.Errorf("reliability: unknown loss model kind %q", m.Kind)
+	}
+	if m.Rate < 0 || m.Rate >= 1 {
+		return m, fmt.Errorf("reliability: loss rate %v outside [0, 1)", m.Rate)
+	}
+	return m, nil
+}
+
+// TrialSeed derives the channel seed of one Monte-Carlo trial by chaining
+// the master seed and the trial index through the SplitMix64 finalizer —
+// a pure function of (Seed, trial), so the estimate cannot depend on how
+// trials are spread across workers.
+func (m LossModel) TrialSeed(trial int) uint64 {
+	return rng.Mix64(rng.Mix64(m.Seed+0x9e3779b97f4a7c15) ^ uint64(trial+1))
+}
+
+// Config sizes a Monte-Carlo estimation run.
+type Config struct {
+	// Trials is the number of independent lossy replays. Default 1000.
+	Trials int
+	// Workers parallelizes the batch; each worker owns one reusable
+	// LossyReplayer. Default 1 (the serving layer provides concurrency
+	// across requests; set GOMAXPROCS for standalone sweeps). ≤ 0 or
+	// values above Trials are clamped.
+	Workers int
+}
+
+// DefaultTrials is the Config.Trials default.
+const DefaultTrials = 1000
+
+// Quantiles summarizes a latency distribution in slots.
+type Quantiles struct {
+	P50 int `json:"p50"`
+	P90 int `json:"p90"`
+	P99 int `json:"p99"`
+	Max int `json:"max"`
+}
+
+// Report is the Monte-Carlo reliability estimate of one schedule under one
+// loss model. All fields are deterministic in (instance, schedule, model,
+// trials).
+type Report struct {
+	Trials int       `json:"trials"`
+	Loss   LossModel `json:"loss"`
+
+	// ScheduleLatency is the schedule's ideal-channel latency in slots —
+	// the baseline the lossy latency distribution is read against.
+	ScheduleLatency int `json:"schedule_latency"`
+
+	// MeanDeliveryRatio is the mean over trials of (covered nodes)/n, with
+	// the Student-t 95% half-width of that mean.
+	MeanDeliveryRatio float64 `json:"mean_delivery_ratio"`
+	MeanDeliveryCI    float64 `json:"mean_delivery_ci"`
+
+	// FullCoverageRate is the fraction of trials that covered every node,
+	// with its 95% Wilson interval.
+	FullCoverageRate float64 `json:"full_coverage_rate"`
+	FullCoverageLo   float64 `json:"full_coverage_lo"`
+	FullCoverageHi   float64 `json:"full_coverage_hi"`
+
+	// DeliveredTrials counts trials with full coverage; Latency summarizes
+	// the completion slot distribution over exactly those trials.
+	DeliveredTrials int       `json:"delivered_trials"`
+	Latency         Quantiles `json:"latency"`
+
+	// NodeCovered[v] counts the trials in which node v received the
+	// message — the exact integer form of the per-node coverage
+	// probability (see NodeProb for the Wilson interval).
+	NodeCovered []int `json:"node_covered"`
+
+	MeanLostFrames float64 `json:"mean_lost_frames"`
+	MeanCollisions float64 `json:"mean_collisions"`
+}
+
+// NodeProb returns node v's coverage probability with its 95% Wilson
+// bounds.
+func (r *Report) NodeProb(v graph.NodeID) (p, lo, hi float64) {
+	k := r.NodeCovered[v]
+	lo, hi = stats.Wilson95(k, r.Trials)
+	return float64(k) / float64(r.Trials), lo, hi
+}
+
+// WorstNode returns the node with the lowest coverage probability (ties to
+// the smallest ID) and that probability.
+func (r *Report) WorstNode() (v graph.NodeID, p float64) {
+	v, best := 0, r.Trials+1
+	for u, k := range r.NodeCovered {
+		if k < best {
+			v, best = u, k
+		}
+	}
+	if r.Trials == 0 {
+		return v, 0
+	}
+	return v, float64(best) / float64(r.Trials)
+}
+
+// trialWorker is one worker's reusable execution state.
+type trialWorker struct {
+	rep     sim.LossyReplayer
+	covered []int64 // per-node covered-trial counts for this worker's slice
+	rate    float64
+	seed    uint64 // pre-mixed per trial; loss closes over the pointer
+	loss    sim.LossFunc
+	err     error
+}
+
+func newTrialWorker() *trialWorker {
+	tw := &trialWorker{}
+	tw.loss = func(t int, from, to graph.NodeID) bool {
+		return sim.IIDDropPremixed(tw.rate, tw.seed, t, from, to)
+	}
+	return tw
+}
+
+// Estimator batches Monte-Carlo replays with reusable per-worker state
+// (replayers, per-node counters, the per-trial observation arrays). It is
+// not safe for concurrent use; the serving layer gives each pool worker its
+// own. The zero value is ready.
+type Estimator struct {
+	workers []*trialWorker
+
+	// Per-trial observations, indexed by trial so workers write disjoint
+	// slots and aggregation order never depends on scheduling.
+	coveredPerTrial []int32
+	latencyPerTrial []int32 // -1 when the trial did not reach full coverage
+	lostPerTrial    []int32
+	collPerTrial    []int32
+
+	lats []int32 // scratch: delivering trials' latencies, for quantiles
+}
+
+// NewEstimator returns a ready estimator.
+func NewEstimator() *Estimator { return &Estimator{} }
+
+func (e *Estimator) ensure(workers, trials, n int) {
+	for len(e.workers) < workers {
+		e.workers = append(e.workers, newTrialWorker())
+	}
+	for _, tw := range e.workers[:workers] {
+		if len(tw.covered) < n {
+			tw.covered = make([]int64, n)
+		} else {
+			for i := range tw.covered[:n] {
+				tw.covered[i] = 0
+			}
+		}
+	}
+	if cap(e.coveredPerTrial) < trials {
+		e.coveredPerTrial = make([]int32, trials)
+		e.latencyPerTrial = make([]int32, trials)
+		e.lostPerTrial = make([]int32, trials)
+		e.collPerTrial = make([]int32, trials)
+	}
+	e.coveredPerTrial = e.coveredPerTrial[:trials]
+	e.latencyPerTrial = e.latencyPerTrial[:trials]
+	e.lostPerTrial = e.lostPerTrial[:trials]
+	e.collPerTrial = e.collPerTrial[:trials]
+}
+
+// runTrials executes trials [lo, hi) on worker tw.
+func (e *Estimator) runTrials(tw *trialWorker, in core.Instance, sched *core.Schedule, model LossModel, lo, hi int) {
+	n := in.G.N()
+	start := sched.Start
+	for i := lo; i < hi; i++ {
+		tw.rate = model.Rate
+		// Hoist the seed-only pre-mix out of the per-frame draw: it is
+		// constant across every (t, from, to) of the trial.
+		tw.seed = sim.IIDPremix(model.TrialSeed(i))
+		rep, err := tw.rep.ReplayValidated(in, sched, tw.loss)
+		if err != nil {
+			tw.err = err
+			return
+		}
+		covered := 0
+		last := start - 1
+		for v := 0; v < n; v++ {
+			if at := rep.CoveredAt[v]; at >= 0 {
+				covered++
+				tw.covered[v]++
+				if at > last {
+					last = at
+				}
+			}
+		}
+		e.coveredPerTrial[i] = int32(covered)
+		if covered == n {
+			e.latencyPerTrial[i] = int32(last - start + 1)
+		} else {
+			e.latencyPerTrial[i] = -1
+		}
+		e.lostPerTrial[i] = int32(rep.LostFrames)
+		e.collPerTrial[i] = int32(rep.Usage.Collisions)
+	}
+}
+
+// Estimate runs the Monte-Carlo batch and returns a freshly allocated,
+// caller-owned report (the estimator's internal buffers are reused across
+// calls, but never escape).
+func (e *Estimator) Estimate(in core.Instance, sched *core.Schedule, model LossModel, cfg Config) (*Report, error) {
+	model, err := model.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, errors.New("reliability: nil schedule")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.GOMAXPROCS(0)*4 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	if workers > trials {
+		workers = trials
+	}
+	n := in.G.N()
+	e.ensure(workers, trials, n)
+
+	if workers == 1 {
+		e.runTrials(e.workers[0], in, sched, model, 0, trials)
+	} else {
+		var wg sync.WaitGroup
+		per := (trials + workers - 1) / workers
+		for wi := 0; wi < workers; wi++ {
+			lo := wi * per
+			hi := min(lo+per, trials)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(tw *trialWorker, lo, hi int) {
+				defer wg.Done()
+				e.runTrials(tw, in, sched, model, lo, hi)
+			}(e.workers[wi], lo, hi)
+		}
+		wg.Wait()
+	}
+	// Clear every worker's error slot, not just the first failed one —
+	// a stale err left behind would poison the next Estimate on a reused
+	// Estimator.
+	var trialErr error
+	for _, tw := range e.workers[:workers] {
+		if tw.err != nil && trialErr == nil {
+			trialErr = tw.err
+		}
+		tw.err = nil
+	}
+	if trialErr != nil {
+		return nil, trialErr
+	}
+
+	rep := &Report{
+		Trials:          trials,
+		Loss:            model,
+		ScheduleLatency: sched.Latency(),
+		NodeCovered:     make([]int, n),
+	}
+	for _, tw := range e.workers[:workers] {
+		for v := 0; v < n; v++ {
+			rep.NodeCovered[v] += int(tw.covered[v])
+		}
+	}
+	var ratio stats.Sample
+	var lostSum, collSum int64
+	e.lats = e.lats[:0]
+	for i := 0; i < trials; i++ {
+		ratio.Add(float64(e.coveredPerTrial[i]) / float64(n))
+		lostSum += int64(e.lostPerTrial[i])
+		collSum += int64(e.collPerTrial[i])
+		if l := e.latencyPerTrial[i]; l >= 0 {
+			e.lats = append(e.lats, l)
+		}
+	}
+	rep.MeanDeliveryRatio = ratio.Mean()
+	rep.MeanDeliveryCI = ratio.CI95()
+	rep.DeliveredTrials = len(e.lats)
+	rep.FullCoverageRate = float64(rep.DeliveredTrials) / float64(trials)
+	rep.FullCoverageLo, rep.FullCoverageHi = stats.Wilson95(rep.DeliveredTrials, trials)
+	rep.MeanLostFrames = float64(lostSum) / float64(trials)
+	rep.MeanCollisions = float64(collSum) / float64(trials)
+	if k := len(e.lats); k > 0 {
+		slices.Sort(e.lats)
+		rep.Latency = Quantiles{
+			P50: int(e.lats[(k-1)*50/100]),
+			P90: int(e.lats[(k-1)*90/100]),
+			P99: int(e.lats[(k-1)*99/100]),
+			Max: int(e.lats[k-1]),
+		}
+	}
+	return rep, nil
+}
+
+// Estimate is the one-shot convenience form of (*Estimator).Estimate.
+func Estimate(in core.Instance, sched *core.Schedule, model LossModel, cfg Config) (*Report, error) {
+	return NewEstimator().Estimate(in, sched, model, cfg)
+}

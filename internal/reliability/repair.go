@@ -1,0 +1,191 @@
+package reliability
+
+import (
+	"fmt"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/color"
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+)
+
+// RepairConfig tunes the conflict-aware retransmission repair loop.
+type RepairConfig struct {
+	// Target is the required mean delivery ratio in (0, 1].
+	Target float64
+	// Trials and Workers size each Monte-Carlo evaluation (see Config).
+	Trials  int
+	Workers int
+	// MaxExtraSlots caps the latency penalty: no repair slot is appended
+	// more than this many slots past the base schedule's end. Default 64.
+	MaxExtraSlots int
+	// MaxRounds caps the measure-and-patch iterations. Default 8.
+	MaxRounds int
+}
+
+// DefaultMaxExtraSlots and DefaultMaxRounds are the RepairConfig defaults.
+const (
+	DefaultMaxExtraSlots = 64
+	DefaultMaxRounds     = 8
+)
+
+// RepairResult reports a repair run: the extended schedule, the estimates
+// bracketing it, and the latency the added slots cost.
+type RepairResult struct {
+	// Schedule is the repaired schedule: the base advances plus the
+	// appended rebroadcast slots. It intentionally fails
+	// core.Schedule.Validate — the extra advances re-cover nodes the ideal
+	// model considers done; they exist for the lossy channel only.
+	Schedule *core.Schedule `json:"-"`
+
+	Before *Report `json:"before"`
+	After  *Report `json:"after"`
+
+	Target        float64 `json:"target"`
+	TargetMet     bool    `json:"target_met"`
+	Rounds        int     `json:"rounds"`
+	AddedAdvances int     `json:"added_advances"`
+	// AddedSlots is the latency penalty: repaired end − base end.
+	AddedSlots      int `json:"added_slots"`
+	BaseLatency     int `json:"base_latency"`
+	RepairedLatency int `json:"repaired_latency"`
+}
+
+// Repair appends conflict-aware rebroadcast slots to sched until the
+// Monte-Carlo estimated mean delivery ratio under model reaches
+// cfg.Target, or a cap (rounds, extra slots) is hit.
+//
+// Each round re-measures, takes the nodes missed in any trial as the
+// repair targets, and treats the always-covered nodes as the holding set
+// W: the greedy color classes of the candidates of W (color.Scratch,
+// Algorithm 1's machinery) are pairwise conflict-free at the targets, so
+// the appended rebroadcasts cannot collide at the very nodes they are
+// rescuing. Classes fire on consecutive wake-feasible slots after the
+// current end; senders asleep at a class's slot are filtered out, and a
+// lossy trial in which an appended sender never actually received the
+// message simply leaves it silent (the simulator's stranded-sender rule).
+func (e *Estimator) Repair(in core.Instance, sched *core.Schedule, model LossModel, cfg RepairConfig) (*RepairResult, error) {
+	if cfg.Target <= 0 || cfg.Target > 1 {
+		return nil, fmt.Errorf("reliability: repair target %v outside (0, 1]", cfg.Target)
+	}
+	if cfg.MaxExtraSlots <= 0 {
+		cfg.MaxExtraSlots = DefaultMaxExtraSlots
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	estCfg := Config{Trials: cfg.Trials, Workers: cfg.Workers}
+	before, err := e.Estimate(in, sched, model, estCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	cur := &core.Schedule{
+		Source:   sched.Source,
+		Start:    sched.Start,
+		Advances: append([]core.Advance(nil), sched.Advances...),
+	}
+	res := &RepairResult{
+		Schedule:        cur,
+		Before:          before,
+		After:           before,
+		Target:          cfg.Target,
+		BaseLatency:     sched.Latency(),
+		RepairedLatency: sched.Latency(),
+	}
+	if before.MeanDeliveryRatio >= cfg.Target {
+		res.TargetMet = true
+		return res, nil
+	}
+
+	g := in.G
+	n := g.N()
+	baseEnd := sched.End()
+	var sc color.Scratch
+	reliable := bitset.New(n)
+	targets := bitset.New(n)
+	reach := bitset.New(n)
+	after := before
+
+	for round := 0; round < cfg.MaxRounds && after.MeanDeliveryRatio < cfg.Target; round++ {
+		reliable.Clear()
+		targets.Clear()
+		nTargets := 0
+		for v := 0; v < n; v++ {
+			if after.NodeCovered[v] == after.Trials {
+				reliable.Add(v)
+			} else {
+				targets.Add(v)
+				nTargets++
+			}
+		}
+		if nTargets == 0 {
+			break
+		}
+		// Candidates of the holding set W = reliable: reliable nodes with a
+		// neighbor in the miss set — exactly the relays that can rescue a
+		// target without risking their own coverage.
+		cands := sc.Candidates(g, reliable)
+		if len(cands) == 0 {
+			break
+		}
+		classes := sc.GreedyPartition(g, reliable, cands)
+		added := false
+		t := cur.End() + 1
+		for _, cls := range classes {
+			if t-baseEnd > cfg.MaxExtraSlots {
+				// Every later class would fire at slot ≥ t: the whole
+				// remainder of this round is out of budget.
+				break
+			}
+			// Earliest slot ≥ t at which some class member may transmit.
+			slot := -1
+			for _, u := range cls {
+				if nw := in.Wake.NextAwake(u, t); slot < 0 || nw < slot {
+					slot = nw
+				}
+			}
+			if slot-baseEnd > cfg.MaxExtraSlots {
+				// Only this class sleeps past the budget — classes are
+				// ordered by greedy coverage, not wake time, so a later
+				// class may still fit. Skip, don't abort.
+				continue
+			}
+			awake := sc.FilterAwake(cls, in.Wake, slot)
+			if len(awake) == 0 {
+				continue
+			}
+			reach.Clear()
+			for _, u := range awake {
+				reach.UnionWith(g.Nbr(u))
+			}
+			reach.IntersectWith(targets)
+			cur.Advances = append(cur.Advances, core.Advance{
+				T:       slot,
+				Senders: append([]graph.NodeID(nil), awake...),
+				Covered: reach.Members(),
+			})
+			added = true
+			t = slot + 1
+		}
+		if !added {
+			break
+		}
+		res.Rounds = round + 1
+		if after, err = e.Estimate(in, cur, model, estCfg); err != nil {
+			return nil, err
+		}
+	}
+
+	res.After = after
+	res.AddedAdvances = len(cur.Advances) - len(sched.Advances)
+	res.AddedSlots = cur.End() - baseEnd
+	res.RepairedLatency = cur.Latency()
+	res.TargetMet = after.MeanDeliveryRatio >= cfg.Target
+	return res, nil
+}
+
+// Repair is the one-shot convenience form of (*Estimator).Repair.
+func Repair(in core.Instance, sched *core.Schedule, model LossModel, cfg RepairConfig) (*RepairResult, error) {
+	return NewEstimator().Repair(in, sched, model, cfg)
+}

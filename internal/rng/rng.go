@@ -24,6 +24,17 @@ func SplitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 applies the SplitMix64 output finalizer to x: two xor-shift-multiply
+// rounds and a final xor-shift, a full-avalanche 64-bit mix (every input bit
+// flips each output bit with probability ≈ 1/2). Use it to hash-combine
+// fields by chaining — h = Mix64(h ^ field) — where XOR-ing raw products
+// would leave linear structure.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Source is a xoshiro256** generator. The zero value is invalid; use New.
 type Source struct {
 	s [4]uint64

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -38,15 +39,26 @@ func histBucket(d time.Duration) int {
 }
 
 // histBucketUpper returns the inclusive upper edge of bucket b — the value
-// percentiles report.
+// percentiles report. Edges in the top octave would overflow int64
+// (2^62·(1+sub/4)+2^60 crosses 2^63 at sub=3, as do all of octave 63's),
+// so they saturate at MaxInt64 — nothing observable lands above ~292y
+// anyway, and a negative "upper edge" would corrupt every percentile that
+// walks into those buckets.
 func histBucketUpper(b int) time.Duration {
 	octave := b / histSub
 	sub := b % histSub
 	if octave < 2 {
 		return time.Duration(int64(1) << (octave + 1))
 	}
+	if octave >= 63 {
+		return time.Duration(math.MaxInt64)
+	}
 	lower := int64(1)<<octave + int64(sub)<<(octave-2)
-	return time.Duration(lower + int64(1)<<(octave-2))
+	upper := lower + int64(1)<<(octave-2)
+	if upper < 0 {
+		upper = math.MaxInt64
+	}
+	return time.Duration(upper)
 }
 
 func (h *hist) observe(d time.Duration) {

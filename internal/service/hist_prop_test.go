@@ -1,0 +1,123 @@
+package service
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlbs/internal/rng"
+)
+
+// TestHistBucketUpperBoundsObservation is the round-trip property of the
+// log-linear histogram: every duration lands in a bucket whose upper edge
+// is at least the duration, and (for durations of ≥ 4ns, where the 4
+// sub-buckets per octave are active) within 25% relative error — the
+// resolution the percentile reporting promises.
+func TestHistBucketUpperBoundsObservation(t *testing.T) {
+	check := func(ns uint64) {
+		d := time.Duration(ns)
+		if d < 0 {
+			return
+		}
+		b := histBucket(d)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("d=%v: bucket %d out of range", d, b)
+		}
+		upper := histBucketUpper(b)
+		if upper < d {
+			t.Fatalf("d=%v: bucket %d upper edge %v below the observation", d, b, upper)
+		}
+		if ns >= 4 && float64(upper) > 1.25*float64(ns) {
+			t.Fatalf("d=%v: upper edge %v exceeds 25%% relative error", d, upper)
+		}
+	}
+	// Dense small values and all power-of-two boundaries ±1.
+	for ns := uint64(0); ns < 4096; ns++ {
+		check(ns)
+	}
+	for shift := uint(2); shift < 63; shift++ {
+		check(1<<shift - 1)
+		check(1 << shift)
+		check(1<<shift + 1)
+	}
+	// Random fuzz across the full range.
+	src := rng.New(1)
+	for i := 0; i < 20000; i++ {
+		check(src.Uint64() >> uint(src.Intn(63)))
+	}
+	// histBucket must be monotone non-decreasing, so sorting durations
+	// sorts buckets — the property percentileOf's rank walk depends on.
+	var ds []time.Duration
+	for shift := uint(0); shift < 62; shift++ {
+		for sub := uint64(0); sub < 4; sub++ {
+			ds = append(ds, time.Duration(uint64(1)<<shift+sub<<max(int(shift)-2, 0)))
+		}
+	}
+	src2 := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		ds = append(ds, time.Duration(src2.Uint64()>>uint(src2.Intn(62)+1)))
+	}
+	slices.Sort(ds)
+	prev := 0
+	for _, d := range ds {
+		if b := histBucket(d); b < prev {
+			t.Fatalf("histBucket not monotone at %v: %d < %d", d, b, prev)
+		} else {
+			prev = b
+		}
+	}
+}
+
+// TestPercentileOfMatchesRankedObservation: for any observation multiset,
+// percentileOf(q) must return the upper edge of the bucket holding the
+// rank-⌊q·(total−1)⌋ observation (sorted ascending) — i.e. a value ≥ the
+// true quantile and within the bucket resolution of it.
+func TestPercentileOfMatchesRankedObservation(t *testing.T) {
+	f := func(seed uint64, nObs uint16) bool {
+		src := rng.New(seed)
+		n := int(nObs)%500 + 1
+		obs := make([]time.Duration, n)
+		var h hist
+		for i := range obs {
+			// Mix magnitudes so buckets across many octaves fill.
+			d := time.Duration(src.Uint64() >> uint(src.Intn(60)))
+			obs[i] = d
+			h.observe(d)
+		}
+		var snap [histBuckets]int64
+		total := h.snapshot(&snap)
+		if total != int64(n) {
+			return false
+		}
+		// Sort by bucket (monotone in duration, so any stable order works).
+		buckets := make([]int, n)
+		for i, d := range obs {
+			buckets[i] = histBucket(d)
+		}
+		for i := 1; i < n; i++ { // insertion sort; n ≤ 500
+			for j := i; j > 0 && buckets[j] < buckets[j-1]; j-- {
+				buckets[j], buckets[j-1] = buckets[j-1], buckets[j]
+			}
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			rank := int(q * float64(total-1))
+			want := histBucketUpper(buckets[rank])
+			if got := percentileOf(&snap, total, q); got != want {
+				t.Logf("seed=%d n=%d q=%v: got %v, want %v", seed, n, q, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileOfEmpty(t *testing.T) {
+	var snap [histBuckets]int64
+	if got := percentileOf(&snap, 0, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"mlbs/internal/emodel"
 	"mlbs/internal/graphio"
 	"mlbs/internal/plancache"
+	"mlbs/internal/reliability"
 	"mlbs/internal/topology"
 )
 
@@ -52,6 +53,9 @@ type Config struct {
 	// GenCacheCapacity bounds the generated-deployment cache that backs
 	// Generator requests. Default 256.
 	GenCacheCapacity int
+	// ValidateCacheCapacity bounds the reliability-report cache that backs
+	// Validate requests (entries). Default 1024.
+	ValidateCacheCapacity int
 }
 
 // Generator asks the service to build the instance itself from the
@@ -107,12 +111,19 @@ type Metrics struct {
 	Errors       int64
 	Evictions    int64
 	CacheEntries int
-	HitP50       time.Duration
-	HitP99       time.Duration
-	MissP50      time.Duration
-	MissP99      time.Duration
-	P50          time.Duration
-	P99          time.Duration
+	// Validation traffic: request count, Monte-Carlo replays executed, and
+	// the reliability-report cache's counters.
+	Validations      int64
+	MonteCarloTrials int64
+	ValidateHits     int64
+	ValidateMisses   int64
+	ValidateEntries  int
+	HitP50           time.Duration
+	HitP99           time.Duration
+	MissP50          time.Duration
+	MissP99          time.Duration
+	P50              time.Duration
+	P99              time.Duration
 }
 
 // spec is a normalized scheduler selection — part of the cache key and the
@@ -142,31 +153,94 @@ func parseSpec(name string, budget int) (spec, error) {
 type job struct {
 	in    core.Instance
 	sp    spec
+	val   *valJob // nil for plan jobs
 	reply chan<- jobResult
+}
+
+// valJob carries one Monte-Carlo validation: the (shared, immutable)
+// schedule to replay plus the loss-model parameters. Repair never mutates
+// the schedule it is given; it clones before appending.
+type valJob struct {
+	sched    *core.Schedule
+	model    reliability.LossModel
+	trials   int
+	target   float64
+	maxExtra int
 }
 
 type jobResult struct {
 	res *core.Result
+	out *validateOutcome
 	err error
 }
 
+// validateOutcome is the cached product of one validation: the estimate,
+// plus the repair result when a target was requested.
+type validateOutcome struct {
+	report *reliability.Report
+	repair *reliability.RepairResult
+}
+
 // worker owns one goroutine and the reusable engines it has instantiated;
-// the engines map is touched only from the worker's own goroutine, so no
-// lock guards it and the engines' arenas stay warm call after call.
+// the engines map and the Monte-Carlo estimator are touched only from the
+// worker's own goroutine, so no lock guards them and their arenas stay
+// warm call after call.
 type worker struct {
 	jobs    chan job
 	engines map[spec]core.Scheduler
+	est     *reliability.Estimator
 }
 
 func (w *worker) run(s *Service) {
 	defer s.wg.Done()
 	for jb := range w.jobs {
+		if jb.val != nil {
+			out, err := w.execValidate(jb)
+			if err == nil {
+				// Repair re-estimates once per round on top of the
+				// baseline estimate; count every replay actually run.
+				batches := int64(1)
+				if out.repair != nil {
+					batches = int64(out.repair.Rounds) + 1
+				}
+				s.mcTrials.Add(int64(jb.val.trials) * batches)
+			}
+			jb.reply <- jobResult{out: out, err: err}
+			continue
+		}
 		res, err := w.exec(jb)
 		if err == nil {
 			s.searches.Add(1)
 		}
 		jb.reply <- jobResult{res: res, err: err}
 	}
+}
+
+// execValidate runs one Monte-Carlo validation on the worker's reusable
+// estimator. Trials run single-threaded here — the pool provides the
+// concurrency across requests, and the report is identical either way.
+func (w *worker) execValidate(jb job) (*validateOutcome, error) {
+	if w.est == nil {
+		w.est = reliability.NewEstimator()
+	}
+	v := jb.val
+	if v.target > 0 {
+		rr, err := w.est.Repair(jb.in, v.sched, v.model, reliability.RepairConfig{
+			Target:        v.target,
+			Trials:        v.trials,
+			Workers:       1,
+			MaxExtraSlots: v.maxExtra,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &validateOutcome{report: rr.After, repair: rr}, nil
+	}
+	rep, err := w.est.Estimate(jb.in, v.sched, v.model, reliability.Config{Trials: v.trials, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &validateOutcome{report: rep}, nil
 }
 
 func (w *worker) exec(jb job) (*core.Result, error) {
@@ -213,6 +287,7 @@ type Service struct {
 	cfg     Config
 	cache   *plancache.Cache[*core.Result]
 	gens    *plancache.Cache[core.Instance]
+	vcache  *plancache.Cache[*validateOutcome]
 	workers []*worker
 	wg      sync.WaitGroup
 
@@ -220,11 +295,13 @@ type Service struct {
 	closed   bool
 	inflight sync.WaitGroup
 
-	requests atomic.Int64
-	searches atomic.Int64
-	errs     atomic.Int64
-	hitHist  hist
-	missHist hist
+	requests    atomic.Int64
+	searches    atomic.Int64
+	validations atomic.Int64
+	mcTrials    atomic.Int64
+	errs        atomic.Int64
+	hitHist     hist
+	missHist    hist
 }
 
 // New builds and starts a service.
@@ -238,10 +315,14 @@ func New(cfg Config) *Service {
 	if cfg.GenCacheCapacity <= 0 {
 		cfg.GenCacheCapacity = 256
 	}
+	if cfg.ValidateCacheCapacity <= 0 {
+		cfg.ValidateCacheCapacity = 1024
+	}
 	s := &Service{
-		cfg:   cfg,
-		cache: plancache.New[*core.Result](cfg.CacheCapacity, cfg.CacheShards),
-		gens:  plancache.New[core.Instance](cfg.GenCacheCapacity, 4),
+		cfg:    cfg,
+		cache:  plancache.New[*core.Result](cfg.CacheCapacity, cfg.CacheShards),
+		gens:   plancache.New[core.Instance](cfg.GenCacheCapacity, 4),
+		vcache: plancache.New[*validateOutcome](cfg.ValidateCacheCapacity, 8),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{jobs: make(chan job, cfg.QueueDepth), engines: make(map[spec]core.Scheduler)}
@@ -316,22 +397,57 @@ func (s *Service) resolve(req Request) (core.Instance, error) {
 	return in, err
 }
 
-// dispatch queues one search on the worker shard owned by key and waits
-// for its result. Once queued the search runs to completion (its budget
-// bounds the time); ctx only guards the queueing itself.
-func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp spec) (*core.Result, error) {
+// dispatchJob queues one job (search or validation) on the worker shard
+// owned by key and waits for its result. Once queued the job runs to
+// completion (its budget/trial count bounds the time); ctx only guards
+// the queueing itself. The returned error is the queueing error; the
+// job's own outcome travels inside the jobResult.
+func (s *Service) dispatchJob(ctx context.Context, key string, jb job) (jobResult, error) {
 	// plancache.KeyHash, not a local hash: worker selection deliberately
 	// co-shards with the cache so repeats of an instance land on the
-	// worker whose engine arenas are already sized for it.
+	// worker whose engine/estimator arenas are already sized for it.
 	w := s.workers[int(plancache.KeyHash(key)%uint64(len(s.workers)))]
 	reply := make(chan jobResult, 1)
+	jb.reply = reply
 	select {
-	case w.jobs <- job{in: in, sp: sp, reply: reply}:
+	case w.jobs <- jb:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return jobResult{}, ctx.Err()
 	}
-	r := <-reply
+	return <-reply, nil
+}
+
+// dispatch queues one search and waits for its result.
+func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp spec) (*core.Result, error) {
+	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp})
+	if err != nil {
+		return nil, err
+	}
 	return r.res, r.err
+}
+
+func planKey(digest graphio.Digest, sp spec) string {
+	return digest.String() + "|" + sp.kind + "|" + strconv.Itoa(sp.budget)
+}
+
+// planFor obtains the plan behind key: from the cache, or by exactly one
+// dispatched search even under concurrent identical requests. noCache
+// bypasses the lookup but still stores the result.
+func (s *Service) planFor(ctx context.Context, key string, in core.Instance, sp spec, noCache bool) (res *core.Result, hit, coalesced bool, err error) {
+	if noCache {
+		res, err = s.dispatch(ctx, key, in, sp)
+		if err == nil {
+			s.cache.Put(key, res)
+		}
+		return res, false, false, err
+	}
+	// The singleflight computation is shared by every coalesced
+	// waiter, so it must not die with the leader's request context —
+	// a leader disconnecting would fail N−1 innocent callers.
+	shared := context.WithoutCancel(ctx)
+	return s.cache.GetOrCompute(key, func() (*core.Result, error) {
+		return s.dispatch(shared, key, in, sp)
+	})
 }
 
 // Plan answers one request: from the cache when the instance has been
@@ -358,27 +474,10 @@ func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	key := digest.String() + "|" + sp.kind + "|" + strconv.Itoa(sp.budget)
+	key := planKey(digest, sp)
 
 	s.requests.Add(1)
-	var (
-		res            *core.Result
-		hit, coalesced bool
-	)
-	if req.NoCache {
-		res, err = s.dispatch(ctx, key, in, sp)
-		if err == nil {
-			s.cache.Put(key, res)
-		}
-	} else {
-		// The singleflight computation is shared by every coalesced
-		// waiter, so it must not die with the leader's request context —
-		// a leader disconnecting would fail N−1 innocent callers.
-		shared := context.WithoutCancel(ctx)
-		res, hit, coalesced, err = s.cache.GetOrCompute(key, func() (*core.Result, error) {
-			return s.dispatch(shared, key, in, sp)
-		})
-	}
+	res, hit, coalesced, err := s.planFor(ctx, key, in, sp, req.NoCache)
 	elapsed := time.Since(start)
 	if err != nil {
 		s.errs.Add(1)
@@ -492,23 +591,29 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest, emit func(SweepIt
 // Metrics snapshots the service counters and latency percentiles.
 func (s *Service) Metrics() Metrics {
 	cs := s.cache.Stats()
+	vs := s.vcache.Stats()
 	var merged [histBuckets]int64
 	total := s.hitHist.snapshot(&merged)
 	total += s.missHist.snapshot(&merged)
 	return Metrics{
-		Requests:     s.requests.Load(),
-		Hits:         cs.Hits,
-		Misses:       cs.Misses,
-		Coalesced:    cs.Coalesced,
-		Searches:     s.searches.Load(),
-		Errors:       s.errs.Load(),
-		Evictions:    cs.Evictions,
-		CacheEntries: cs.Entries,
-		HitP50:       s.hitHist.percentile(0.50),
-		HitP99:       s.hitHist.percentile(0.99),
-		MissP50:      s.missHist.percentile(0.50),
-		MissP99:      s.missHist.percentile(0.99),
-		P50:          percentileOf(&merged, total, 0.50),
-		P99:          percentileOf(&merged, total, 0.99),
+		Requests:         s.requests.Load(),
+		Hits:             cs.Hits,
+		Misses:           cs.Misses,
+		Coalesced:        cs.Coalesced,
+		Searches:         s.searches.Load(),
+		Errors:           s.errs.Load(),
+		Evictions:        cs.Evictions,
+		CacheEntries:     cs.Entries,
+		Validations:      s.validations.Load(),
+		MonteCarloTrials: s.mcTrials.Load(),
+		ValidateHits:     vs.Hits,
+		ValidateMisses:   vs.Misses,
+		ValidateEntries:  vs.Entries,
+		HitP50:           s.hitHist.percentile(0.50),
+		HitP99:           s.hitHist.percentile(0.99),
+		MissP50:          s.missHist.percentile(0.50),
+		MissP99:          s.missHist.percentile(0.99),
+		P50:              percentileOf(&merged, total, 0.50),
+		P99:              percentileOf(&merged, total, 0.99),
 	}
 }

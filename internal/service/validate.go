@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"mlbs/internal/core"
+	"mlbs/internal/graphio"
+	"mlbs/internal/reliability"
+)
+
+// MaxValidateTrials caps one validation's Monte-Carlo batch so a single
+// request cannot pin a worker indefinitely.
+const MaxValidateTrials = 100_000
+
+// ValidateRequest asks the service what a schedule actually delivers on a
+// lossy channel: plan the instance (through the regular plan cache), then
+// Monte-Carlo-replay the schedule under the loss model. Exactly one of
+// Instance and Generator must be set.
+type ValidateRequest struct {
+	Instance  *core.Instance
+	Generator *Generator
+	// Scheduler/Budget select the plan whose schedule is validated, as in
+	// Request.
+	Scheduler string
+	Budget    int
+	// Loss is the stochastic channel (defaults: iid kind).
+	Loss reliability.LossModel
+	// Trials sizes the Monte-Carlo batch; 0 selects the reliability
+	// package default, values above MaxValidateTrials are rejected.
+	Trials int
+	// Target, when > 0, additionally runs conflict-aware retransmission
+	// repair until the mean delivery ratio reaches it (see
+	// reliability.RepairConfig).
+	Target float64
+	// MaxExtraSlots caps the repair latency penalty; 0 selects the
+	// default.
+	MaxExtraSlots int
+	// NoCache bypasses the reliability-report cache (the plan cache still
+	// serves the schedule) — reliability sweeps use it to measure the cold
+	// Monte-Carlo path.
+	NoCache bool
+}
+
+// ValidateResponse is one validation answer. Report (and Repair, when a
+// target was set) are shared and immutable.
+type ValidateResponse struct {
+	Digest    string
+	Scheduler string
+	// Report is the Monte-Carlo estimate — for repair runs, the estimate
+	// of the *repaired* schedule (Repair.Before holds the baseline).
+	Report *reliability.Report
+	Repair *reliability.RepairResult
+	// PlanCacheHit reports whether the underlying schedule came from the
+	// plan cache; CacheHit/Coalesced describe the reliability-report
+	// cache.
+	PlanCacheHit bool
+	CacheHit     bool
+	Coalesced    bool
+	Elapsed      time.Duration
+}
+
+// validateKey extends the plan key with everything the Monte-Carlo answer
+// depends on: loss-model parameters, trial count, and the repair target.
+func validateKey(pkey string, m reliability.LossModel, trials int, target float64, maxExtra int) string {
+	return pkey + "|v|" + m.Kind +
+		"|" + strconv.FormatFloat(m.Rate, 'x', -1, 64) +
+		"|" + strconv.FormatUint(m.Seed, 10) +
+		"|" + strconv.Itoa(trials) +
+		"|" + strconv.FormatFloat(target, 'x', -1, 64) +
+		"|" + strconv.Itoa(maxExtra)
+}
+
+// dispatchValidate queues one Monte-Carlo job on the worker shard owned by
+// key and waits for its outcome.
+func (s *Service) dispatchValidate(ctx context.Context, key string, in core.Instance, sp spec, vj *valJob) (*validateOutcome, error) {
+	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp, val: vj})
+	if err != nil {
+		return nil, err
+	}
+	return r.out, r.err
+}
+
+// Validate answers one reliability request: resolve the instance, obtain
+// its schedule through the plan cache, then serve the Monte-Carlo report
+// from the reliability cache — computing it at most once even under
+// concurrent identical requests.
+func (s *Service) Validate(ctx context.Context, req ValidateRequest) (ValidateResponse, error) {
+	start := time.Now()
+	if err := s.enter(); err != nil {
+		return ValidateResponse{}, err
+	}
+	defer s.inflight.Done()
+	if err := ctx.Err(); err != nil {
+		return ValidateResponse{}, err
+	}
+	sp, err := parseSpec(req.Scheduler, req.Budget)
+	if err != nil {
+		return ValidateResponse{}, err
+	}
+	model, err := req.Loss.Normalize()
+	if err != nil {
+		return ValidateResponse{}, err
+	}
+	trials := req.Trials
+	if trials <= 0 {
+		trials = reliability.DefaultTrials
+	}
+	if trials > MaxValidateTrials {
+		return ValidateResponse{}, fmt.Errorf("service: %d trials exceeds the cap of %d", trials, MaxValidateTrials)
+	}
+	if req.Target < 0 || req.Target > 1 {
+		return ValidateResponse{}, fmt.Errorf("service: repair target %v outside [0, 1]", req.Target)
+	}
+	maxExtra := req.MaxExtraSlots
+	if maxExtra <= 0 {
+		maxExtra = reliability.DefaultMaxExtraSlots
+	}
+	if req.Target == 0 {
+		// No repair: the slot budget cannot influence the answer, so
+		// normalize it out of the cache key — distinct max_extra_slots
+		// values must not fragment the cache over identical work.
+		maxExtra = 0
+	}
+	in, err := s.resolve(ValidateRequestAsPlan(req))
+	if err != nil {
+		return ValidateResponse{}, err
+	}
+	digest, err := graphio.InstanceDigest(in)
+	if err != nil {
+		return ValidateResponse{}, err
+	}
+	pkey := planKey(digest, sp)
+	s.validations.Add(1)
+
+	// The schedule itself always goes through the plan cache: re-running
+	// the search would not change the Monte-Carlo answer, only waste a
+	// worker.
+	res, planHit, _, err := s.planFor(ctx, pkey, in, sp, false)
+	if err != nil {
+		s.errs.Add(1)
+		return ValidateResponse{}, err
+	}
+
+	vkey := validateKey(pkey, model, trials, req.Target, maxExtra)
+	vj := &valJob{sched: res.Schedule, model: model, trials: trials, target: req.Target, maxExtra: maxExtra}
+	var (
+		out            *validateOutcome
+		hit, coalesced bool
+	)
+	if req.NoCache {
+		out, err = s.dispatchValidate(ctx, vkey, in, sp, vj)
+		if err == nil {
+			s.vcache.Put(vkey, out)
+		}
+	} else {
+		shared := context.WithoutCancel(ctx)
+		out, hit, coalesced, err = s.vcache.GetOrCompute(vkey, func() (*validateOutcome, error) {
+			return s.dispatchValidate(shared, vkey, in, sp, vj)
+		})
+	}
+	if err != nil {
+		s.errs.Add(1)
+		return ValidateResponse{}, err
+	}
+	return ValidateResponse{
+		Digest:       digest.String(),
+		Scheduler:    res.Scheduler,
+		Report:       out.report,
+		Repair:       out.repair,
+		PlanCacheHit: planHit,
+		CacheHit:     hit,
+		Coalesced:    coalesced,
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// ValidateRequestAsPlan projects the instance-selecting fields of a
+// validate request onto the plan request form resolve understands.
+func ValidateRequestAsPlan(req ValidateRequest) Request {
+	return Request{
+		Instance:  req.Instance,
+		Generator: req.Generator,
+		Scheduler: req.Scheduler,
+		Budget:    req.Budget,
+	}
+}

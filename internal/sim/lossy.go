@@ -1,37 +1,10 @@
 package sim
 
 import (
-	"fmt"
-	"sort"
-
 	"mlbs/internal/core"
 	"mlbs/internal/graph"
 	"mlbs/internal/rng"
 )
-
-func errOut(u graph.NodeID, t int) error {
-	return fmt.Errorf("sim: sender %d out of range at t=%d", u, t)
-}
-
-func errUncovered(u graph.NodeID, t int) error {
-	return fmt.Errorf("sim: node %d transmitted at t=%d without holding the message", u, t)
-}
-
-func errAsleep(u graph.NodeID, t int) error {
-	return fmt.Errorf("sim: node %d transmitted at t=%d while its sending channel was off", u, t)
-}
-
-func errOrder(t int) error {
-	return fmt.Errorf("sim: advances out of order at t=%d", t)
-}
-
-func sortedIDs(xs []graph.NodeID) []graph.NodeID {
-	cp := append([]graph.NodeID(nil), xs...)
-	sort.Ints(cp)
-	return cp
-}
-
-func sortInts(xs []int) { sort.Ints(xs) }
 
 // LossFunc decides whether the frame sent by `from` at slot t is lost on
 // the link to `to`. Implementations must be pure functions of their
@@ -41,6 +14,38 @@ type LossFunc func(t int, from, to graph.NodeID) bool
 // NoLoss is the ideal channel.
 func NoLoss(int, graph.NodeID, graph.NodeID) bool { return false }
 
+// IIDPremix runs the seed through the mixing pass IIDDrop would apply
+// first. The pre-mix depends only on the seed, so batch engines hoist it
+// out of the per-frame loop: pre-mix once per trial, then draw with
+// IIDDropPremixed.
+func IIDPremix(seed uint64) uint64 {
+	return rng.Mix64(seed + 0x9e3779b97f4a7c15)
+}
+
+// IIDDropPremixed is IIDDrop after IIDPremix has been applied to the
+// seed — the per-frame decision on the Monte-Carlo hot path. The three
+// coordinates are absorbed sequentially, each followed by a full
+// SplitMix64 finalizer pass, so every bit of every field avalanches
+// through 64-bit mixing before the next field enters — links sharing a
+// slot, a sender, or a receiver see statistically independent draws (the
+// earlier XOR-of-products construction left linear correlations between
+// such links).
+func IIDDropPremixed(rate float64, premixed uint64, t int, from, to graph.NodeID) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := rng.Mix64(premixed ^ uint64(t+1))
+	h = rng.Mix64(h ^ uint64(from+1))
+	h = rng.Mix64(h ^ uint64(to+1))
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// IIDDrop is the pure per-frame decision IIDLoss closes over: drop the
+// (slot, sender, receiver) frame with the given probability under seed.
+func IIDDrop(rate float64, seed uint64, t int, from, to graph.NodeID) bool {
+	return IIDDropPremixed(rate, IIDPremix(seed), t, from, to)
+}
+
 // IIDLoss drops each (slot, sender, receiver) frame independently with the
 // given probability, keyed by seed. The draw hashes the triple, so it is
 // order-independent and reproducible.
@@ -48,69 +53,10 @@ func IIDLoss(rate float64, seed uint64) LossFunc {
 	if rate <= 0 {
 		return NoLoss
 	}
+	premixed := IIDPremix(seed)
 	return func(t int, from, to graph.NodeID) bool {
-		s := seed
-		s ^= uint64(t+1) * 0x9e3779b97f4a7c15
-		s ^= uint64(from+1) * 0xbf58476d1ce4e5b9
-		s ^= uint64(to+1) * 0x94d049bb133111eb
-		v := rng.SplitMix64(&s)
-		return float64(v>>11)/(1<<53) < rate
+		return IIDDropPremixed(rate, premixed, t, from, to)
 	}
-}
-
-// lostFrames counts dropped receptions in a lossy execution.
-type lossState struct {
-	*state
-	loss LossFunc
-	Lost int
-}
-
-// transmitLossy applies the slot physics with a lossy channel: frames may
-// vanish per link; an uncovered node is covered when exactly one frame
-// *arrives* (losses thin out collisions too, as on a real channel).
-func (s *lossState) transmitLossy(t int, senders []graph.NodeID) ([]graph.NodeID, error) {
-	for _, u := range senders {
-		if u < 0 || u >= s.n {
-			return nil, errOut(u, t)
-		}
-		if !s.w.Has(u) {
-			return nil, errUncovered(u, t)
-		}
-		if !s.in.Wake.Awake(u, t) {
-			return nil, errAsleep(u, t)
-		}
-	}
-	heard := make(map[graph.NodeID][]graph.NodeID)
-	for _, u := range senders {
-		s.report.Usage.Transmissions++
-		for _, v := range s.in.G.Adj(u) {
-			if s.loss(t, u, v) {
-				s.Lost++
-				continue
-			}
-			heard[v] = append(heard[v], u)
-		}
-	}
-	var newly []graph.NodeID
-	for v, from := range heard {
-		if s.w.Has(v) {
-			s.report.Usage.Receptions++
-			continue
-		}
-		if len(from) == 1 {
-			s.report.Usage.Receptions++
-			newly = append(newly, v)
-			continue
-		}
-		s.report.Usage.Collisions++
-		s.report.Collisions = append(s.report.Collisions, Collision{T: t, Receiver: v, Senders: sortedIDs(from)})
-	}
-	sortInts(newly)
-	for _, v := range newly {
-		s.w.Add(v)
-		s.covered[v] = t
-	}
-	return newly, nil
 }
 
 // LossyReport extends Report with the dropped-frame count.
@@ -123,86 +69,16 @@ type LossyReport struct {
 // the ideal Replay, coverage claimed by the schedule may simply not happen;
 // the report shows how far the offline plan actually got — the fragility
 // of interference-free offline schedules that Section VI attributes to
-// [20]-style approaches.
+// [20]-style approaches. Senders that never got the message (an earlier
+// lossy slot failed them) stay silent instead of aborting: the offline
+// plan simply degrades.
 func ReplayLossy(in core.Instance, sched *core.Schedule, loss LossFunc) (*LossyReport, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if loss == nil {
-		loss = NoLoss
-	}
-	ls := &lossState{state: newState(in, sched.Start), loss: loss}
-	byTime := make(map[int][]graph.NodeID)
-	maxT := sched.Start - 1
-	prev := sched.Start - 1
-	for _, adv := range sched.Advances {
-		if adv.T <= prev {
-			return nil, errOrder(adv.T)
-		}
-		prev = adv.T
-		byTime[adv.T] = append(byTime[adv.T], adv.Senders...)
-		if adv.T > maxT {
-			maxT = adv.T
-		}
-	}
-	for t := sched.Start; t <= maxT; t++ {
-		senders := byTime[t]
-		if len(senders) > 0 {
-			// Senders that never got the message (an earlier lossy slot
-			// failed them) stay silent instead of aborting: the offline
-			// plan simply degrades.
-			var able []graph.NodeID
-			for _, u := range senders {
-				if ls.w.Has(u) {
-					able = append(able, u)
-				}
-			}
-			if len(able) > 0 {
-				if _, err := ls.transmitLossy(t, able); err != nil {
-					return nil, err
-				}
-			}
-		}
-		ls.accountQuiet(t, senders)
-	}
-	rep := ls.finish(sched.Start, maxT)
-	return &LossyReport{Report: *rep, LostFrames: ls.Lost}, nil
+	return NewLossyReplayer().Replay(in, sched, loss)
 }
 
 // RunPolicyLossy drives an online policy over a lossy channel. Policies
 // that re-derive senders from actual coverage (the localized scheme)
 // retransmit naturally and still complete; the report records the price.
 func RunPolicyLossy(in core.Instance, policy PolicyFunc, horizon int, loss LossFunc) (*LossyReport, *core.Schedule, error) {
-	if err := in.Validate(); err != nil {
-		return nil, nil, err
-	}
-	if loss == nil {
-		loss = NoLoss
-	}
-	if horizon <= 0 {
-		// Losses stretch executions: allow an order of magnitude beyond
-		// the lossless default before declaring failure.
-		horizon = in.Start + 10*in.G.N()*(in.Wake.Period()+1) + in.Wake.Period()
-	}
-	ls := &lossState{state: newState(in, in.Start), loss: loss}
-	sched := &core.Schedule{Source: in.Source, Start: in.Start}
-	end := in.Start - 1
-	for t := in.Start; ls.w.Len() < ls.n && t <= horizon; t++ {
-		senders := policy(ls.w, t)
-		if len(senders) > 0 {
-			newly, err := ls.transmitLossy(t, senders)
-			if err != nil {
-				return nil, nil, err
-			}
-			end = t
-			sched.Advances = append(sched.Advances, core.Advance{
-				T:       t,
-				Senders: sortedIDs(senders),
-				Covered: newly,
-			})
-		}
-		ls.accountQuiet(t, senders)
-	}
-	rep := ls.finish(in.Start, end)
-	return &LossyReport{Report: *rep, LostFrames: ls.Lost}, sched, nil
+	return NewLossyReplayer().RunPolicy(in, policy, horizon, loss)
 }

@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"mlbs/internal/sim"
+)
+
+// corrIndicator computes the Pearson correlation of two binary sequences.
+func corrIndicator(x, y []bool) float64 {
+	n := float64(len(x))
+	var sx, sy, sxy float64
+	for i := range x {
+		xi, yi := 0.0, 0.0
+		if x[i] {
+			xi = 1
+		}
+		if y[i] {
+			yi = 1
+		}
+		sx += xi
+		sy += yi
+		sxy += xi * yi
+	}
+	mx, my := sx/n, sy/n
+	vx, vy := mx*(1-mx), my*(1-my)
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return (sxy/n - mx*my) / math.Sqrt(vx*vy)
+}
+
+// TestIIDLossPerLinkRate checks the empirical drop rate of several distinct
+// links against the configured probability — each link's stream must be a
+// fair Bernoulli sequence on its own.
+func TestIIDLossPerLinkRate(t *testing.T) {
+	const (
+		trials = 50000
+		rate   = 0.2
+	)
+	loss := sim.IIDLoss(rate, 17)
+	links := [][2]int{{1, 2}, {2, 1}, {1, 3}, {7, 8}, {0, 299}}
+	for _, lk := range links {
+		dropped := 0
+		for i := 0; i < trials; i++ {
+			if loss(i, lk[0], lk[1]) {
+				dropped++
+			}
+		}
+		got := float64(dropped) / trials
+		// Binomial std-err ≈ sqrt(p(1−p)/n) ≈ 0.0018; 5σ tolerance.
+		if math.Abs(got-rate) > 0.009 {
+			t.Errorf("link %v: empirical rate %.4f, want ≈%.2f", lk, got, rate)
+		}
+	}
+}
+
+// TestIIDLossAdjacentLinksUncorrelated pins the satellite fix: the old
+// construction XOR-ed three independently multiplied coordinates before a
+// single SplitMix64 step, leaving linear correlations between links that
+// share a slot, a sender, or a receiver. With sequential chaining through
+// the full finalizer, the indicator streams of coordinate-sharing links
+// must be empirically uncorrelated (|r| within ~5/√n of zero).
+func TestIIDLossAdjacentLinksUncorrelated(t *testing.T) {
+	const (
+		trials = 50000
+		rate   = 0.3
+		tol    = 0.025 // ≈ 5.5/√trials
+	)
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		loss := sim.IIDLoss(rate, seed)
+		pairs := []struct {
+			name   string
+			a, b   [2]int
+			shiftB int // slot offset applied to the second stream
+		}{
+			{"shared relay b: a→b vs b→c", [2]int{1, 2}, [2]int{2, 3}, 0},
+			{"shared sender: a→b vs a→c", [2]int{5, 6}, [2]int{5, 7}, 0},
+			{"shared receiver: a→c vs b→c", [2]int{4, 9}, [2]int{8, 9}, 0},
+			{"same link, consecutive slots", [2]int{1, 2}, [2]int{1, 2}, 1},
+			{"reverse link, same slot", [2]int{3, 4}, [2]int{4, 3}, 0},
+		}
+		for _, p := range pairs {
+			x := make([]bool, trials)
+			y := make([]bool, trials)
+			for i := 0; i < trials; i++ {
+				x[i] = loss(i, p.a[0], p.a[1])
+				y[i] = loss(i+p.shiftB, p.b[0], p.b[1])
+			}
+			if r := corrIndicator(x, y); math.Abs(r) > tol {
+				t.Errorf("seed %d, %s: |corr| = %.4f > %.3f", seed, p.name, math.Abs(r), tol)
+			}
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+)
+
+func errOut(u graph.NodeID, t int) error {
+	return fmt.Errorf("sim: sender %d out of range at t=%d", u, t)
+}
+
+func errUncovered(u graph.NodeID, t int) error {
+	return fmt.Errorf("sim: node %d transmitted at t=%d without holding the message", u, t)
+}
+
+func errAsleep(u graph.NodeID, t int) error {
+	return fmt.Errorf("sim: node %d transmitted at t=%d while its sending channel was off", u, t)
+}
+
+func errOrder(t int) error {
+	return fmt.Errorf("sim: advances out of order at t=%d", t)
+}
+
+func sortedIDs(xs []graph.NodeID) []graph.NodeID {
+	cp := append([]graph.NodeID(nil), xs...)
+	sort.Ints(cp)
+	return cp
+}
+
+// Replayer executes schedules and policies against the slot physics with
+// every piece of per-execution state held in reusable buffers: coverage
+// bitset, per-node frame counters, the touched-receiver list, and the
+// collision arena all survive across calls, so a warm Replayer runs a full
+// replay without allocating (the discipline the Monte-Carlo reliability
+// engine batches thousands of replays on).
+//
+// Reports returned by a Replayer alias its buffers and stay valid only
+// until the next call on the same Replayer. A Replayer is not safe for
+// concurrent use; the zero value is ready.
+type Replayer struct {
+	in   core.Instance
+	n    int
+	loss LossFunc // nil = ideal channel
+	lost int
+
+	w         bitset.Set
+	covered   []int
+	nFrames   []int32        // per-node frames arriving this slot; kept zeroed between slots
+	isTx      []bool         // per-node transmitting-this-slot mark; kept cleared between slots
+	touched   []graph.NodeID // receivers that heard ≥1 frame this slot
+	newly     []graph.NodeID // receivers newly covered this slot
+	able      []graph.NodeID // lossy replay: senders that actually hold the message
+	collArena []graph.NodeID // backing storage for Collision.Senders lists
+	colls     []Collision
+	report    Report
+}
+
+// NewReplayer returns a ready ideal-channel replayer.
+func NewReplayer() *Replayer { return &Replayer{} }
+
+// reset prepares the buffers for one execution of in starting at start.
+func (r *Replayer) reset(in core.Instance, start int) {
+	n := in.G.N()
+	r.in, r.n, r.lost = in, n, 0
+	if len(r.covered) < n {
+		r.covered = make([]int, n)
+		r.nFrames = make([]int32, n)
+		r.isTx = make([]bool, n)
+	}
+	if r.w.Capacity() < n {
+		r.w = bitset.New(n)
+	} else {
+		r.w.Clear()
+	}
+	cov := r.covered[:n]
+	for i := range cov {
+		cov[i] = -1
+	}
+	r.collArena = r.collArena[:0]
+	r.colls = r.colls[:0]
+	r.report = Report{}
+	r.w.Add(in.Source)
+	cov[in.Source] = start - 1
+	for _, u := range in.PreCovered {
+		if !r.w.Has(u) {
+			r.w.Add(u)
+			cov[u] = start - 1
+		}
+	}
+}
+
+// transmit applies the physics of one slot: every sender's frame reaches
+// all neighbors (minus per-link losses on a lossy channel); uncovered
+// receivers hearing exactly one frame become covered, hearing more records
+// a collision. Covered receivers tally one reception for the slot
+// (duplicates are discarded by the MAC). The newly covered nodes are left
+// in r.newly, sorted ascending. The outcome is independent of the senders'
+// iteration order: receivers are processed in ascending ID order and
+// collision sender lists are sorted.
+func (r *Replayer) transmit(t int, senders []graph.NodeID) error {
+	for _, u := range senders {
+		if u < 0 || u >= r.n {
+			return errOut(u, t)
+		}
+		if !r.w.Has(u) {
+			return errUncovered(u, t)
+		}
+		if !r.in.Wake.Awake(u, t) {
+			return errAsleep(u, t)
+		}
+	}
+	r.touched = r.touched[:0]
+	for _, u := range senders {
+		r.report.Usage.Transmissions++
+		for _, v := range r.in.G.Adj(u) {
+			if r.loss != nil && r.loss(t, u, v) {
+				r.lost++
+				continue
+			}
+			if r.nFrames[v] == 0 {
+				r.touched = append(r.touched, v)
+			}
+			r.nFrames[v]++
+		}
+	}
+	sort.Ints(r.touched)
+	r.newly = r.newly[:0]
+	for _, v := range r.touched {
+		k := r.nFrames[v]
+		r.nFrames[v] = 0
+		if r.w.Has(v) {
+			r.report.Usage.Receptions++ // duplicate, discarded above MAC
+			continue
+		}
+		if k == 1 {
+			r.report.Usage.Receptions++
+			r.newly = append(r.newly, v)
+			continue
+		}
+		// Collision: re-derive the interfering senders (adjacency is
+		// symmetric and the loss function is pure, so this reproduces
+		// exactly the frames that arrived).
+		start := len(r.collArena)
+		for _, u := range senders {
+			if r.in.G.Nbr(v).Has(u) && (r.loss == nil || !r.loss(t, u, v)) {
+				r.collArena = append(r.collArena, u)
+			}
+		}
+		cs := r.collArena[start:len(r.collArena):len(r.collArena)]
+		sort.Ints(cs)
+		r.report.Usage.Collisions++
+		r.colls = append(r.colls, Collision{T: t, Receiver: v, Senders: cs})
+	}
+	for _, v := range r.newly {
+		r.w.Add(v)
+		r.covered[v] = t
+	}
+	return nil
+}
+
+// accountQuiet charges idle/sleep slots for one elapsed slot: transmitters
+// were already charged; every other node spends the slot listening, and
+// additionally its sending circuitry is asleep unless its wake schedule has
+// it on.
+func (r *Replayer) accountQuiet(t int, senders []graph.NodeID) {
+	for _, u := range senders {
+		r.isTx[u] = true
+	}
+	for u := 0; u < r.n; u++ {
+		if r.isTx[u] {
+			continue
+		}
+		r.report.Usage.IdleSlots++
+		if !r.in.Wake.Awake(u, t) {
+			r.report.Usage.SleepSlots++
+		}
+	}
+	for _, u := range senders {
+		r.isTx[u] = false
+	}
+}
+
+// filterAble narrows senders to those that physically hold the message —
+// in a lossy replay, relays whose own reception was lost stay silent
+// instead of aborting the execution.
+func (r *Replayer) filterAble(t int, senders []graph.NodeID) ([]graph.NodeID, error) {
+	r.able = r.able[:0]
+	for _, u := range senders {
+		if u < 0 || u >= r.n {
+			return nil, errOut(u, t)
+		}
+		if r.w.Has(u) {
+			r.able = append(r.able, u)
+		}
+	}
+	return r.able, nil
+}
+
+func (r *Replayer) finish(start, end int) *Report {
+	rep := &r.report
+	rep.CoveredAt = r.covered[:r.n]
+	if len(r.colls) > 0 {
+		rep.Collisions = r.colls
+	}
+	rep.End = end
+	rep.Slots = end - start + 1
+	if rep.Slots < 0 {
+		rep.Slots = 0
+	}
+	rep.Completed = r.w.Len() == r.n && len(r.colls) == 0
+	return rep
+}
+
+// Replay executes a precomputed schedule on the ideal channel; see the
+// package-level Replay for semantics. The report aliases the Replayer's
+// buffers and is valid until its next call.
+func (r *Replayer) Replay(in core.Instance, sched *core.Schedule) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	r.loss = nil
+	return r.replay(in, sched)
+}
+
+// replay is the shared schedule-execution loop. r.loss selects the channel.
+func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, error) {
+	r.reset(in, sched.Start)
+	prev := sched.Start - 1
+	for _, adv := range sched.Advances {
+		if adv.T <= prev {
+			return nil, errOrder(adv.T)
+		}
+		prev = adv.T
+	}
+	maxT := sched.Start - 1
+	if len(sched.Advances) > 0 {
+		maxT = sched.Advances[len(sched.Advances)-1].T
+	}
+	ai := 0
+	for t := sched.Start; t <= maxT; t++ {
+		var senders []graph.NodeID
+		if ai < len(sched.Advances) && sched.Advances[ai].T == t {
+			senders = sched.Advances[ai].Senders
+			ai++
+		}
+		if len(senders) > 0 {
+			firing := senders
+			if r.loss != nil {
+				var err error
+				if firing, err = r.filterAble(t, senders); err != nil {
+					return nil, err
+				}
+			}
+			if len(firing) > 0 {
+				if err := r.transmit(t, firing); err != nil {
+					return nil, err
+				}
+			}
+		}
+		r.accountQuiet(t, senders)
+	}
+	return r.finish(sched.Start, maxT), nil
+}
+
+// RunPolicy drives an online policy against the ideal physics; see the
+// package-level RunPolicy. The report aliases the Replayer's buffers.
+func (r *Replayer) RunPolicy(in core.Instance, policy PolicyFunc, horizon int) (*Report, *core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if horizon <= 0 {
+		horizon = in.Start + in.G.N()*(in.Wake.Period()+1) + in.Wake.Period()
+	}
+	r.loss = nil
+	return r.run(in, policy, horizon, false)
+}
+
+// run is the shared policy-execution loop. sortSenders selects whether the
+// recorded advances normalize sender order (the lossy runner does).
+func (r *Replayer) run(in core.Instance, policy PolicyFunc, horizon int, sortSenders bool) (*Report, *core.Schedule, error) {
+	r.reset(in, in.Start)
+	sched := &core.Schedule{Source: in.Source, Start: in.Start}
+	end := in.Start - 1
+	for t := in.Start; r.w.Len() < r.n && t <= horizon; t++ {
+		senders := policy(r.w, t)
+		if len(senders) > 0 {
+			if err := r.transmit(t, senders); err != nil {
+				return nil, nil, err
+			}
+			end = t
+			recorded := append([]graph.NodeID(nil), senders...)
+			if sortSenders {
+				sort.Ints(recorded)
+			}
+			sched.Advances = append(sched.Advances, core.Advance{
+				T:       t,
+				Senders: recorded,
+				Covered: append([]graph.NodeID(nil), r.newly...),
+			})
+		}
+		r.accountQuiet(t, senders)
+	}
+	return r.finish(in.Start, end), sched, nil
+}
+
+// LossyReplayer is the lossy-channel counterpart of Replayer: the same
+// reusable buffers plus the dropped-frame accounting. Reports alias the
+// replayer's buffers and stay valid until its next call; not safe for
+// concurrent use; the zero value is ready.
+type LossyReplayer struct {
+	r    Replayer
+	lrep LossyReport
+}
+
+// NewLossyReplayer returns a ready lossy-channel replayer.
+func NewLossyReplayer() *LossyReplayer { return &LossyReplayer{} }
+
+// Replay executes a precomputed schedule over a lossy channel; see the
+// package-level ReplayLossy for semantics.
+func (l *LossyReplayer) Replay(in core.Instance, sched *core.Schedule, loss LossFunc) (*LossyReport, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return l.ReplayValidated(in, sched, loss)
+}
+
+// ReplayValidated is Replay without the per-call Instance.Validate — the
+// entry point for batch engines that validate the instance once and then
+// execute thousands of trials against it. The caller guarantees
+// in.Validate() == nil.
+func (l *LossyReplayer) ReplayValidated(in core.Instance, sched *core.Schedule, loss LossFunc) (*LossyReport, error) {
+	if loss == nil {
+		loss = NoLoss
+	}
+	l.r.loss = loss
+	rep, err := l.r.replay(in, sched)
+	l.r.loss = nil
+	if err != nil {
+		return nil, err
+	}
+	l.lrep = LossyReport{Report: *rep, LostFrames: l.r.lost}
+	return &l.lrep, nil
+}
+
+// RunPolicy drives an online policy over a lossy channel; see the
+// package-level RunPolicyLossy for semantics.
+func (l *LossyReplayer) RunPolicy(in core.Instance, policy PolicyFunc, horizon int, loss LossFunc) (*LossyReport, *core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if loss == nil {
+		loss = NoLoss
+	}
+	if horizon <= 0 {
+		// Losses stretch executions: allow an order of magnitude beyond
+		// the lossless default before declaring failure.
+		horizon = in.Start + 10*in.G.N()*(in.Wake.Period()+1) + in.Wake.Period()
+	}
+	l.r.loss = loss
+	rep, sched, err := l.r.run(in, policy, horizon, true)
+	l.r.loss = nil
+	if err != nil {
+		return nil, nil, err
+	}
+	l.lrep = LossyReport{Report: *rep, LostFrames: l.r.lost}
+	return &l.lrep, sched, nil
+}

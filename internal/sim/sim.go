@@ -10,12 +10,13 @@
 // (the paper's offline/proactive schedulers), and RunPolicy drives an
 // online policy slot by slot, letting collisions actually destroy frames —
 // the mode the localized extension runs under.
+//
+// All execution state lives in Replayer/LossyReplayer, whose buffers are
+// reusable across calls; the package-level functions below are the
+// one-shot convenience forms.
 package sim
 
 import (
-	"fmt"
-	"sort"
-
 	"mlbs/internal/bitset"
 	"mlbs/internal/core"
 	"mlbs/internal/graph"
@@ -42,148 +43,12 @@ type Report struct {
 // Latency returns the elapsed rounds/slots of the execution.
 func (r *Report) Latency() int { return r.Slots }
 
-// state carries the per-execution physics bookkeeping.
-type state struct {
-	in      core.Instance
-	n       int
-	w       bitset.Set
-	covered []int
-	report  *Report
-}
-
-func newState(in core.Instance, start int) *state {
-	n := in.G.N()
-	s := &state{
-		in:      in,
-		n:       n,
-		w:       bitset.New(n),
-		covered: make([]int, n),
-		report:  &Report{CoveredAt: nil},
-	}
-	for i := range s.covered {
-		s.covered[i] = -1
-	}
-	s.w.Add(in.Source)
-	s.covered[in.Source] = start - 1
-	for _, u := range in.PreCovered {
-		if !s.w.Has(u) {
-			s.w.Add(u)
-			s.covered[u] = start - 1
-		}
-	}
-	return s
-}
-
-// transmit applies the physics of one slot: every sender's frame reaches
-// all neighbors; uncovered receivers hearing exactly one frame become
-// covered, hearing more records a collision. Covered receivers tally a
-// reception for the first frame they hear (duplicates are discarded by the
-// MAC). Returns the nodes newly covered this slot.
-func (s *state) transmit(t int, senders []graph.NodeID) ([]graph.NodeID, error) {
-	for _, u := range senders {
-		if u < 0 || u >= s.n {
-			return nil, fmt.Errorf("sim: sender %d out of range at t=%d", u, t)
-		}
-		if !s.w.Has(u) {
-			return nil, fmt.Errorf("sim: node %d transmitted at t=%d without holding the message", u, t)
-		}
-		if !s.in.Wake.Awake(u, t) {
-			return nil, fmt.Errorf("sim: node %d transmitted at t=%d while its sending channel was off", u, t)
-		}
-	}
-	heard := make(map[graph.NodeID][]graph.NodeID)
-	for _, u := range senders {
-		s.report.Usage.Transmissions++
-		for _, v := range s.in.G.Adj(u) {
-			heard[v] = append(heard[v], u)
-		}
-	}
-	var newly []graph.NodeID
-	for v, from := range heard {
-		if s.w.Has(v) {
-			s.report.Usage.Receptions++ // duplicate, discarded above MAC
-			continue
-		}
-		if len(from) == 1 {
-			s.report.Usage.Receptions++
-			newly = append(newly, v)
-			continue
-		}
-		sort.Ints(from)
-		s.report.Usage.Collisions++
-		s.report.Collisions = append(s.report.Collisions, Collision{T: t, Receiver: v, Senders: from})
-	}
-	sort.Ints(newly)
-	for _, v := range newly {
-		s.w.Add(v)
-		s.covered[v] = t
-	}
-	return newly, nil
-}
-
-// accountQuiet charges idle/sleep slots for one elapsed slot: transmitters
-// were already charged; every other node spends the slot listening, and
-// additionally its sending circuitry is asleep unless its wake schedule has
-// it on.
-func (s *state) accountQuiet(t int, senders []graph.NodeID) {
-	tx := make(map[graph.NodeID]bool, len(senders))
-	for _, u := range senders {
-		tx[u] = true
-	}
-	for u := 0; u < s.n; u++ {
-		if tx[u] {
-			continue
-		}
-		s.report.Usage.IdleSlots++
-		if !s.in.Wake.Awake(u, t) {
-			s.report.Usage.SleepSlots++
-		}
-	}
-}
-
-func (s *state) finish(start, end int) *Report {
-	s.report.CoveredAt = s.covered
-	s.report.End = end
-	s.report.Slots = end - start + 1
-	if s.report.Slots < 0 {
-		s.report.Slots = 0
-	}
-	s.report.Completed = s.w.Len() == s.n && len(s.report.Collisions) == 0
-	return s.report
-}
-
 // Replay executes a precomputed schedule and returns the physical outcome.
 // An error means the schedule attempted something impossible (an uncovered
 // or sleeping sender); semantic failures (collisions, incomplete coverage)
 // are reported in the Report, not as errors.
 func Replay(in core.Instance, sched *core.Schedule) (*Report, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	st := newState(in, sched.Start)
-	byTime := make(map[int][]graph.NodeID)
-	maxT := sched.Start - 1
-	prev := sched.Start - 1
-	for _, adv := range sched.Advances {
-		if adv.T <= prev {
-			return nil, fmt.Errorf("sim: advances out of order at t=%d", adv.T)
-		}
-		prev = adv.T
-		byTime[adv.T] = append(byTime[adv.T], adv.Senders...)
-		if adv.T > maxT {
-			maxT = adv.T
-		}
-	}
-	for t := sched.Start; t <= maxT; t++ {
-		senders := byTime[t]
-		if len(senders) > 0 {
-			if _, err := st.transmit(t, senders); err != nil {
-				return nil, err
-			}
-		}
-		st.accountQuiet(t, senders)
-	}
-	return st.finish(sched.Start, maxT), nil
+	return NewReplayer().Replay(in, sched)
 }
 
 // PolicyFunc chooses the transmitters for slot t given the physically
@@ -195,30 +60,5 @@ type PolicyFunc func(w bitset.Set, t int) []graph.NodeID
 // of n·(period+1) slots past the start). It returns the physical report
 // and the as-executed schedule of effective advances.
 func RunPolicy(in core.Instance, policy PolicyFunc, horizon int) (*Report, *core.Schedule, error) {
-	if err := in.Validate(); err != nil {
-		return nil, nil, err
-	}
-	if horizon <= 0 {
-		horizon = in.Start + in.G.N()*(in.Wake.Period()+1) + in.Wake.Period()
-	}
-	st := newState(in, in.Start)
-	sched := &core.Schedule{Source: in.Source, Start: in.Start}
-	end := in.Start - 1
-	for t := in.Start; st.w.Len() < st.n && t <= horizon; t++ {
-		senders := policy(st.w, t)
-		if len(senders) > 0 {
-			newly, err := st.transmit(t, senders)
-			if err != nil {
-				return nil, nil, err
-			}
-			end = t
-			sched.Advances = append(sched.Advances, core.Advance{
-				T:       t,
-				Senders: append([]graph.NodeID(nil), senders...),
-				Covered: newly,
-			})
-		}
-		st.accountQuiet(t, senders)
-	}
-	return st.finish(in.Start, end), sched, nil
+	return NewReplayer().RunPolicy(in, policy, horizon)
 }

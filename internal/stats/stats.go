@@ -98,6 +98,34 @@ func (s *Sample) String() string {
 	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.CI95(), s.n)
 }
 
+// Wilson returns the Wilson score interval for k successes in n trials at
+// normal quantile z (1.96 for 95%). Unlike the Wald interval, it stays
+// inside [0, 1] and remains honest near the boundaries — exactly where
+// Monte-Carlo coverage probabilities live (k = n or k = 0 are common).
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := p + z2/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Wilson95 returns the 95% Wilson score interval.
+func Wilson95(k, n int) (lo, hi float64) { return Wilson(k, n, 1.96) }
+
 // Median returns the median of xs (0 for an empty slice); xs is not
 // modified.
 func Median(xs []float64) float64 {

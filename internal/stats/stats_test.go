@@ -147,3 +147,33 @@ func TestQuickOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Degenerate inputs.
+	if lo, hi := Wilson95(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson95(0,0) = (%f,%f), want (0,1)", lo, hi)
+	}
+	// Boundaries stay inside [0,1] and are strict at k=0 / k=n.
+	lo, hi := Wilson95(0, 100)
+	if lo > 1e-9 || hi <= 0 || hi > 0.06 {
+		t.Fatalf("Wilson95(0,100) = (%f,%f)", lo, hi)
+	}
+	lo, hi = Wilson95(100, 100)
+	if hi < 1-1e-9 || hi > 1 || lo >= 1 || lo < 0.94 {
+		t.Fatalf("Wilson95(100,100) = (%f,%f)", lo, hi)
+	}
+	// Interior: brackets p̂ and matches the known value for 50/100
+	// (≈ [0.4038, 0.5962]).
+	lo, hi = Wilson95(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Fatalf("Wilson95(50,100) = (%f,%f) does not bracket 0.5", lo, hi)
+	}
+	if math.Abs(lo-0.4038) > 0.002 || math.Abs(hi-0.5962) > 0.002 {
+		t.Fatalf("Wilson95(50,100) = (%f,%f), want ≈ (0.4038, 0.5962)", lo, hi)
+	}
+	// Monotone in n: more trials tighten the interval around the same p̂.
+	lo2, hi2 := Wilson95(500, 1000)
+	if hi2-lo2 >= hi-lo {
+		t.Fatal("interval must shrink with more trials")
+	}
+}

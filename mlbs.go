@@ -45,6 +45,7 @@ import (
 	"mlbs/internal/localized"
 	"mlbs/internal/mote"
 	"mlbs/internal/paperfig"
+	"mlbs/internal/reliability"
 	"mlbs/internal/service"
 	"mlbs/internal/sim"
 	"mlbs/internal/stats"
@@ -128,6 +129,30 @@ type (
 	SweepRequest = service.SweepRequest
 	// SweepItem is one streamed sweep result.
 	SweepItem = service.SweepItem
+	// Replayer executes schedules against the physics with reusable
+	// buffers; a report stays valid until the replayer's next call.
+	Replayer = sim.Replayer
+	// LossyReplayer is the lossy-channel replayer with reusable buffers.
+	LossyReplayer = sim.LossyReplayer
+	// ReliabilityLossModel describes the stochastic channel of a
+	// Monte-Carlo validation.
+	ReliabilityLossModel = reliability.LossModel
+	// ReliabilityConfig sizes a Monte-Carlo estimation run.
+	ReliabilityConfig = reliability.Config
+	// ReliabilityReport is a Monte-Carlo reliability estimate (DESIGN.md §10).
+	ReliabilityReport = reliability.Report
+	// ReliabilityQuantiles summarizes a latency distribution in slots.
+	ReliabilityQuantiles = reliability.Quantiles
+	// ReliabilityEstimator batches Monte-Carlo replays with reusable state.
+	ReliabilityEstimator = reliability.Estimator
+	// RepairConfig tunes conflict-aware retransmission repair.
+	RepairConfig = reliability.RepairConfig
+	// RepairResult reports a repair run and its latency penalty.
+	RepairResult = reliability.RepairResult
+	// ValidateRequest is one reliability-validation service request.
+	ValidateRequest = service.ValidateRequest
+	// ValidateResponse is one reliability-validation service answer.
+	ValidateResponse = service.ValidateResponse
 )
 
 // NewUDG builds the unit-disk graph over the given positions: nodes are
@@ -397,3 +422,40 @@ func NewReusableOPT(budget, maxSets int) *SearchEngine {
 // LRU-bounded, singleflight-deduplicated schedule cache in front of a
 // sharded worker pool of reusable engines. Close it when done.
 func NewService(cfg ServiceConfig) *PlanService { return service.New(cfg) }
+
+// NewReplayer returns a reusable ideal-channel replayer; reports alias its
+// buffers and stay valid until its next call.
+func NewReplayer() *Replayer { return sim.NewReplayer() }
+
+// NewLossyReplayer returns a reusable lossy-channel replayer.
+func NewLossyReplayer() *LossyReplayer { return sim.NewLossyReplayer() }
+
+// NewReliabilityEstimator returns a reusable Monte-Carlo estimator — the
+// engine behind EstimateReliability and the service's /v1/validate.
+func NewReliabilityEstimator() *ReliabilityEstimator { return reliability.NewEstimator() }
+
+// EstimateReliability batches seeded lossy replays of a schedule and
+// aggregates delivery ratio, per-node coverage probability with Wilson
+// intervals, and the latency distribution (DESIGN.md §10).
+func EstimateReliability(in Instance, s *Schedule, model ReliabilityLossModel, cfg ReliabilityConfig) (*ReliabilityReport, error) {
+	return reliability.Estimate(in, s, model, cfg)
+}
+
+// RepairSchedule greedily appends conflict-aware rebroadcast slots until
+// the Monte-Carlo estimated delivery ratio reaches cfg.Target, reporting
+// the latency penalty.
+func RepairSchedule(in Instance, s *Schedule, model ReliabilityLossModel, cfg RepairConfig) (*RepairResult, error) {
+	return reliability.Repair(in, s, model, cfg)
+}
+
+// EncodeReliabilityReport serializes a Monte-Carlo reliability report in
+// the canonical schema /v1/validate and mlb-validate emit.
+func EncodeReliabilityReport(rep *ReliabilityReport) ([]byte, error) {
+	return graphio.EncodeReliabilityReport(rep)
+}
+
+// DecodeReliabilityReport rebuilds a report from EncodeReliabilityReport
+// output.
+func DecodeReliabilityReport(data []byte) (*ReliabilityReport, error) {
+	return graphio.DecodeReliabilityReport(data)
+}
