@@ -13,6 +13,7 @@
 //	POST /v1/plan      one plan request (generator params or inline instance)
 //	POST /v1/sweep     streaming parameter sweep (NDJSON, one item per line)
 //	POST /v1/validate  Monte-Carlo reliability report (+ optional repair)
+//	POST /v1/replan    incremental re-plan after a topology delta
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text format
 //	/debug/pprof/      runtime profiles
@@ -26,6 +27,12 @@
 //
 //	curl -s localhost:8080/v1/validate \
 //	  -d '{"n":150,"seed":1,"loss_rate":0.05,"trials":1000,"target":0.99}'
+//
+// Incremental re-planning after two nodes fail:
+//
+//	curl -s localhost:8080/v1/replan \
+//	  -d '{"n":150,"seed":1,"delta":{"version":1,"events":[
+//	        {"kind":"fail","node":17},{"kind":"fail","node":4}]}}'
 //
 // Ship an exact instance instead with {"instance": <EncodeInstance JSON>}.
 package main
@@ -136,6 +143,7 @@ func newMux(svc *mlbs.PlanService) *http.ServeMux {
 	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) { handlePlan(svc, w, r) })
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(svc, w, r) })
 	mux.HandleFunc("POST /v1/validate", func(w http.ResponseWriter, r *http.Request) { handleValidate(svc, w, r) })
+	mux.HandleFunc("POST /v1/replan", func(w http.ResponseWriter, r *http.Request) { handleReplan(svc, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -148,18 +156,39 @@ func newMux(svc *mlbs.PlanService) *http.ServeMux {
 	return mux
 }
 
-// planHTTPRequest is the wire form of a plan request: either the paper
-// generator's parameters or an inline graphio instance encoding.
+// baseSelection is the instance-selecting field set every endpoint
+// shares: either the paper generator's parameters or an inline graphio
+// instance encoding.
+type baseSelection struct {
+	N        int             `json:"n,omitempty"`
+	Seed     uint64          `json:"seed,omitempty"`
+	R        int             `json:"r,omitempty"`
+	WakeSeed uint64          `json:"wake_seed,omitempty"`
+	Instance json.RawMessage `json:"instance,omitempty"`
+}
+
+// resolve projects the selection onto the service's request form: a
+// decoded instance when one was shipped inline, the generator parameters
+// otherwise. The decoded instance (if any) is returned for handlers that
+// need it locally (replay).
+func (b baseSelection) resolve() (*mlbs.Instance, *mlbs.PlanGenerator, error) {
+	if len(b.Instance) > 0 {
+		in, err := mlbs.DecodeInstance(b.Instance)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &in, nil, nil
+	}
+	return nil, &mlbs.PlanGenerator{N: b.N, Seed: b.Seed, DutyRate: b.R, WakeSeed: b.WakeSeed}, nil
+}
+
+// planHTTPRequest is the wire form of a plan request.
 type planHTTPRequest struct {
-	N         int             `json:"n,omitempty"`
-	Seed      uint64          `json:"seed,omitempty"`
-	R         int             `json:"r,omitempty"`
-	WakeSeed  uint64          `json:"wake_seed,omitempty"`
-	Instance  json.RawMessage `json:"instance,omitempty"`
-	Scheduler string          `json:"scheduler,omitempty"`
-	Budget    int             `json:"budget,omitempty"`
-	NoCache   bool            `json:"no_cache,omitempty"`
-	Replay    bool            `json:"replay,omitempty"`
+	baseSelection
+	Scheduler string `json:"scheduler,omitempty"`
+	Budget    int    `json:"budget,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+	Replay    bool   `json:"replay,omitempty"`
 }
 
 type planHTTPResponse struct {
@@ -172,29 +201,33 @@ type planHTTPResponse struct {
 	Report    *mlbs.Report    `json:"report,omitempty"`
 }
 
+// decodeBody reads a size-limited request body into v, reporting a 400 on
+// failure. It returns false when the handler should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
 func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 	var hr planHTTPRequest
-	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if !decodeBody(w, r, &hr) {
+		return
+	}
+	req := mlbs.PlanRequest{Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
+	inst, gen, err := hr.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := json.Unmarshal(data, &hr); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	req := mlbs.PlanRequest{Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
-	var inst *mlbs.Instance
-	if len(hr.Instance) > 0 {
-		in, err := mlbs.DecodeInstance(hr.Instance)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		req.Instance, inst = &in, &in
-	} else {
-		req.Generator = &mlbs.PlanGenerator{N: hr.N, Seed: hr.Seed, DutyRate: hr.R, WakeSeed: hr.WakeSeed}
-	}
+	req.Instance, req.Generator = inst, gen
 
 	resp, err := svc.Plan(r.Context(), req)
 	if err != nil {
@@ -218,7 +251,7 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 		if inst == nil {
 			// Generator form: rebuild the instance the service planned
 			// (deterministic from the same parameters).
-			in, err := generatorInstance(hr)
+			in, err := generatorInstance(hr.baseSelection)
 			if err != nil {
 				httpError(w, http.StatusInternalServerError, err)
 				return
@@ -237,17 +270,17 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 
 // generatorInstance mirrors the service's generator resolution (and
 // mlb-run's conventions) for the replay path.
-func generatorInstance(hr planHTTPRequest) (mlbs.Instance, error) {
-	dep, err := mlbs.PaperDeployment(hr.N, hr.Seed)
+func generatorInstance(b baseSelection) (mlbs.Instance, error) {
+	dep, err := mlbs.PaperDeployment(b.N, b.Seed)
 	if err != nil {
 		return mlbs.Instance{}, err
 	}
-	if hr.R > 1 {
-		ws := hr.WakeSeed
+	if b.R > 1 {
+		ws := b.WakeSeed
 		if ws == 0 {
-			ws = hr.Seed ^ 0xA5
+			ws = b.Seed ^ 0xA5
 		}
-		return mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(hr.N, hr.R, ws), 0), nil
+		return mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(b.N, b.R, ws), 0), nil
 	}
 	return mlbs.SyncInstance(dep.G, dep.Source), nil
 }
@@ -255,20 +288,16 @@ func generatorInstance(hr planHTTPRequest) (mlbs.Instance, error) {
 // validateHTTPRequest is the wire form of a reliability validation: the
 // plan selection plus the loss model and Monte-Carlo parameters.
 type validateHTTPRequest struct {
-	N             int             `json:"n,omitempty"`
-	Seed          uint64          `json:"seed,omitempty"`
-	R             int             `json:"r,omitempty"`
-	WakeSeed      uint64          `json:"wake_seed,omitempty"`
-	Instance      json.RawMessage `json:"instance,omitempty"`
-	Scheduler     string          `json:"scheduler,omitempty"`
-	Budget        int             `json:"budget,omitempty"`
-	LossKind      string          `json:"loss_kind,omitempty"`
-	LossRate      float64         `json:"loss_rate"`
-	LossSeed      uint64          `json:"loss_seed,omitempty"`
-	Trials        int             `json:"trials,omitempty"`
-	Target        float64         `json:"target,omitempty"`
-	MaxExtraSlots int             `json:"max_extra_slots,omitempty"`
-	NoCache       bool            `json:"no_cache,omitempty"`
+	baseSelection
+	Scheduler     string  `json:"scheduler,omitempty"`
+	Budget        int     `json:"budget,omitempty"`
+	LossKind      string  `json:"loss_kind,omitempty"`
+	LossRate      float64 `json:"loss_rate"`
+	LossSeed      uint64  `json:"loss_seed,omitempty"`
+	Trials        int     `json:"trials,omitempty"`
+	Target        float64 `json:"target,omitempty"`
+	MaxExtraSlots int     `json:"max_extra_slots,omitempty"`
+	NoCache       bool    `json:"no_cache,omitempty"`
 }
 
 type validateHTTPResponse struct {
@@ -296,13 +325,7 @@ type repairHTTP struct {
 
 func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 	var hr validateHTTPRequest
-	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := json.Unmarshal(data, &hr); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeBody(w, r, &hr) {
 		return
 	}
 	req := mlbs.ValidateRequest{
@@ -314,16 +337,12 @@ func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Reques
 		MaxExtraSlots: hr.MaxExtraSlots,
 		NoCache:       hr.NoCache,
 	}
-	if len(hr.Instance) > 0 {
-		in, err := mlbs.DecodeInstance(hr.Instance)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		req.Instance = &in
-	} else {
-		req.Generator = &mlbs.PlanGenerator{N: hr.N, Seed: hr.Seed, DutyRate: hr.R, WakeSeed: hr.WakeSeed}
+	inst, gen, err := hr.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
+	req.Instance, req.Generator = inst, gen
 
 	resp, err := svc.Validate(r.Context(), req)
 	if err != nil {
@@ -370,6 +389,77 @@ func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Reques
 	writeJSON(w, http.StatusOK, out)
 }
 
+// replanHTTPRequest is the wire form of a churn repair: the base-instance
+// selection plus the delta in its EncodeChurnDelta schema.
+type replanHTTPRequest struct {
+	baseSelection
+	Delta     json.RawMessage `json:"delta"`
+	Scheduler string          `json:"scheduler,omitempty"`
+	Budget    int             `json:"budget,omitempty"`
+	NoCache   bool            `json:"no_cache,omitempty"`
+}
+
+type replanHTTPResponse struct {
+	BaseDigest   string          `json:"base_digest"`
+	Digest       string          `json:"digest"`
+	Scheduler    string          `json:"scheduler"`
+	Strategy     string          `json:"strategy"`
+	KeptAdvances int             `json:"kept_advances"`
+	BaseAdvances int             `json:"base_advances"`
+	BasePlanHit  bool            `json:"base_plan_hit"`
+	CacheHit     bool            `json:"cache_hit"`
+	Coalesced    bool            `json:"coalesced"`
+	ElapsedNs    int64           `json:"elapsed_ns"`
+	Result       json.RawMessage `json:"result"`
+}
+
+func handleReplan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+	var hr replanHTTPRequest
+	if !decodeBody(w, r, &hr) {
+		return
+	}
+	if len(hr.Delta) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("replan request needs a delta"))
+		return
+	}
+	delta, err := mlbs.DecodeChurnDelta(hr.Delta)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := mlbs.ReplanRequest{Delta: delta, Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
+	inst, gen, err := hr.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Base, req.Generator = inst, gen
+
+	resp, err := svc.Replan(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resJSON, err := mlbs.EncodeResult(resp.Result)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, replanHTTPResponse{
+		BaseDigest:   resp.BaseDigest,
+		Digest:       resp.Digest,
+		Scheduler:    resp.Scheduler,
+		Strategy:     string(resp.Strategy),
+		KeptAdvances: resp.KeptAdvances,
+		BaseAdvances: resp.BaseAdvances,
+		BasePlanHit:  resp.BasePlanHit,
+		CacheHit:     resp.CacheHit,
+		Coalesced:    resp.Coalesced,
+		ElapsedNs:    resp.Elapsed.Nanoseconds(),
+		Result:       resJSON,
+	})
+}
+
 func handleSweep(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 	var req mlbs.SweepRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
@@ -410,6 +500,13 @@ func handleMetrics(svc *mlbs.PlanService, w http.ResponseWriter) {
 	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_hits_total counter\nmlbs_validate_cache_hits_total %d\n", m.ValidateHits)
 	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_misses_total counter\nmlbs_validate_cache_misses_total %d\n", m.ValidateMisses)
 	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_entries gauge\nmlbs_validate_cache_entries %d\n", m.ValidateEntries)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_requests_total counter\nmlbs_replan_requests_total %d\n", m.Replans)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_prefix_total counter\nmlbs_replan_prefix_total %d\n", m.ReplanPrefix)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_incremental_total counter\nmlbs_replan_incremental_total %d\n", m.ReplanIncremental)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_cold_total counter\nmlbs_replan_cold_total %d\n", m.ReplanCold)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_hits_total counter\nmlbs_replan_cache_hits_total %d\n", m.ReplanHits)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_misses_total counter\nmlbs_replan_cache_misses_total %d\n", m.ReplanMisses)
+	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_entries gauge\nmlbs_replan_cache_entries %d\n", m.ReplanEntries)
 	fmt.Fprintf(w, "# TYPE mlbs_plan_latency_seconds summary\n")
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.5\"} %g\n", m.P50.Seconds())
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.99\"} %g\n", m.P99.Seconds())

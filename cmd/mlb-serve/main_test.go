@@ -138,3 +138,95 @@ func TestValidateEndpointSmoke(t *testing.T) {
 		t.Fatalf("validate counters missing from /metrics:\n%s", metrics)
 	}
 }
+
+// TestReplanEndpointSmoke drives the full churn HTTP path: generator-form
+// base, a two-event delta, then a warm repeat that must be a cache hit.
+func TestReplanEndpointSmoke(t *testing.T) {
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(svc))
+	defer ts.Close()
+
+	body := `{"n":80,"seed":3,"delta":{"version":1,"events":[
+		{"kind":"jitter","node":5,"x":0.2,"y":-0.1},
+		{"kind":"join","x":25,"y":25}]}}`
+	resp, err := http.Post(ts.URL+"/v1/replan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out replanHTTPResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.BaseDigest) != 64 || len(out.Digest) != 64 || out.BaseDigest == out.Digest {
+		t.Fatalf("digests: %+v", out)
+	}
+	if out.CacheHit || out.Coalesced {
+		t.Fatalf("cold replan flagged as hit: %+v", out)
+	}
+	if out.Strategy == "" || out.BaseAdvances == 0 {
+		t.Fatalf("classification missing: %+v", out)
+	}
+	res, err := mlbs.DecodeResult(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil || len(res.Schedule.Advances) == 0 {
+		t.Fatalf("repaired result has no schedule: %+v", res)
+	}
+
+	// Warm repeat: same (base, delta) must hit the replan cache.
+	resp2, err := http.Post(ts.URL+"/v1/replan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 replanHTTPResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit {
+		t.Fatal("warm replan was not a cache hit")
+	}
+	if string(out2.Result) != string(out.Result) {
+		t.Fatal("warm replan result differs from cold")
+	}
+
+	// A Plan request for the mutated digest's topology is served from the
+	// plan cache — verify through the metrics endpoint that replan counters
+	// are exposed at all.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mlbs_replan_requests_total 2", "mlbs_replan_cache_hits_total 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Bad requests surface as 400s.
+	for _, bad := range []string{
+		`{"n":80,"seed":3}`, // no delta
+		`{"n":80,"seed":3,"delta":{"version":1,"events":[{"kind":"warp"}]}}`,
+		`{not json`,
+	} {
+		r, err := http.Post(ts.URL+"/v1/replan", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %q got status %d", bad, r.StatusCode)
+		}
+	}
+}

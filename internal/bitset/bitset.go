@@ -21,6 +21,11 @@ const wordBits = 64
 // must remain zero; every mutating method preserves that invariant.
 type Set []uint64
 
+// WordsFor returns the word count of a Set with capacity for n bits —
+// for callers that slab-allocate many same-capacity sets in one backing
+// slice.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
 // New returns an empty set able to hold bits [0, n).
 func New(n int) Set {
 	if n < 0 {

@@ -1,0 +1,329 @@
+// Package churn models dynamic topologies: typed topology events (node
+// failure, node join, radius change, position jitter) applied as deltas to
+// a base broadcast instance, plus the incremental re-planner that repairs
+// a cached schedule after a delta instead of searching from scratch.
+//
+// The paper's schedules assume a static deployment; real deployments lose
+// nodes to drained batteries and gain them when new motes are placed. A
+// Delta is an ordered event sequence with a canonical encoding and a
+// content digest, so a mutated instance content-addresses exactly: the
+// serving layer keys repaired plans by (base digest, delta digest) and
+// stores the repaired plan under the mutated instance's own digest, where
+// later cold requests for the same topology find it.
+//
+// Node identity under failure uses swap-remove: when node u fails, the
+// highest-numbered node takes ID u and the node set shrinks by one. IDs
+// stay dense in [0, N) — the invariant every other layer assumes — while
+// at most one surviving node is renumbered per failure, which keeps the
+// blast radius of a small delta small.
+package churn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/graphio"
+	"mlbs/internal/rng"
+)
+
+// Kind names a topology event type.
+type Kind string
+
+// The event kinds. The string values are wire format — changing one
+// invalidates every stored delta and its digest.
+const (
+	// NodeFail removes a node. The last node is swap-moved into its slot.
+	NodeFail Kind = "fail"
+	// NodeJoin adds a node at (X, Y) with the next dense ID.
+	NodeJoin Kind = "join"
+	// RadiusChange sets the communication radius of every node to Radius.
+	RadiusChange Kind = "radius"
+	// PositionJitter displaces node Node by (X, Y).
+	PositionJitter Kind = "jitter"
+)
+
+// Event is one topology change. Field use by kind:
+//
+//	fail    Node (the failing node)
+//	join    X, Y (the new node's position)
+//	radius  Radius (the new communication radius, > 0)
+//	jitter  Node, X, Y (the displacement added to Node's position)
+type Event struct {
+	Kind   Kind         `json:"kind"`
+	Node   graph.NodeID `json:"node,omitempty"`
+	X      float64      `json:"x,omitempty"`
+	Y      float64      `json:"y,omitempty"`
+	Radius float64      `json:"radius,omitempty"`
+}
+
+// Validate reports a descriptive error for malformed events. Node bounds
+// are checked at Apply time against the evolving node set.
+func (ev Event) Validate() error {
+	switch ev.Kind {
+	case NodeFail:
+		if ev.Node < 0 {
+			return fmt.Errorf("churn: fail event with negative node %d", ev.Node)
+		}
+	case NodeJoin:
+		if !isFinite(ev.X) || !isFinite(ev.Y) {
+			return errors.New("churn: join event with non-finite position")
+		}
+	case RadiusChange:
+		if !(ev.Radius > 0) || !isFinite(ev.Radius) {
+			return fmt.Errorf("churn: radius event with radius %v", ev.Radius)
+		}
+	case PositionJitter:
+		if ev.Node < 0 {
+			return fmt.Errorf("churn: jitter event with negative node %d", ev.Node)
+		}
+		if !isFinite(ev.X) || !isFinite(ev.Y) {
+			return errors.New("churn: jitter event with non-finite displacement")
+		}
+	default:
+		return fmt.Errorf("churn: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Delta is an ordered sequence of topology events. Events apply
+// sequentially: a node ID in event i refers to the ID space after events
+// 0..i−1 (swap-remove renumbering included).
+type Delta struct {
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event.
+func (d Delta) Validate() error {
+	for i, ev := range d.Events {
+		if err := ev.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Fails counts NodeFail events.
+func (d Delta) Fails() int { return d.count(NodeFail) }
+
+// Joins counts NodeJoin events.
+func (d Delta) Joins() int { return d.count(NodeJoin) }
+
+func (d Delta) count(k Kind) int {
+	n := 0
+	for _, ev := range d.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Mapping relates node IDs of the base instance to node IDs of the
+// mutated instance.
+type Mapping struct {
+	// FromBase[u] is the mutated ID of base node u, or -1 if u failed.
+	FromBase []graph.NodeID
+	// ToBase[v] is the base ID of mutated node v, or -1 for joined nodes.
+	ToBase []graph.NodeID
+}
+
+// Identity reports whether the mapping renumbers nothing: same node count
+// and every node keeps its ID.
+func (m Mapping) Identity() bool {
+	if len(m.FromBase) != len(m.ToBase) {
+		return false
+	}
+	for u, v := range m.FromBase {
+		if v != u {
+			return false
+		}
+	}
+	return true
+}
+
+// baseOf returns the base ID of mutated node v, or -1 when v is joined or
+// outside the mapping.
+func (m Mapping) baseOf(v graph.NodeID) graph.NodeID {
+	if v < 0 || v >= len(m.ToBase) {
+		return -1
+	}
+	return m.ToBase[v]
+}
+
+// Typed Apply failures the churn driver distinguishes from programming
+// errors: the delta describes a world the broadcast cannot exist in.
+var (
+	// ErrSourceFailed reports a delta that fails the broadcast source.
+	ErrSourceFailed = errors.New("churn: delta fails the broadcast source")
+	// ErrDisconnected reports a delta that disconnects the network from
+	// the source.
+	ErrDisconnected = errors.New("churn: mutated topology is disconnected from the source")
+	// ErrLastNode reports a delta that fails the final node.
+	ErrLastNode = errors.New("churn: delta removes the last node")
+)
+
+// Apply mutates a copy of the base instance by the delta and returns the
+// mutated instance plus the base→mutated ID mapping. The base instance is
+// never modified.
+//
+// The base must be a unit-disk instance (positions + radius): churn
+// semantics — who hears whom after a move — are geometric. The wake
+// schedule is rebuilt for the mutated node set with RemapWake; the start
+// slot and (mapped) pre-covered set carry over. Apply fails with
+// ErrSourceFailed / ErrDisconnected / ErrLastNode when the delta breaks
+// the broadcast, and with a descriptive error on out-of-range nodes.
+func Apply(base core.Instance, d Delta) (core.Instance, Mapping, error) {
+	if err := base.Validate(); err != nil {
+		return core.Instance{}, Mapping{}, fmt.Errorf("churn: invalid base instance: %w", err)
+	}
+	if base.G.Radius() <= 0 {
+		return core.Instance{}, Mapping{}, errors.New("churn: base instance is not a unit-disk graph")
+	}
+	if err := d.Validate(); err != nil {
+		return core.Instance{}, Mapping{}, err
+	}
+
+	baseN := base.G.N()
+	pos := append([]geom.Point(nil), base.G.Positions()...)
+	radius := base.G.Radius()
+	source := base.Source
+	// toBase tracks, for every current slot, the base ID living there.
+	toBase := make([]graph.NodeID, baseN)
+	for i := range toBase {
+		toBase[i] = i
+	}
+
+	for i, ev := range d.Events {
+		switch ev.Kind {
+		case NodeFail:
+			u := ev.Node
+			if u >= len(pos) {
+				return core.Instance{}, Mapping{}, fmt.Errorf("churn: event %d fails node %d of %d", i, u, len(pos))
+			}
+			if u == source {
+				return core.Instance{}, Mapping{}, ErrSourceFailed
+			}
+			if len(pos) == 1 {
+				return core.Instance{}, Mapping{}, ErrLastNode
+			}
+			last := len(pos) - 1
+			pos[u] = pos[last]
+			toBase[u] = toBase[last]
+			pos = pos[:last]
+			toBase = toBase[:last]
+			if source == last {
+				source = u
+			}
+		case NodeJoin:
+			// The same ceiling the graphio decoders enforce: a join-heavy
+			// delta arriving over the wire must not inflate the quadratic
+			// graph construction past what any decoder would accept.
+			if len(pos) >= graphio.MaxWireNodes {
+				return core.Instance{}, Mapping{}, fmt.Errorf("churn: event %d grows the network beyond %d nodes", i, graphio.MaxWireNodes)
+			}
+			pos = append(pos, geom.Point{X: ev.X, Y: ev.Y})
+			toBase = append(toBase, -1)
+		case RadiusChange:
+			radius = ev.Radius
+		case PositionJitter:
+			u := ev.Node
+			if u >= len(pos) {
+				return core.Instance{}, Mapping{}, fmt.Errorf("churn: event %d jitters node %d of %d", i, u, len(pos))
+			}
+			pos[u].X += ev.X
+			pos[u].Y += ev.Y
+		}
+	}
+
+	m := Mapping{ToBase: toBase, FromBase: make([]graph.NodeID, baseN)}
+	for i := range m.FromBase {
+		m.FromBase[i] = -1
+	}
+	for v, u := range toBase {
+		if u >= 0 {
+			m.FromBase[u] = v
+		}
+	}
+
+	g := graph.FromUDG(pos, radius)
+	wake, err := RemapWake(base.Wake, m, g.N())
+	if err != nil {
+		return core.Instance{}, Mapping{}, err
+	}
+	var pre []graph.NodeID
+	for _, u := range base.PreCovered {
+		if v := m.FromBase[u]; v >= 0 {
+			pre = append(pre, v)
+		}
+	}
+	out := core.Instance{G: g, Source: source, Start: base.Start, Wake: wake, PreCovered: pre}
+	if _, connected := g.Eccentricity(source); !connected {
+		return core.Instance{}, Mapping{}, ErrDisconnected
+	}
+	if err := out.Validate(); err != nil {
+		return core.Instance{}, Mapping{}, fmt.Errorf("churn: mutated instance invalid: %w", err)
+	}
+	return out, m, nil
+}
+
+// RemapWake rebuilds a wake schedule for the mutated node set, preserving
+// each surviving node's wake pattern where the schedule family allows it:
+//
+//   - AlwaysAwake: trivially preserved.
+//   - Fixed / PeriodicPhase: slot lists / phases follow the node through
+//     renumbering; joined nodes get a deterministic phase derived from
+//     their mutated ID, so the result is reproducible.
+//   - Uniform: rebuilt with the same master seed and rate for the new node
+//     count. Per-node sequences are seeded by node *index*, so nodes that
+//     keep their ID keep their wake pattern; the one node renumbered per
+//     failure (and every joined node) draws a fresh sequence. This is the
+//     price of keeping the schedule encodable as its compact (seed, n, r)
+//     form — the re-planner re-checks wake feasibility per advance, so
+//     correctness never depends on preservation, only incrementality does.
+func RemapWake(base dutycycle.Schedule, m Mapping, newN int) (dutycycle.Schedule, error) {
+	switch w := base.(type) {
+	case dutycycle.AlwaysAwake:
+		return dutycycle.AlwaysAwake{Nodes: newN}, nil
+	case *dutycycle.Uniform:
+		return dutycycle.NewUniform(newN, w.Rate(), w.MasterSeed(), w.Cycles()), nil
+	case *dutycycle.PeriodicPhase:
+		r := w.Rate()
+		old := w.Phases()
+		phases := make([]int, newN)
+		for v := 0; v < newN; v++ {
+			if u := m.baseOf(v); u >= 0 && u < len(old) {
+				phases[v] = old[u]
+			} else {
+				phases[v] = joinPhase(v, r)
+			}
+		}
+		return dutycycle.NewPeriodicPhase(r, phases), nil
+	case *dutycycle.Fixed:
+		old := w.SlotLists()
+		slots := make([][]int, newN)
+		for v := 0; v < newN; v++ {
+			if u := m.baseOf(v); u >= 0 && u < len(old) {
+				slots[v] = old[u]
+			} else {
+				slots[v] = []int{joinPhase(v, w.Period())}
+			}
+		}
+		return dutycycle.NewFixed(w.Period(), w.Rate(), slots), nil
+	default:
+		return nil, fmt.Errorf("churn: wake schedule %T cannot be remapped", base)
+	}
+}
+
+// joinPhase derives a deterministic wake phase in [0, period) for a
+// joined node from its mutated ID.
+func joinPhase(v, period int) int {
+	state := uint64(v)*0x9e3779b97f4a7c15 + 0x636875726e // "churn"
+	return int(rng.SplitMix64(&state) % uint64(period))
+}

@@ -1,0 +1,248 @@
+package churn
+
+import (
+	"errors"
+	"testing"
+
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/graphio"
+	"mlbs/internal/topology"
+)
+
+// lineInstance is a 5-node line 0–1–2–3–4 at unit spacing, radius 1.25,
+// source 0, synchronous.
+func lineInstance() core.Instance {
+	pos := []geom.Point{{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 4}}
+	return core.Sync(graph.FromUDG(pos, 1.25), 0)
+}
+
+func paperSync(t testing.TB, n int, seed uint64) core.Instance {
+	t.Helper()
+	dep, err := topology.Generate(topology.PaperConfig(n), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Sync(dep.G, dep.Source)
+}
+
+func paperDuty(t testing.TB, n int, seed uint64, r int) core.Instance {
+	t.Helper()
+	dep, err := topology.Generate(topology.PaperConfig(n), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Async(dep.G, dep.Source, dutycycle.NewUniform(n, r, seed^0xA5, 0), 0)
+}
+
+func TestApplySwapRemove(t *testing.T) {
+	in := lineInstance()
+	// Fail node 2 — disconnects the line 0-1 | 3-4? No: swap-remove moves
+	// node 4 (pos X=4) into slot 2... which leaves a hole. Use a denser
+	// radius so the graph survives: rebuild with radius 2.5.
+	in = core.Sync(graph.FromUDG(in.G.Positions(), 2.5), 0)
+	out, m, err := Apply(in, Delta{Events: []Event{{Kind: NodeFail, Node: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.G.N() != 4 {
+		t.Fatalf("node count %d after one failure of 5", out.G.N())
+	}
+	// Node 4 moved into slot 2.
+	if got := out.G.Pos(2); got.X != 4 {
+		t.Fatalf("swap-remove did not move the last node: pos[2] = %+v", got)
+	}
+	if m.FromBase[2] != -1 || m.FromBase[4] != 2 || m.ToBase[2] != 4 {
+		t.Fatalf("mapping wrong: %+v", m)
+	}
+	for _, u := range []int{0, 1, 3} {
+		if m.FromBase[u] != u {
+			t.Fatalf("node %d renumbered needlessly: %+v", u, m)
+		}
+	}
+}
+
+func TestApplyJoinAndJitterAndRadius(t *testing.T) {
+	in := lineInstance()
+	out, m, err := Apply(in, Delta{Events: []Event{
+		{Kind: NodeJoin, X: 2, Y: 1},
+		{Kind: PositionJitter, Node: 1, X: 0.25, Y: 0},
+		{Kind: RadiusChange, Radius: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.G.N() != 6 {
+		t.Fatalf("node count %d after a join on 5", out.G.N())
+	}
+	if m.ToBase[5] != -1 {
+		t.Fatalf("joined node mapped to base node %d", m.ToBase[5])
+	}
+	if got := out.G.Pos(1); got.X != 1.25 {
+		t.Fatalf("jitter not applied: pos[1] = %+v", got)
+	}
+	if out.G.Radius() != 2 {
+		t.Fatalf("radius change not applied: %v", out.G.Radius())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySourceTracksSwap(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
+	in := core.Sync(graph.FromUDG(pos, 2.5), 2) // source is the last node
+	out, _, err := Apply(in, Delta{Events: []Event{{Kind: NodeFail, Node: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Source != 0 {
+		t.Fatalf("source not tracked through swap: %d", out.Source)
+	}
+	if out.G.Pos(out.Source).X != 2 {
+		t.Fatalf("source position wrong after swap: %+v", out.G.Pos(out.Source))
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	in := lineInstance()
+	cases := []struct {
+		name string
+		d    Delta
+		want error
+	}{
+		{"source-fail", Delta{Events: []Event{{Kind: NodeFail, Node: 0}}}, ErrSourceFailed},
+		{"disconnect", Delta{Events: []Event{{Kind: NodeFail, Node: 2}}}, ErrDisconnected},
+		{"radius-shrink", Delta{Events: []Event{{Kind: RadiusChange, Radius: 0.5}}}, ErrDisconnected},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Apply(in, tc.d); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if _, _, err := Apply(in, Delta{Events: []Event{{Kind: NodeFail, Node: 99}}}); err == nil {
+		t.Fatal("out-of-range fail accepted")
+	}
+	if _, _, err := Apply(in, Delta{Events: []Event{{Kind: "warp"}}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	abstract := core.Sync(graph.NewBuilder(2, nil).AddEdge(0, 1).Build(), 0)
+	if _, _, err := Apply(abstract, Delta{}); err == nil {
+		t.Fatal("abstract graph accepted")
+	}
+}
+
+func TestApplyEmptyDeltaIsIdentity(t *testing.T) {
+	in := paperSync(t, 60, 7)
+	out, m, err := Apply(in, Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Identity() {
+		t.Fatalf("empty delta renumbered nodes: %+v", m)
+	}
+	d1, err := graphio.InstanceDigest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := graphio.InstanceDigest(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("empty delta changed the instance digest: %s → %s", d1, d2)
+	}
+}
+
+// Mutated instances must content-address like natively built ones: the
+// digest of Apply's output equals the digest of an instance built directly
+// from the mutated geometry.
+func TestMutatedInstanceContentAddresses(t *testing.T) {
+	in := paperSync(t, 50, 3)
+	out, _, err := Apply(in, Delta{Events: []Event{
+		{Kind: NodeJoin, X: 25, Y: 25},
+		{Kind: PositionJitter, Node: 4, X: 0.5, Y: -0.5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := core.Sync(graph.FromUDG(out.G.Positions(), out.G.Radius()), out.Source)
+	d1, err := graphio.InstanceDigest(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := graphio.InstanceDigest(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("mutated instance digests differently from a native build: %s vs %s", d1, d2)
+	}
+}
+
+func TestRemapWakePreservation(t *testing.T) {
+	in := paperDuty(t, 40, 5, 8)
+	// Fail a high-degree non-source node; nodes other than the swapped one
+	// must keep their wake pattern.
+	victim := (in.Source + 1) % in.G.N()
+	out, m, err := Apply(in, Delta{Events: []Event{{Kind: NodeFail, Node: victim}}})
+	if err != nil {
+		t.Skipf("victim disconnects this deployment: %v", err)
+	}
+	moved := m.FromBase[in.G.N()-1] // the renumbered node (or -1 if victim was last)
+	for u := 0; u < in.G.N(); u++ {
+		v := m.FromBase[u]
+		if v < 0 || v == moved {
+			continue
+		}
+		for tt := 0; tt < 64; tt++ {
+			if in.Wake.Awake(u, tt) != out.Wake.Awake(v, tt) {
+				t.Fatalf("node %d→%d wake pattern changed at t=%d", u, v, tt)
+			}
+		}
+	}
+}
+
+func TestRemapWakeFamilies(t *testing.T) {
+	m := Mapping{ToBase: []int{0, 2, -1}, FromBase: []int{0, -1, 1}}
+	fixed := dutycycle.NewFixed(6, 3, [][]int{{0, 3}, {1}, {2, 5}})
+	w, err := RemapWake(fixed, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := w.(*dutycycle.Fixed)
+	if got := f.SlotLists(); got[0][0] != 0 || got[1][0] != 2 || len(got[2]) != 1 {
+		t.Fatalf("fixed remap wrong: %v", got)
+	}
+	phase := dutycycle.NewPeriodicPhase(4, []int{1, 2, 3})
+	w, err = RemapWake(phase, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.(*dutycycle.PeriodicPhase)
+	if got := p.Phases(); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("phase remap wrong: %v", got)
+	}
+	if _, err := RemapWake(nil, m, 3); err == nil {
+		t.Fatal("nil wake accepted")
+	}
+}
+
+// A join-heavy delta must not grow the network past the wire ceiling —
+// Apply is reachable from POST /v1/replan, and graph construction is
+// quadratic in the node count.
+func TestApplyCapsJoinGrowth(t *testing.T) {
+	in := lineInstance()
+	events := make([]Event, 0, graphio.MaxWireNodes)
+	for i := 0; i < graphio.MaxWireNodes; i++ {
+		events = append(events, Event{Kind: NodeJoin, X: float64(i % 5), Y: 0.5})
+	}
+	_, _, err := Apply(in, Delta{Events: events})
+	if err == nil {
+		t.Fatalf("delta growing the network to %d+ nodes accepted", graphio.MaxWireNodes)
+	}
+}

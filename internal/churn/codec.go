@@ -1,0 +1,87 @@
+package churn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mlbs/internal/graphio"
+)
+
+// codecVersion guards the delta/trace wire format.
+const codecVersion = 1
+
+// maxWireEvents bounds a decoded delta or trace so arbitrary bytes cannot
+// demand unbounded work downstream; real deltas are orders of magnitude
+// smaller.
+const maxWireEvents = 1 << 20
+
+// deltaJSON is the stored form of a Delta — the schema POST /v1/replan
+// accepts and churn traces embed.
+type deltaJSON struct {
+	Version int     `json:"version"`
+	Events  []Event `json:"events"`
+}
+
+// EncodeDelta serializes a delta.
+func EncodeDelta(d Delta) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(deltaJSON{Version: codecVersion, Events: d.Events}, "", " ")
+}
+
+// DecodeDelta rebuilds a delta from EncodeDelta output, validating every
+// event. It never panics on arbitrary bytes.
+func DecodeDelta(data []byte) (Delta, error) {
+	var st deltaJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		return Delta{}, fmt.Errorf("churn: %w", err)
+	}
+	if st.Version != codecVersion {
+		return Delta{}, fmt.Errorf("churn: unsupported delta version %d", st.Version)
+	}
+	if len(st.Events) > maxWireEvents {
+		return Delta{}, fmt.Errorf("churn: delta has %d events (limit %d)", len(st.Events), maxWireEvents)
+	}
+	d := Delta{Events: st.Events}
+	if err := d.Validate(); err != nil {
+		return Delta{}, err
+	}
+	return d, nil
+}
+
+// deltaMagic versions the canonical digest encoding; bump it whenever the
+// byte layout below changes, so stale cache keys can never alias new ones.
+const deltaMagic = "mlbs-delta-v1"
+
+// DeltaDigest computes the content address of a delta: a SHA-256 over a
+// canonical binary encoding of the event sequence. Equal deltas digest
+// equally across processes and architectures; event order matters (deltas
+// are sequential programs, not sets), and only the fields an event's kind
+// actually reads are hashed, so junk in unused fields cannot split the
+// content address of semantically identical deltas. The serving layer
+// keys repaired plans by (base instance digest, delta digest).
+func DeltaDigest(d Delta) (graphio.Digest, error) {
+	if err := d.Validate(); err != nil {
+		return graphio.Digest{}, err
+	}
+	w := graphio.NewDigestWriter(deltaMagic)
+	w.I(len(d.Events))
+	for _, ev := range d.Events {
+		w.S(string(ev.Kind))
+		switch ev.Kind {
+		case NodeFail:
+			w.I(ev.Node)
+		case NodeJoin:
+			w.F(ev.X)
+			w.F(ev.Y)
+		case RadiusChange:
+			w.F(ev.Radius)
+		case PositionJitter:
+			w.I(ev.Node)
+			w.F(ev.X)
+			w.F(ev.Y)
+		}
+	}
+	return w.Sum(), nil
+}

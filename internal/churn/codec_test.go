@@ -1,0 +1,164 @@
+package churn
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden churn wire-format files")
+
+// goldenDelta is a fixed delta exercising every event kind.
+func goldenDelta() Delta {
+	return Delta{Events: []Event{
+		{Kind: NodeFail, Node: 7},
+		{Kind: NodeJoin, X: 12.5, Y: 33.25},
+		{Kind: RadiusChange, Radius: 9.5},
+		{Kind: PositionJitter, Node: 3, X: -0.75, Y: 1.5},
+	}}
+}
+
+// goldenDeltaDigest pins the canonical delta digest. If this test fails,
+// the digest encoding changed: every replan cache key and stored delta in
+// the wild is invalidated. Bump deltaMagic and update this constant only
+// as a conscious decision.
+const goldenDeltaDigest = "7e22b6ace9c2b3fd263590f537287063219e58d5de94f3274a300cd8a17243d0"
+
+func TestDeltaDigestGolden(t *testing.T) {
+	d, err := DeltaDigest(goldenDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != goldenDeltaDigest {
+		t.Fatalf("delta digest drifted:\n got  %s\n want %s", d, goldenDeltaDigest)
+	}
+}
+
+func TestDeltaDigestDiscriminates(t *testing.T) {
+	base := goldenDelta()
+	d0, _ := DeltaDigest(base)
+	// Reordering events must change the digest: deltas are programs.
+	swapped := Delta{Events: []Event{base.Events[1], base.Events[0], base.Events[2], base.Events[3]}}
+	d1, _ := DeltaDigest(swapped)
+	if d0 == d1 {
+		t.Fatal("event order does not influence the digest")
+	}
+	tweaked := goldenDelta()
+	tweaked.Events[3].X += 1e-12
+	d2, _ := DeltaDigest(tweaked)
+	if d0 == d2 {
+		t.Fatal("jitter displacement does not influence the digest")
+	}
+	// Fields a kind does not read must NOT influence the digest: two wire
+	// forms of the same logical delta content-address identically.
+	junk := goldenDelta()
+	junk.Events[0].X = 42.5      // fail reads only Node
+	junk.Events[1].Node = 9      // join reads only X, Y
+	junk.Events[2].Node = 3      // radius reads only Radius
+	junk.Events[3].Radius = 99.9 // jitter reads Node, X, Y
+	d3, err := DeltaDigest(junk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != d3 {
+		t.Fatal("unused event fields split the content address")
+	}
+}
+
+func checkGoldenFile(t *testing.T, name string, data []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(data), bytes.TrimSpace(want)) {
+		t.Fatalf("%s wire format drifted:\n%s", name, data)
+	}
+}
+
+func TestDeltaWireFormatGolden(t *testing.T) {
+	data, err := EncodeDelta(goldenDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenFile(t, "golden_delta.json", data)
+	got, err := DecodeDelta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := DeltaDigest(goldenDelta())
+	d2, err := DeltaDigest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("delta round trip changed the digest: %s → %s", d1, d2)
+	}
+}
+
+func TestTraceWireFormatGolden(t *testing.T) {
+	in := paperSync(t, 50, 2)
+	tr, err := GenerateTrace(in, TraceConfig{
+		HorizonHours: 1, SlotsPerHour: 10_000,
+		FailsPerHour: 4, JoinsPerHour: 2, JittersPerHour: 6,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("trace generated no events")
+	}
+	data, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenFile(t, "golden_trace.json", data)
+	got, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != tr.Seed || got.BaseDigest != tr.BaseDigest || len(got.Events) != len(tr.Events) {
+		t.Fatalf("trace round trip lost data: %+v", got)
+	}
+	// Every decoded event must replay cleanly against the base instance.
+	if _, _, err := Apply(in, got.Delta(0, len(got.Events))); err != nil {
+		t.Fatalf("decoded trace does not apply: %v", err)
+	}
+}
+
+func TestDecodeDeltaRejectsBadInput(t *testing.T) {
+	for name, data := range map[string]string{
+		"garbage":      "not json",
+		"bad-version":  `{"version":99,"events":[]}`,
+		"bad-kind":     `{"version":1,"events":[{"kind":"warp"}]}`,
+		"bad-radius":   `{"version":1,"events":[{"kind":"radius","radius":-1}]}`,
+		"nan-position": `{"version":1,"events":[{"kind":"join","x":1e999}]}`,
+		"neg-node":     `{"version":1,"events":[{"kind":"fail","node":-3}]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeDelta([]byte(data)); err == nil {
+				t.Fatalf("accepted %q", data)
+			}
+		})
+	}
+}
+
+func TestDecodeTraceRejectsDisorder(t *testing.T) {
+	bad := `{"version":1,"seed":1,"base_digest":"x","config":{},"events":[` +
+		`{"at":10,"kind":"join","x":1,"y":1},{"at":5,"kind":"join","x":2,"y":2}]}`
+	if _, err := DecodeTrace([]byte(bad)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package churn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The churn decoders share the graphio fuzz contract: never panic on
+// arbitrary bytes, and accepted inputs re-encode to a canonical fixed
+// point.
+
+func FuzzDecodeDelta(f *testing.F) {
+	data, err := EncodeDelta(goldenDelta())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"version":1,"events":[{"kind":"fail","node":0}]}`))
+	f.Add([]byte(`{"version":1,"events":[{"kind":"radius","radius":1e308}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		if _, err := DeltaDigest(d); err != nil {
+			t.Fatalf("accepted delta does not digest: %v", err)
+		}
+		enc, err := EncodeDelta(d)
+		if err != nil {
+			t.Fatalf("accepted delta does not re-encode: %v", err)
+		}
+		d2, err := DecodeDelta(enc)
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+		enc2, err := EncodeDelta(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}
+
+func FuzzDecodeTrace(f *testing.F) {
+	f.Add([]byte(`{"version":1,"seed":7,"base_digest":"ab","config":{"horizon_hours":1},` +
+		`"events":[{"at":3,"kind":"join","x":1,"y":2},{"at":9,"kind":"fail","node":1}]}`))
+	f.Add([]byte(`{"version":1,"events":[{"at":-1,"kind":"jitter","node":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeTrace(tr)
+		if err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+		enc2, err := EncodeTrace(tr2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package churn
+
+import (
+	"testing"
+
+	"mlbs/internal/core"
+	"mlbs/internal/rng"
+	"mlbs/internal/sim"
+)
+
+// TestReplanProperty is the core invariant of the churn engine, pinned
+// independently of any golden file: for random instances and random event
+// sequences, every repaired schedule must (a) pass Instance.Validate,
+// (b) replay collision-free to completion, and (c) cover exactly the live
+// node set of the mutated instance. The delta evolves the instance step by
+// step, so repairs compound: each repaired plan becomes the next base.
+func TestReplanProperty(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(t *testing.T, seed uint64) core.Instance
+	}{
+		{"sync", func(t *testing.T, seed uint64) core.Instance { return paperSync(t, 50+int(seed%3)*15, seed) }},
+		{"duty", func(t *testing.T, seed uint64) core.Instance { return paperDuty(t, 40+int(seed%2)*20, seed, 4) }},
+	}
+	trials := 6
+	eventsPer := 8
+	if testing.Short() {
+		trials, eventsPer = 2, 4
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rp := NewReplanner(ReplanConfig{})
+			replayer := sim.NewReplayer()
+			for trial := 0; trial < trials; trial++ {
+				seed := uint64(trial)*7 + 1
+				in := tc.mk(t, seed)
+				plan := basePlanFor(t, in)
+				sched := plan.Schedule
+				r := rng.New(seed ^ 0xC0FFEE)
+				applied := 0
+				for step := 0; applied < eventsPer && step < eventsPer*maxEventTries; step++ {
+					ev := randomEvent(r, in)
+					rr, err := rp.Replan(in, sched, Delta{Events: []Event{ev}})
+					if err != nil {
+						continue // disconnecting / source-killing event: redraw
+					}
+					applied++
+					// (a) model validity.
+					if err := rr.Result.Schedule.Validate(rr.Instance); err != nil {
+						t.Fatalf("trial %d step %d (%s, %+v): invalid repaired schedule: %v",
+							trial, step, rr.Strategy, ev, err)
+					}
+					// (b) collision-free replay + (c) exact live-node coverage.
+					rep, err := replayer.Replay(rr.Instance, rr.Result.Schedule)
+					if err != nil {
+						t.Fatalf("trial %d step %d: replay error: %v", trial, step, err)
+					}
+					if !rep.Completed {
+						t.Fatalf("trial %d step %d (%s): replay incomplete or collided", trial, step, rr.Strategy)
+					}
+					// (c) independently of the replayer: the schedule's own
+					// coverage — source ∪ pre-covered ∪ advance coverage —
+					// must be exactly the live node set, each node once.
+					n := rr.Instance.G.N()
+					seen := make([]bool, n)
+					seen[rr.Instance.Source] = true
+					for _, u := range rr.Instance.PreCovered {
+						seen[u] = true
+					}
+					for _, adv := range rr.Result.Schedule.Advances {
+						for _, u := range adv.Covered {
+							if u < 0 || u >= n || seen[u] {
+								t.Fatalf("trial %d step %d: node %d covered twice or out of range", trial, step, u)
+							}
+							seen[u] = true
+						}
+					}
+					for u, ok := range seen {
+						if !ok {
+							t.Fatalf("trial %d step %d: live node %d never covered", trial, step, u)
+						}
+					}
+					in, sched = rr.Instance, rr.Result.Schedule
+				}
+				if applied == 0 {
+					t.Fatalf("trial %d: no applicable events drawn", trial)
+				}
+			}
+		})
+	}
+}
+
+// randomEvent draws one arbitrary event against the current instance —
+// unlike the trace generator it happily proposes invalid events; the
+// property test exercises Replan's error paths with them.
+func randomEvent(r *rng.Source, in core.Instance) Event {
+	n := in.G.N()
+	switch r.Intn(4) {
+	case 0:
+		return Event{Kind: NodeFail, Node: r.Intn(n)}
+	case 1:
+		p := in.G.Pos(r.Intn(n))
+		return Event{Kind: NodeJoin, X: p.X + r.InRange(-3, 3), Y: p.Y + r.InRange(-3, 3)}
+	case 2:
+		// Mild radius wobble: ±10%.
+		return Event{Kind: RadiusChange, Radius: in.G.Radius() * r.InRange(0.9, 1.1)}
+	default:
+		return Event{Kind: PositionJitter, Node: r.Intn(n), X: r.NormFloat64(), Y: r.NormFloat64()}
+	}
+}

@@ -1,0 +1,237 @@
+package churn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"mlbs/internal/core"
+	"mlbs/internal/geom"
+	"mlbs/internal/graphio"
+	"mlbs/internal/rng"
+)
+
+// TraceConfig parameterizes a synthetic churn trace: independent Poisson
+// processes for failures, joins and position jitter over a wall-clock
+// horizon measured in wake slots. Zero-valued fields select the defaults
+// noted on each field.
+type TraceConfig struct {
+	// HorizonHours is the trace length. Default 4.
+	HorizonHours float64 `json:"horizon_hours"`
+	// SlotsPerHour converts event times to slots. Default 100_000
+	// (≈ 36 ms slots, the Mica2 ballpark).
+	SlotsPerHour int `json:"slots_per_hour"`
+	// FailsPerHour / JoinsPerHour / JittersPerHour are the Poisson rates.
+	// Zero rates mean exactly that: all three at zero generate an empty
+	// trace (no silent defaults — a zero-churn control run must stay one).
+	FailsPerHour   float64 `json:"fails_per_hour"`
+	JoinsPerHour   float64 `json:"joins_per_hour"`
+	JittersPerHour float64 `json:"jitters_per_hour"`
+	// JitterSigma is the per-axis standard deviation of a jitter
+	// displacement, in the deployment's length unit (feet for the paper
+	// topology). Default 1.
+	JitterSigma float64 `json:"jitter_sigma"`
+	// MinNodes / MaxNodes clamp the live node count: failures are
+	// suppressed at the floor, joins at the ceiling. Defaults: half and
+	// double the base node count.
+	MinNodes int `json:"min_nodes"`
+	MaxNodes int `json:"max_nodes"`
+}
+
+func (cfg TraceConfig) withDefaults(baseN int) TraceConfig {
+	if cfg.HorizonHours <= 0 {
+		cfg.HorizonHours = 4
+	}
+	if cfg.SlotsPerHour <= 0 {
+		cfg.SlotsPerHour = 100_000
+	}
+	if cfg.JitterSigma <= 0 {
+		cfg.JitterSigma = 1
+	}
+	if cfg.MinNodes <= 0 {
+		cfg.MinNodes = max(2, baseN/2)
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 2 * baseN
+	}
+	return cfg
+}
+
+// TraceEvent is one timed topology event. At is the slot at which the
+// event takes effect; event node IDs refer to the ID space produced by all
+// earlier trace events (the same sequential semantics as Delta).
+type TraceEvent struct {
+	At int `json:"at"`
+	Event
+}
+
+// Trace is a generated churn history against a specific base instance.
+// Every event is applicable in sequence: the generator rejection-samples
+// events so the evolving topology stays connected and keeps its source.
+type Trace struct {
+	Seed       uint64       `json:"seed"`
+	BaseDigest string       `json:"base_digest"`
+	Cfg        TraceConfig  `json:"config"`
+	Events     []TraceEvent `json:"events"`
+}
+
+// Delta flattens the trace's events (dropping timestamps) into one delta —
+// the form Apply and Replan consume. A sub-range [i, j) of events is a
+// valid delta against the instance produced by events [0, i).
+func (tr *Trace) Delta(i, j int) Delta {
+	evs := make([]Event, 0, j-i)
+	for _, te := range tr.Events[i:j] {
+		evs = append(evs, te.Event)
+	}
+	return Delta{Events: evs}
+}
+
+// maxEventTries bounds rejection sampling per event slot before the event
+// is skipped (e.g. every candidate failure would disconnect the network).
+const maxEventTries = 32
+
+// GenerateTrace draws a seeded Poisson churn trace against the base
+// instance. The generator evolves a copy of the instance event by event
+// and only emits events the evolving topology survives (connected, source
+// alive), so replaying the trace through Apply never fails.
+func GenerateTrace(base core.Instance, cfg TraceConfig, seed uint64) (*Trace, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("churn: invalid base instance: %w", err)
+	}
+	if base.G.Radius() <= 0 {
+		return nil, errors.New("churn: base instance is not a unit-disk graph")
+	}
+	if cfg.FailsPerHour < 0 || cfg.JoinsPerHour < 0 || cfg.JittersPerHour < 0 {
+		return nil, errors.New("churn: negative event rate")
+	}
+	cfg = cfg.withDefaults(base.G.N())
+	digest, err := graphio.InstanceDigest(base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Joins land uniformly in the base deployment's bounding box — the
+	// best stand-in for the original interest area recoverable from the
+	// instance alone.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range base.G.Positions() {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+
+	r := rng.New(seed)
+	tr := &Trace{Seed: seed, BaseDigest: digest.String(), Cfg: cfg}
+	cur := base
+	total := cfg.FailsPerHour + cfg.JoinsPerHour + cfg.JittersPerHour
+	if total <= 0 {
+		return tr, nil
+	}
+	for hours := expSample(r, total); hours < cfg.HorizonHours; hours += expSample(r, total) {
+		at := int(hours * float64(cfg.SlotsPerHour))
+		pick := r.Float64() * total
+		var kind Kind
+		switch {
+		case pick < cfg.FailsPerHour:
+			kind = NodeFail
+		case pick < cfg.FailsPerHour+cfg.JoinsPerHour:
+			kind = NodeJoin
+		default:
+			kind = PositionJitter
+		}
+		n := cur.G.N()
+		if kind == NodeFail && n <= cfg.MinNodes {
+			continue
+		}
+		if kind == NodeJoin && n >= cfg.MaxNodes {
+			continue
+		}
+		for try := 0; try < maxEventTries; try++ {
+			ev := sampleEvent(r, kind, cur, geom.Point{X: minX, Y: minY}, geom.Point{X: maxX, Y: maxY}, cfg.JitterSigma)
+			next, _, err := Apply(cur, Delta{Events: []Event{ev}})
+			if err != nil {
+				continue // would disconnect / hit the source; redraw
+			}
+			cur = next
+			tr.Events = append(tr.Events, TraceEvent{At: at, Event: ev})
+			break
+		}
+	}
+	return tr, nil
+}
+
+// sampleEvent draws one candidate event of the given kind against the
+// current topology.
+func sampleEvent(r *rng.Source, kind Kind, cur core.Instance, lo, hi geom.Point, sigma float64) Event {
+	switch kind {
+	case NodeFail:
+		// Never draw the source: failing it is a dead end by definition.
+		u := r.Intn(cur.G.N() - 1)
+		if u >= cur.Source {
+			u++
+		}
+		return Event{Kind: NodeFail, Node: u}
+	case NodeJoin:
+		return Event{Kind: NodeJoin, X: r.InRange(lo.X, hi.X), Y: r.InRange(lo.Y, hi.Y)}
+	default:
+		return Event{Kind: PositionJitter, Node: r.Intn(cur.G.N()),
+			X: sigma * r.NormFloat64(), Y: sigma * r.NormFloat64()}
+	}
+}
+
+// expSample draws an exponential inter-arrival time (hours) for rate
+// events per hour.
+func expSample(r *rng.Source, rate float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// traceJSON is the stored form of a Trace.
+type traceJSON struct {
+	Version int `json:"version"`
+	Trace
+}
+
+// EncodeTrace serializes a churn trace.
+func EncodeTrace(tr *Trace) ([]byte, error) {
+	if tr == nil {
+		return nil, errors.New("churn: nil trace")
+	}
+	for i, te := range tr.Events {
+		if err := te.Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return json.MarshalIndent(traceJSON{Version: codecVersion, Trace: *tr}, "", " ")
+}
+
+// DecodeTrace rebuilds a trace from EncodeTrace output, validating every
+// event and the timestamp ordering. It never panics on arbitrary bytes.
+func DecodeTrace(data []byte) (*Trace, error) {
+	var st traceJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	if st.Version != codecVersion {
+		return nil, fmt.Errorf("churn: unsupported trace version %d", st.Version)
+	}
+	if len(st.Events) > maxWireEvents {
+		return nil, fmt.Errorf("churn: trace has %d events (limit %d)", len(st.Events), maxWireEvents)
+	}
+	prev := -1
+	for i, te := range st.Events {
+		if err := te.Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		if te.At < prev {
+			return nil, fmt.Errorf("churn: trace events out of order at index %d", i)
+		}
+		prev = te.At
+	}
+	out := st.Trace
+	return &out, nil
+}

@@ -89,13 +89,134 @@ func (b *Builder) Build() *Graph {
 
 // FromUDG builds the unit-disk graph over the given positions: nodes are
 // adjacent exactly when their distance is at most radius (Section III).
+//
+// The construction sits on the churn engine's hot path — every topology
+// delta rebuilds the mutated graph before re-planning — so it avoids maps
+// and per-node sorting entirely: candidate pairs come from a dense
+// counting-sorted cell grid, neighbor bitsets live in one shared slab, and
+// the sorted adjacency lists are read back out of the bitsets (ascending
+// by construction) into a second slab.
 func FromUDG(pos []geom.Point, radius float64) *Graph {
-	b := NewBuilder(len(pos), pos)
-	// Grid bucketing: candidate pairs only within neighboring cells of side
-	// radius, which turns the naive O(n²) scan into ~O(n · density).
 	if radius <= 0 {
 		panic("graph: non-positive radius")
 	}
+	n := len(pos)
+	g := &Graph{
+		pos: append([]geom.Point(nil), pos...),
+		adj: make([][]NodeID, n),
+		nbr: make([]bitset.Set, n),
+	}
+	// One slab backs every neighbor bitset: n allocations → 1.
+	words := bitset.WordsFor(n)
+	slab := make([]uint64, n*words)
+	for i := range g.nbr {
+		g.nbr[i] = bitset.Set(slab[i*words : (i+1)*words])
+	}
+	forEachPair(pos, radius, func(i, j NodeID) {
+		g.nbr[i].Add(j)
+		g.nbr[j].Add(i)
+		g.edges++
+	})
+	// Adjacency lists read back from the bitsets: ascending order for
+	// free, one slab for all lists.
+	adjSlab := make([]NodeID, 0, 2*g.edges)
+	for u := 0; u < n; u++ {
+		start := len(adjSlab)
+		adjSlab = g.nbr[u].AppendMembers(adjSlab)
+		g.adj[u] = adjSlab[start:len(adjSlab):len(adjSlab)]
+	}
+	g.radius = radius
+	return g
+}
+
+// forEachPair calls link exactly once per unordered position pair within
+// radius, using grid bucketing (candidate pairs only within neighboring
+// cells of side radius — ~O(n · density) instead of O(n²)).
+func forEachPair(pos []geom.Point, radius float64, link func(i, j NodeID)) {
+	n := len(pos)
+	if n == 0 {
+		return
+	}
+	// Dense grid path: counting-sort nodes into cells of an explicit
+	// (nx × ny) array. Degenerate geometry (non-finite coordinates, a
+	// bounding box spanning absurdly many cells) falls back to a map grid.
+	minX, minY := pos[0].X, pos[0].Y
+	maxX, maxY := minX, minY
+	finite := true
+	for _, p := range pos {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+		if p.X != p.X || p.Y != p.Y || p.X-p.X != 0 || p.Y-p.Y != 0 {
+			finite = false
+			break
+		}
+	}
+	spanX, spanY := (maxX-minX)/radius, (maxY-minY)/radius
+	if !finite || !(spanX >= 0) || !(spanY >= 0) || spanX > 4e6 || spanY > 4e6 ||
+		(spanX+1)*(spanY+1) > float64(4*n+64) {
+		forEachPairMap(pos, radius, link)
+		return
+	}
+	nx, ny := int(spanX)+1, int(spanY)+1
+	cells := nx * ny
+	cellOf := make([]int32, n)
+	count := make([]int32, cells+1)
+	for i, p := range pos {
+		c := int32(int((p.X-minX)/radius)*ny + int((p.Y-minY)/radius))
+		cellOf[i] = c
+		count[c+1]++
+	}
+	for c := 0; c < cells; c++ {
+		count[c+1] += count[c]
+	}
+	nodes := make([]int32, n)
+	fill := append([]int32(nil), count[:cells]...)
+	for i := range pos {
+		c := cellOf[i]
+		nodes[fill[c]] = int32(i)
+		fill[c]++
+	}
+	for i, p := range pos {
+		cx, cy := int(cellOf[i])/ny, int(cellOf[i])%ny
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= nx {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				y := cy + dy
+				if y < 0 || y >= ny {
+					continue
+				}
+				c := x*ny + y
+				for _, j32 := range nodes[count[c]:count[c+1]] {
+					j := int(j32)
+					// Each unordered pair {i, j} is visited exactly once:
+					// from its lower endpoint, with j in i's 3×3 cell hood.
+					if j <= i {
+						continue
+					}
+					if geom.WithinRange(p, pos[j], radius) {
+						link(i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// forEachPairMap is the map-bucketed fallback for degenerate geometry.
+func forEachPairMap(pos []geom.Point, radius float64, link func(i, j NodeID)) {
 	cell := func(p geom.Point) [2]int {
 		return [2]int{int(p.X / radius), int(p.Y / radius)}
 	}
@@ -113,15 +234,12 @@ func FromUDG(pos []geom.Point, radius float64) *Graph {
 						continue
 					}
 					if geom.WithinRange(p, pos[j], radius) {
-						b.AddEdge(i, j)
+						link(i, j)
 					}
 				}
 			}
 		}
 	}
-	g := b.Build()
-	g.radius = radius
-	return g
 }
 
 // N returns the number of nodes.

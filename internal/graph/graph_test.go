@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -339,5 +340,49 @@ func BenchmarkMultiSourceBFS(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dist, queue = g.MultiSourceBFS(sources, dist, queue)
+	}
+}
+
+// TestFromUDGMatchesNaiveDegenerate pins the grid-bucketed construction
+// (dense counting-sort grid with map fallback) against the O(n²)
+// definition on geometry the paper never produces: negative coordinates,
+// varying radii, and outlier points that force the map-grid fallback.
+func TestFromUDGMatchesNaiveDegenerate(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(120)
+		radius := 0.5 + r.Float64()*12
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: r.InRange(-40, 60), Y: r.InRange(-40, 60)}
+		}
+		if trial%5 == 4 {
+			// Degenerate spread: forces the map-grid fallback.
+			pos[0].X += 1e9
+		}
+		g := FromUDG(pos, radius)
+		edges := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want := geom.WithinRange(pos[i], pos[j], radius)
+				if g.HasEdge(i, j) != want {
+					t.Fatalf("trial %d: edge {%d,%d} = %v, want %v", trial, i, j, g.HasEdge(i, j), want)
+				}
+				if want {
+					edges++
+				}
+			}
+		}
+		if g.M() != edges {
+			t.Fatalf("trial %d: M()=%d, naive count %d", trial, g.M(), edges)
+		}
+		for u := 0; u < n; u++ {
+			if !sort.IntsAreSorted(g.Adj(u)) {
+				t.Fatalf("trial %d: Adj(%d) not sorted: %v", trial, u, g.Adj(u))
+			}
+			if len(g.Adj(u)) != g.Nbr(u).Len() {
+				t.Fatalf("trial %d: adj/nbr cardinality mismatch at %d", trial, u)
+			}
+		}
 	}
 }

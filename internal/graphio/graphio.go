@@ -30,6 +30,16 @@ type deploymentJSON struct {
 // currentVersion guards file-format evolution.
 const currentVersion = 1
 
+// MaxWireNodes bounds the node count any wire-reachable path will
+// materialize: the decoders here, and churn.Apply (a join-heavy delta on
+// /v1/replan must not grow the network past it). Graph construction is
+// quadratic in memory (per-node neighbor bitsets, and adjacency slabs on
+// dense graphs), so sizes that arbitrary bytes could otherwise demand
+// must be refused; in-process callers with genuinely larger instances
+// don't round-trip through JSON. A complete graph at this cap costs
+// ~67 MB of adjacency — survivable; 1<<14 would already be ~2 GB.
+const MaxWireNodes = 1 << 12
+
 // EncodeDeployment serializes a deployment.
 func EncodeDeployment(d *topology.Deployment) ([]byte, error) {
 	if d == nil || d.G == nil {
@@ -64,6 +74,9 @@ func DecodeDeployment(data []byte) (*topology.Deployment, error) {
 	}
 	if len(in.X) == 0 {
 		return nil, fmt.Errorf("graphio: empty deployment")
+	}
+	if len(in.X) > MaxWireNodes {
+		return nil, fmt.Errorf("graphio: deployment has %d nodes (limit %d)", len(in.X), MaxWireNodes)
 	}
 	if in.Radius <= 0 {
 		return nil, fmt.Errorf("graphio: non-positive radius")

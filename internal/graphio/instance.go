@@ -65,7 +65,14 @@ func encodeWake(s dutycycle.Schedule) (wakeJSON, error) {
 	}
 }
 
+// decodeWake rebuilds a wake schedule from its stored form. Every
+// constructor precondition is checked here first: the dutycycle
+// constructors panic on malformed inputs (their callers are programs, not
+// wires), and a decoder must never panic on arbitrary bytes.
 func decodeWake(w wakeJSON) (dutycycle.Schedule, error) {
+	if w.Nodes < 0 || w.Nodes > MaxWireNodes {
+		return nil, fmt.Errorf("graphio: wake schedule covers %d nodes (limit %d)", w.Nodes, MaxWireNodes)
+	}
 	switch w.Kind {
 	case "always":
 		return dutycycle.AlwaysAwake{Nodes: w.Nodes}, nil
@@ -78,10 +85,27 @@ func decodeWake(w wakeJSON) (dutycycle.Schedule, error) {
 		if w.Period < 1 || w.Rate < 1 || len(w.Slots) != w.Nodes {
 			return nil, fmt.Errorf("graphio: malformed fixed wake schedule")
 		}
+		for u, list := range w.Slots {
+			if len(list) == 0 {
+				return nil, fmt.Errorf("graphio: fixed wake node %d has no wake slots", u)
+			}
+			prev := -1
+			for _, t := range list {
+				if t < 0 || t >= w.Period || t <= prev {
+					return nil, fmt.Errorf("graphio: fixed wake node %d slots not ascending in [0,%d)", u, w.Period)
+				}
+				prev = t
+			}
+		}
 		return dutycycle.NewFixed(w.Period, w.Rate, w.Slots), nil
 	case "phase":
 		if w.Rate < 1 || len(w.Phases) != w.Nodes {
 			return nil, fmt.Errorf("graphio: malformed phase wake schedule")
+		}
+		for u, p := range w.Phases {
+			if p < 0 || p >= w.Rate {
+				return nil, fmt.Errorf("graphio: phase wake node %d phase %d outside [0,%d)", u, p, w.Rate)
+			}
 		}
 		return dutycycle.NewPeriodicPhase(w.Rate, w.Phases), nil
 	default:
@@ -144,8 +168,8 @@ func DecodeInstance(data []byte) (core.Instance, error) {
 	if st.Version != currentVersion {
 		return core.Instance{}, fmt.Errorf("graphio: unsupported version %d", st.Version)
 	}
-	if st.Nodes < 1 {
-		return core.Instance{}, fmt.Errorf("graphio: instance has %d nodes", st.Nodes)
+	if st.Nodes < 1 || st.Nodes > MaxWireNodes {
+		return core.Instance{}, fmt.Errorf("graphio: instance has %d nodes (limit %d)", st.Nodes, MaxWireNodes)
 	}
 	var pos []geom.Point
 	if len(st.X) > 0 || len(st.Y) > 0 {
@@ -210,24 +234,47 @@ func (d Digest) String() string { return hex.EncodeToString(d[:]) }
 // layout below changes, so stale cache keys can never alias new ones.
 const digestMagic = "mlbs-instance-v1"
 
-type digestWriter struct {
+// DigestWriter accumulates a canonical binary encoding into a SHA-256 —
+// the shared substrate of every content digest in the system (instance
+// digests here, delta digests in the churn package). One writer, one
+// byte-layout convention: little-endian u64s, length-prefixed strings
+// and slices.
+type DigestWriter struct {
 	h   hash.Hash
 	buf [8]byte
 }
 
-func (w *digestWriter) u64(v uint64) {
+// NewDigestWriter returns a writer seeded with the given magic string —
+// the version tag that keeps digest schemes from aliasing each other.
+func NewDigestWriter(magic string) *DigestWriter {
+	w := &DigestWriter{h: sha256.New()}
+	w.S(magic)
+	return w
+}
+
+// U64 writes one little-endian 64-bit word.
+func (w *DigestWriter) U64(v uint64) {
 	binary.LittleEndian.PutUint64(w.buf[:], v)
 	w.h.Write(w.buf[:])
 }
 
-func (w *digestWriter) i(v int)     { w.u64(uint64(int64(v))) }
-func (w *digestWriter) f(v float64) { w.u64(math.Float64bits(v)) }
-func (w *digestWriter) s(v string)  { w.i(len(v)); w.h.Write([]byte(v)) }
-func (w *digestWriter) ints(v []int) {
-	w.i(len(v))
+// I writes an int. F writes a float64 by bit pattern. S writes a
+// length-prefixed string. Ints writes a length-prefixed int slice.
+func (w *DigestWriter) I(v int)     { w.U64(uint64(int64(v))) }
+func (w *DigestWriter) F(v float64) { w.U64(math.Float64bits(v)) }
+func (w *DigestWriter) S(v string)  { w.I(len(v)); w.h.Write([]byte(v)) }
+func (w *DigestWriter) Ints(v []int) {
+	w.I(len(v))
 	for _, x := range v {
-		w.i(x)
+		w.I(x)
 	}
+}
+
+// Sum finalizes the digest.
+func (w *DigestWriter) Sum() Digest {
+	var d Digest
+	w.h.Sum(d[:0])
+	return d
 }
 
 // InstanceDigest computes the content address of an instance.
@@ -239,43 +286,40 @@ func InstanceDigest(in core.Instance) (Digest, error) {
 	if err != nil {
 		return Digest{}, err
 	}
-	w := &digestWriter{h: sha256.New()}
-	w.s(digestMagic)
+	w := NewDigestWriter(digestMagic)
 	n := in.G.N()
-	w.i(n)
-	w.f(in.G.Radius())
+	w.I(n)
+	w.F(in.G.Radius())
 	for _, p := range in.G.Positions() {
-		w.f(p.X)
-		w.f(p.Y)
+		w.F(p.X)
+		w.F(p.Y)
 	}
-	w.i(in.G.M())
+	w.I(in.G.M())
 	for u := 0; u < n; u++ {
 		for _, v := range in.G.Adj(u) { // sorted by construction
 			if v > u {
-				w.i(u)
-				w.i(v)
+				w.I(u)
+				w.I(v)
 			}
 		}
 	}
-	w.i(in.Source)
-	w.i(in.Start)
+	w.I(in.Source)
+	w.I(in.Start)
 	pre := append([]int(nil), in.PreCovered...)
 	slices.Sort(pre)
-	w.ints(pre)
-	w.s(wake.Kind)
-	w.i(wake.Nodes)
-	w.i(wake.Rate)
-	w.i(wake.Cycles)
-	w.u64(wake.Seed)
-	w.i(wake.Period)
-	w.ints(wake.Phases)
-	w.i(len(wake.Slots))
+	w.Ints(pre)
+	w.S(wake.Kind)
+	w.I(wake.Nodes)
+	w.I(wake.Rate)
+	w.I(wake.Cycles)
+	w.U64(wake.Seed)
+	w.I(wake.Period)
+	w.Ints(wake.Phases)
+	w.I(len(wake.Slots))
 	for _, s := range wake.Slots {
-		w.ints(s)
+		w.Ints(s)
 	}
-	var d Digest
-	w.h.Sum(d[:0])
-	return d, nil
+	return w.Sum(), nil
 }
 
 // resultJSON is the stored form of a core.Result — the schema both

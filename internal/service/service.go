@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mlbs/internal/baseline"
+	"mlbs/internal/churn"
 	"mlbs/internal/core"
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/emodel"
@@ -56,6 +57,9 @@ type Config struct {
 	// ValidateCacheCapacity bounds the reliability-report cache that backs
 	// Validate requests (entries). Default 1024.
 	ValidateCacheCapacity int
+	// ReplanCacheCapacity bounds the repaired-plan cache keyed by
+	// (base digest, delta digest) that backs Replan requests. Default 1024.
+	ReplanCacheCapacity int
 }
 
 // Generator asks the service to build the instance itself from the
@@ -118,12 +122,21 @@ type Metrics struct {
 	ValidateHits     int64
 	ValidateMisses   int64
 	ValidateEntries  int
-	HitP50           time.Duration
-	HitP99           time.Duration
-	MissP50          time.Duration
-	MissP99          time.Duration
-	P50              time.Duration
-	P99              time.Duration
+	// Churn traffic: replan request count, computed repairs by strategy
+	// (see churn.Strategy), and the replan cache's counters.
+	Replans           int64
+	ReplanPrefix      int64
+	ReplanIncremental int64
+	ReplanCold        int64
+	ReplanHits        int64
+	ReplanMisses      int64
+	ReplanEntries     int
+	HitP50            time.Duration
+	HitP99            time.Duration
+	MissP50           time.Duration
+	MissP99           time.Duration
+	P50               time.Duration
+	P99               time.Duration
 }
 
 // spec is a normalized scheduler selection — part of the cache key and the
@@ -153,7 +166,8 @@ func parseSpec(name string, budget int) (spec, error) {
 type job struct {
 	in    core.Instance
 	sp    spec
-	val   *valJob // nil for plan jobs
+	val   *valJob    // set for Monte-Carlo validation jobs
+	rep   *replanJob // set for churn-repair jobs
 	reply chan<- jobResult
 }
 
@@ -171,6 +185,7 @@ type valJob struct {
 type jobResult struct {
 	res *core.Result
 	out *validateOutcome
+	rep *replanOutcome
 	err error
 }
 
@@ -186,14 +201,20 @@ type validateOutcome struct {
 // worker's own goroutine, so no lock guards them and their arenas stay
 // warm call after call.
 type worker struct {
-	jobs    chan job
-	engines map[spec]core.Scheduler
-	est     *reliability.Estimator
+	jobs       chan job
+	engines    map[spec]core.Scheduler
+	replanners map[spec]*churn.Replanner
+	est        *reliability.Estimator
 }
 
 func (w *worker) run(s *Service) {
 	defer s.wg.Done()
 	for jb := range w.jobs {
+		if jb.rep != nil {
+			rep, err := w.execReplan(jb)
+			jb.reply <- jobResult{rep: rep, err: err}
+			continue
+		}
 		if jb.val != nil {
 			out, err := w.execValidate(jb)
 			if err == nil {
@@ -244,22 +265,32 @@ func (w *worker) execValidate(jb job) (*validateOutcome, error) {
 }
 
 func (w *worker) exec(jb job) (*core.Result, error) {
-	sp := jb.sp
+	return w.scheduler(resolveSpec(jb.sp, jb.in)).Schedule(jb.in)
+}
+
+// resolveSpec maps the generic "baseline" selection onto the
+// system-specific baseline, by the instance's wake system like mlb-run
+// does.
+func resolveSpec(sp spec, in core.Instance) spec {
 	if sp.kind == "baseline" {
-		// The paper's baselines are system-specific; resolve by the
-		// instance's wake system like mlb-run does.
-		if jb.in.Wake.Rate() > 1 {
+		if in.Wake.Rate() > 1 {
 			sp.kind = "baseline17"
 		} else {
 			sp.kind = "baseline26"
 		}
 	}
+	return sp
+}
+
+// scheduler returns the worker's reusable engine for a resolved spec,
+// building it on first use. Only the worker's own goroutine calls this.
+func (w *worker) scheduler(sp spec) core.Scheduler {
 	sched, ok := w.engines[sp]
 	if !ok {
 		sched = newScheduler(sp)
 		w.engines[sp] = sched
 	}
-	return sched.Schedule(jb.in)
+	return sched
 }
 
 func newScheduler(sp spec) core.Scheduler {
@@ -288,6 +319,7 @@ type Service struct {
 	cache   *plancache.Cache[*core.Result]
 	gens    *plancache.Cache[core.Instance]
 	vcache  *plancache.Cache[*validateOutcome]
+	rcache  *plancache.Cache[*replanOutcome]
 	workers []*worker
 	wg      sync.WaitGroup
 
@@ -295,13 +327,17 @@ type Service struct {
 	closed   bool
 	inflight sync.WaitGroup
 
-	requests    atomic.Int64
-	searches    atomic.Int64
-	validations atomic.Int64
-	mcTrials    atomic.Int64
-	errs        atomic.Int64
-	hitHist     hist
-	missHist    hist
+	requests          atomic.Int64
+	searches          atomic.Int64
+	validations       atomic.Int64
+	mcTrials          atomic.Int64
+	replans           atomic.Int64
+	replanPrefix      atomic.Int64
+	replanIncremental atomic.Int64
+	replanCold        atomic.Int64
+	errs              atomic.Int64
+	hitHist           hist
+	missHist          hist
 }
 
 // New builds and starts a service.
@@ -318,14 +354,22 @@ func New(cfg Config) *Service {
 	if cfg.ValidateCacheCapacity <= 0 {
 		cfg.ValidateCacheCapacity = 1024
 	}
+	if cfg.ReplanCacheCapacity <= 0 {
+		cfg.ReplanCacheCapacity = 1024
+	}
 	s := &Service{
 		cfg:    cfg,
 		cache:  plancache.New[*core.Result](cfg.CacheCapacity, cfg.CacheShards),
 		gens:   plancache.New[core.Instance](cfg.GenCacheCapacity, 4),
 		vcache: plancache.New[*validateOutcome](cfg.ValidateCacheCapacity, 8),
+		rcache: plancache.New[*replanOutcome](cfg.ReplanCacheCapacity, 8),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{jobs: make(chan job, cfg.QueueDepth), engines: make(map[spec]core.Scheduler)}
+		w := &worker{
+			jobs:       make(chan job, cfg.QueueDepth),
+			engines:    make(map[spec]core.Scheduler),
+			replanners: make(map[spec]*churn.Replanner),
+		}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
 		go w.run(s)
@@ -427,26 +471,45 @@ func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp
 }
 
 func planKey(digest graphio.Digest, sp spec) string {
-	return digest.String() + "|" + sp.kind + "|" + strconv.Itoa(sp.budget)
+	return planKeyString(digest.String(), sp)
+}
+
+// planKeyString is planKey for a digest already in hex form — the replan
+// path publishes repaired plans under the mutated instance's digest
+// without re-materializing a graphio.Digest.
+func planKeyString(digest string, sp spec) string {
+	return digest + "|" + sp.kind + "|" + strconv.Itoa(sp.budget)
+}
+
+// cachedCompute is the shared serving discipline of every content-
+// addressed cache in the service: serve key from c, computing at most
+// once even under concurrent identical requests. noCache bypasses the
+// lookup but still stores the result. The computation always runs with a
+// context detached from the caller's cancellation — it is shared by every
+// coalesced waiter, so it must not die with the leader's request context
+// (a leader disconnecting would fail N−1 innocent callers).
+func cachedCompute[V any](ctx context.Context, c *plancache.Cache[V], key string, noCache bool,
+	compute func(context.Context) (V, error)) (val V, hit, coalesced bool, err error) {
+	if noCache {
+		// Nothing is shared on the bypass path — the lone caller's own
+		// context governs its computation.
+		val, err = compute(ctx)
+		if err == nil {
+			c.Put(key, val)
+		}
+		return val, false, false, err
+	}
+	shared := context.WithoutCancel(ctx)
+	return c.GetOrCompute(key, func() (V, error) {
+		return compute(shared)
+	})
 }
 
 // planFor obtains the plan behind key: from the cache, or by exactly one
-// dispatched search even under concurrent identical requests. noCache
-// bypasses the lookup but still stores the result.
+// dispatched search even under concurrent identical requests.
 func (s *Service) planFor(ctx context.Context, key string, in core.Instance, sp spec, noCache bool) (res *core.Result, hit, coalesced bool, err error) {
-	if noCache {
-		res, err = s.dispatch(ctx, key, in, sp)
-		if err == nil {
-			s.cache.Put(key, res)
-		}
-		return res, false, false, err
-	}
-	// The singleflight computation is shared by every coalesced
-	// waiter, so it must not die with the leader's request context —
-	// a leader disconnecting would fail N−1 innocent callers.
-	shared := context.WithoutCancel(ctx)
-	return s.cache.GetOrCompute(key, func() (*core.Result, error) {
-		return s.dispatch(shared, key, in, sp)
+	return cachedCompute(ctx, s.cache, key, noCache, func(ctx context.Context) (*core.Result, error) {
+		return s.dispatch(ctx, key, in, sp)
 	})
 }
 
@@ -592,28 +655,36 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest, emit func(SweepIt
 func (s *Service) Metrics() Metrics {
 	cs := s.cache.Stats()
 	vs := s.vcache.Stats()
+	rs := s.rcache.Stats()
 	var merged [histBuckets]int64
 	total := s.hitHist.snapshot(&merged)
 	total += s.missHist.snapshot(&merged)
 	return Metrics{
-		Requests:         s.requests.Load(),
-		Hits:             cs.Hits,
-		Misses:           cs.Misses,
-		Coalesced:        cs.Coalesced,
-		Searches:         s.searches.Load(),
-		Errors:           s.errs.Load(),
-		Evictions:        cs.Evictions,
-		CacheEntries:     cs.Entries,
-		Validations:      s.validations.Load(),
-		MonteCarloTrials: s.mcTrials.Load(),
-		ValidateHits:     vs.Hits,
-		ValidateMisses:   vs.Misses,
-		ValidateEntries:  vs.Entries,
-		HitP50:           s.hitHist.percentile(0.50),
-		HitP99:           s.hitHist.percentile(0.99),
-		MissP50:          s.missHist.percentile(0.50),
-		MissP99:          s.missHist.percentile(0.99),
-		P50:              percentileOf(&merged, total, 0.50),
-		P99:              percentileOf(&merged, total, 0.99),
+		Requests:          s.requests.Load(),
+		Hits:              cs.Hits,
+		Misses:            cs.Misses,
+		Coalesced:         cs.Coalesced,
+		Searches:          s.searches.Load(),
+		Errors:            s.errs.Load(),
+		Evictions:         cs.Evictions,
+		CacheEntries:      cs.Entries,
+		Validations:       s.validations.Load(),
+		MonteCarloTrials:  s.mcTrials.Load(),
+		ValidateHits:      vs.Hits,
+		ValidateMisses:    vs.Misses,
+		ValidateEntries:   vs.Entries,
+		Replans:           s.replans.Load(),
+		ReplanPrefix:      s.replanPrefix.Load(),
+		ReplanIncremental: s.replanIncremental.Load(),
+		ReplanCold:        s.replanCold.Load(),
+		ReplanHits:        rs.Hits,
+		ReplanMisses:      rs.Misses,
+		ReplanEntries:     rs.Entries,
+		HitP50:            s.hitHist.percentile(0.50),
+		HitP99:            s.hitHist.percentile(0.99),
+		MissP50:           s.missHist.percentile(0.50),
+		MissP99:           s.missHist.percentile(0.99),
+		P50:               percentileOf(&merged, total, 0.50),
+		P99:               percentileOf(&merged, total, 0.99),
 	}
 }

@@ -146,21 +146,10 @@ func (s *Service) Validate(ctx context.Context, req ValidateRequest) (ValidateRe
 
 	vkey := validateKey(pkey, model, trials, req.Target, maxExtra)
 	vj := &valJob{sched: res.Schedule, model: model, trials: trials, target: req.Target, maxExtra: maxExtra}
-	var (
-		out            *validateOutcome
-		hit, coalesced bool
-	)
-	if req.NoCache {
-		out, err = s.dispatchValidate(ctx, vkey, in, sp, vj)
-		if err == nil {
-			s.vcache.Put(vkey, out)
-		}
-	} else {
-		shared := context.WithoutCancel(ctx)
-		out, hit, coalesced, err = s.vcache.GetOrCompute(vkey, func() (*validateOutcome, error) {
-			return s.dispatchValidate(shared, vkey, in, sp, vj)
+	out, hit, coalesced, err := cachedCompute(ctx, s.vcache, vkey, req.NoCache,
+		func(ctx context.Context) (*validateOutcome, error) {
+			return s.dispatchValidate(ctx, vkey, in, sp, vj)
 		})
-	}
 	if err != nil {
 		s.errs.Add(1)
 		return ValidateResponse{}, err

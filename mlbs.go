@@ -35,6 +35,7 @@ package mlbs
 
 import (
 	"mlbs/internal/baseline"
+	"mlbs/internal/churn"
 	"mlbs/internal/core"
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/emodel"
@@ -153,6 +154,45 @@ type (
 	ValidateRequest = service.ValidateRequest
 	// ValidateResponse is one reliability-validation service answer.
 	ValidateResponse = service.ValidateResponse
+	// ChurnEvent is one typed topology change (fail/join/radius/jitter).
+	ChurnEvent = churn.Event
+	// ChurnKind names a topology event type.
+	ChurnKind = churn.Kind
+	// ChurnDelta is an ordered topology-event sequence with a canonical
+	// encoding and content digest (DESIGN.md §11).
+	ChurnDelta = churn.Delta
+	// ChurnMapping relates base node IDs to mutated node IDs.
+	ChurnMapping = churn.Mapping
+	// Replanner repairs cached schedules after topology deltas with
+	// reusable state; like a SearchEngine it is single-goroutine.
+	Replanner = churn.Replanner
+	// ReplannerConfig tunes a Replanner.
+	ReplannerConfig = churn.ReplanConfig
+	// ChurnReplanResult is a repaired plan plus its blast-radius
+	// classification.
+	ChurnReplanResult = churn.ReplanResult
+	// ChurnStrategy names how a repaired plan was obtained
+	// (prefix/incremental/cold).
+	ChurnStrategy = churn.Strategy
+	// ChurnTrace is a seeded multi-hour churn history against a base
+	// instance.
+	ChurnTrace = churn.Trace
+	// ChurnTraceConfig parameterizes Poisson churn-trace generation.
+	ChurnTraceConfig = churn.TraceConfig
+	// ChurnTraceEvent is one timed topology event of a trace.
+	ChurnTraceEvent = churn.TraceEvent
+	// ReplanRequest is one churn-repair service request.
+	ReplanRequest = service.ReplanRequest
+	// ReplanResponse is one churn-repair service answer.
+	ReplanResponse = service.ReplanResponse
+)
+
+// The churn event kinds.
+const (
+	ChurnNodeFail       = churn.NodeFail
+	ChurnNodeJoin       = churn.NodeJoin
+	ChurnRadiusChange   = churn.RadiusChange
+	ChurnPositionJitter = churn.PositionJitter
 )
 
 // NewUDG builds the unit-disk graph over the given positions: nodes are
@@ -459,3 +499,37 @@ func EncodeReliabilityReport(rep *ReliabilityReport) ([]byte, error) {
 func DecodeReliabilityReport(data []byte) (*ReliabilityReport, error) {
 	return graphio.DecodeReliabilityReport(data)
 }
+
+// ApplyChurn applies a topology delta to a unit-disk instance, returning
+// the mutated instance and the base→mutated node mapping (DESIGN.md §11).
+func ApplyChurn(base Instance, d ChurnDelta) (Instance, ChurnMapping, error) {
+	return churn.Apply(base, d)
+}
+
+// NewReplanner builds a reusable churn replanner: blast-radius
+// classification plus residual search with cold-search fallback. Not safe
+// for concurrent use; the plan service gives each worker its own.
+func NewReplanner(cfg ReplannerConfig) *Replanner { return churn.NewReplanner(cfg) }
+
+// GenerateChurnTrace draws a seeded Poisson churn trace against the base
+// instance; every event is guaranteed applicable in sequence.
+func GenerateChurnTrace(base Instance, cfg ChurnTraceConfig, seed uint64) (*ChurnTrace, error) {
+	return churn.GenerateTrace(base, cfg, seed)
+}
+
+// ChurnDeltaDigest computes the content address of a delta; the serving
+// layer keys repaired plans by (instance digest, delta digest).
+func ChurnDeltaDigest(d ChurnDelta) (Digest, error) { return churn.DeltaDigest(d) }
+
+// EncodeChurnDelta serializes a delta in the schema POST /v1/replan
+// accepts.
+func EncodeChurnDelta(d ChurnDelta) ([]byte, error) { return churn.EncodeDelta(d) }
+
+// DecodeChurnDelta rebuilds a delta, validating every event.
+func DecodeChurnDelta(data []byte) (ChurnDelta, error) { return churn.DecodeDelta(data) }
+
+// EncodeChurnTrace serializes a churn trace.
+func EncodeChurnTrace(tr *ChurnTrace) ([]byte, error) { return churn.EncodeTrace(tr) }
+
+// DecodeChurnTrace rebuilds a churn trace, validating events and ordering.
+func DecodeChurnTrace(data []byte) (*ChurnTrace, error) { return churn.DecodeTrace(data) }
