@@ -68,6 +68,19 @@ type reliabilityRecord struct {
 	MeanDelivery    float64 `json:"mean_delivery_ratio"`
 }
 
+// channelRecord captures one cell of the latency-vs-K curve: the G-OPT
+// schedule on the paper topology with K orthogonal channels.
+type channelRecord struct {
+	Name         string  `json:"name"`
+	Nodes        int     `json:"nodes"`
+	System       string  `json:"system"`
+	Channels     int     `json:"channels"`
+	LatencySlots int     `json:"latency_slots"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	Exact        bool    `json:"exact"`
+	LatencyVsK1  float64 `json:"latency_over_k1"`
+}
+
 type report struct {
 	Tool        string              `json:"tool"`
 	GoVersion   string              `json:"go_version"`
@@ -80,6 +93,7 @@ type report struct {
 	Records     []record            `json:"records"`
 	Service     []serviceRecord     `json:"service"`
 	Reliability []reliabilityRecord `json:"reliability"`
+	Channels    []channelRecord     `json:"channels"`
 }
 
 func main() {
@@ -91,6 +105,7 @@ func main() {
 		svcReqs = flag.Int("svcreqs", 32, "requests per service throughput phase")
 		relTr   = flag.Int("reltrials", 500, "Monte-Carlo trials per reliability case")
 		out     = flag.String("out", "BENCH_schedulers.json", "output JSON path")
+		chOut   = flag.String("chout", "BENCH_channels.json", "latency-vs-K curve JSON path (empty disables)")
 	)
 	flag.Parse()
 
@@ -175,6 +190,33 @@ func main() {
 			rr.Name, rr.ReplaysPerSec, rr.AllocsPerReplay, rr.MeanDelivery)
 	}
 
+	chRecs, err := benchChannels(dep, *n, *seed, *r)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Channels = chRecs
+	for _, cr := range chRecs {
+		fmt.Printf("%-28s %6d latency %8.3f vs K=1 %12d ns/op\n",
+			cr.Name, cr.LatencySlots, cr.LatencyVsK1, cr.NsPerOp)
+	}
+	if *chOut != "" {
+		chData, err := json.MarshalIndent(struct {
+			Tool      string          `json:"tool"`
+			GoVersion string          `json:"go_version"`
+			Timestamp string          `json:"timestamp"`
+			Nodes     int             `json:"nodes"`
+			Seed      uint64          `json:"seed"`
+			Channels  []channelRecord `json:"channels"`
+		}{"mlb-bench", runtime.Version(), rep.Timestamp, *n, *seed, chRecs}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		chData = append(chData, '\n')
+		if err := os.WriteFile(*chOut, chData, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -235,6 +277,71 @@ func benchService(n int, seed uint64, reqs int) (serviceRecord, error) {
 		rec.Speedup = rec.WarmPlansPerSec / rec.ColdPlansPerSec
 	}
 	return rec, nil
+}
+
+// benchChannels sweeps the latency-vs-K curve: the G-OPT schedule of the
+// paper deployment across K ∈ {1, 2, 4, 8} orthogonal channels, on the
+// synchronous system, the -r duty cycle, and the light r=50 duty cycle
+// (where conflict-induced re-wake waits dominate and channels collapse
+// latency; the synchronous system is hop-bound by Theorem 1's d+2, so its
+// curve is near-flat). Every schedule is validated and replayed before its
+// numbers are reported.
+func benchChannels(dep *mlbs.Deployment, n int, seed uint64, r int) ([]channelRecord, error) {
+	systems := []struct {
+		name string
+		in   mlbs.Instance
+	}{
+		{"sync", mlbs.SyncInstance(dep.G, dep.Source)},
+		{fmt.Sprintf("duty-r%d", r), mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(n, r, 9), 0)},
+		{"duty-r50", mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(n, 50, 9), 0)},
+	}
+	var out []channelRecord
+	for _, sys := range systems {
+		k1 := 0
+		for _, k := range []int{1, 2, 4, 8} {
+			in := mlbs.WithChannels(sys.in, k)
+			sched := mlbs.GOPT()
+			res, err := sched.Schedule(in)
+			if err != nil {
+				return nil, fmt.Errorf("channels %s K=%d: %w", sys.name, k, err)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				return nil, fmt.Errorf("channels %s K=%d: invalid schedule: %w", sys.name, k, err)
+			}
+			rep, err := mlbs.Replay(in, res.Schedule)
+			if err != nil {
+				return nil, fmt.Errorf("channels %s K=%d: %w", sys.name, k, err)
+			}
+			if !rep.Completed {
+				return nil, fmt.Errorf("channels %s K=%d: replay incomplete or collided", sys.name, k)
+			}
+			nsOp, _, _, err := measure(1, func() error {
+				_, err := sched.Schedule(in)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			lat := res.Schedule.Latency()
+			if k == 1 {
+				k1 = lat
+			}
+			rec := channelRecord{
+				Name:         fmt.Sprintf("channels/%s-n%d/k%d", sys.name, n, k),
+				Nodes:        n,
+				System:       sys.name,
+				Channels:     k,
+				LatencySlots: lat,
+				NsPerOp:      nsOp,
+				Exact:        res.Exact,
+			}
+			if k1 > 0 {
+				rec.LatencyVsK1 = float64(lat) / float64(k1)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
 }
 
 // benchReliability measures the Monte-Carlo engine: one warm-up batch,

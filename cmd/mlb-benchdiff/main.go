@@ -1,0 +1,168 @@
+// Command mlb-benchdiff is the CI bench regression gate: it compares a
+// current mlb-bench report against a checked-in baseline and fails (exit
+// code 1) when a pinned metric regresses beyond the tolerance.
+//
+// Usage:
+//
+//	mlb-benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json [-tol 0.25]
+//
+// Pinned metrics, chosen because they are deterministic for a fixed
+// (n, seed, r) — wall-clock numbers are NOT compared, CI machines are too
+// noisy for that:
+//
+//   - records[].latency_slots — the scheduled broadcast latency per
+//     (scheduler, system) case;
+//   - records[].allocs_per_op — the allocation-discipline pins (with an
+//     absolute slack, so a 2→3 alloc jitter on a tiny count cannot flake);
+//   - reliability[].allocs_per_replay — the Monte-Carlo engine's ~0
+//     allocs/replay contract;
+//   - channels[].latency_slots — the latency-vs-K curve.
+//
+// A record present in the baseline but missing from the current report is
+// also a failure: silently dropping a benchmark is how regressions hide.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// benchReport mirrors the mlb-bench output schema, keeping only the
+// pinned fields.
+type benchReport struct {
+	Records []struct {
+		Name         string `json:"name"`
+		LatencySlots int    `json:"latency_slots"`
+		AllocsPerOp  int64  `json:"allocs_per_op"`
+	} `json:"records"`
+	Reliability []struct {
+		Name            string  `json:"name"`
+		AllocsPerReplay float64 `json:"allocs_per_replay"`
+	} `json:"reliability"`
+	Channels []struct {
+		Name         string `json:"name"`
+		LatencySlots int    `json:"latency_slots"`
+	} `json:"channels"`
+}
+
+// tolerances bundles the comparison knobs.
+type tolerances struct {
+	// Rel is the relative regression bound: current may be at most
+	// (1+Rel) × baseline.
+	Rel float64
+	// AllocSlack is the absolute allocs/op slack added on top of the
+	// relative bound, absorbing fixed-size jitter on small counts.
+	AllocSlack float64
+}
+
+// compare returns every regression found, empty when the gate passes.
+func compare(baseline, current benchReport, tol tolerances) []string {
+	var fails []string
+	exceeds := func(cur, base, slack float64) bool {
+		return cur > base*(1+tol.Rel)+slack
+	}
+
+	cur := make(map[string]int, len(current.Records))
+	curAllocs := make(map[string]int64, len(current.Records))
+	for _, r := range current.Records {
+		cur[r.Name] = r.LatencySlots
+		curAllocs[r.Name] = r.AllocsPerOp
+	}
+	for _, b := range baseline.Records {
+		got, ok := cur[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("record %q missing from current report", b.Name))
+			continue
+		}
+		if exceeds(float64(got), float64(b.LatencySlots), 0) {
+			fails = append(fails, fmt.Sprintf("%s: latency %d slots, baseline %d (>%d%% regression)",
+				b.Name, got, b.LatencySlots, int(tol.Rel*100)))
+		}
+		if exceeds(float64(curAllocs[b.Name]), float64(b.AllocsPerOp), tol.AllocSlack) {
+			fails = append(fails, fmt.Sprintf("%s: %d allocs/op, baseline %d (>%d%% + %d regression)",
+				b.Name, curAllocs[b.Name], b.AllocsPerOp, int(tol.Rel*100), int(tol.AllocSlack)))
+		}
+	}
+
+	curRel := make(map[string]float64, len(current.Reliability))
+	for _, r := range current.Reliability {
+		curRel[r.Name] = r.AllocsPerReplay
+	}
+	for _, b := range baseline.Reliability {
+		got, ok := curRel[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("reliability record %q missing from current report", b.Name))
+			continue
+		}
+		// allocs/replay pins sit near zero; compare with a fixed +1 slack.
+		if got > b.AllocsPerReplay*(1+tol.Rel)+1 {
+			fails = append(fails, fmt.Sprintf("%s: %.2f allocs/replay, baseline %.2f",
+				b.Name, got, b.AllocsPerReplay))
+		}
+	}
+
+	curCh := make(map[string]int, len(current.Channels))
+	for _, r := range current.Channels {
+		curCh[r.Name] = r.LatencySlots
+	}
+	for _, b := range baseline.Channels {
+		got, ok := curCh[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("channel record %q missing from current report", b.Name))
+			continue
+		}
+		if exceeds(float64(got), float64(b.LatencySlots), 0) {
+			fails = append(fails, fmt.Sprintf("%s: latency %d slots, baseline %d",
+				b.Name, got, b.LatencySlots))
+		}
+	}
+	return fails
+}
+
+func load(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	var (
+		basePath   = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
+		curPath    = flag.String("current", "BENCH_ci.json", "freshly generated report")
+		tol        = flag.Float64("tol", 0.25, "relative regression tolerance")
+		allocSlack = flag.Float64("alloc-slack", 200, "absolute allocs/op slack")
+	)
+	flag.Parse()
+	if *tol < 0 || math.IsNaN(*tol) {
+		fmt.Fprintln(os.Stderr, "mlb-benchdiff: tolerance must be >= 0")
+		os.Exit(2)
+	}
+	baseline, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlb-benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlb-benchdiff:", err)
+		os.Exit(2)
+	}
+	fails := compare(baseline, current, tolerances{Rel: *tol, AllocSlack: *allocSlack})
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel records within %.0f%% of baseline\n",
+		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), *tol*100)
+}

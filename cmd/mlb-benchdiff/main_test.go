@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func report(t *testing.T, src string) benchReport {
+	t.Helper()
+	var rep benchReport
+	if err := json.Unmarshal([]byte(src), &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+const baselineJSON = `{
+  "records": [
+    {"name": "sync/g-opt", "latency_slots": 8, "allocs_per_op": 700},
+    {"name": "duty-r10/g-opt", "latency_slots": 60, "allocs_per_op": 9000}
+  ],
+  "reliability": [
+    {"name": "reliability/sync-n150", "allocs_per_replay": 0.1}
+  ],
+  "channels": [
+    {"name": "channels/duty-r50-n300/k1", "latency_slots": 50},
+    {"name": "channels/duty-r50-n300/k4", "latency_slots": 35}
+  ]
+}`
+
+var defaultTol = tolerances{Rel: 0.25, AllocSlack: 200}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	b := report(t, baselineJSON)
+	if fails := compare(b, b, defaultTol); len(fails) != 0 {
+		t.Fatalf("identical reports flagged: %v", fails)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Records[0].LatencySlots = 10   // 8 → 10 = exactly +25%
+	cur.Records[1].AllocsPerOp = 11000 // within 25% + slack
+	cur.Reliability[0].AllocsPerReplay = 0.9
+	if fails := compare(b, cur, defaultTol); len(fails) != 0 {
+		t.Fatalf("within-tolerance report flagged: %v", fails)
+	}
+}
+
+func TestCompareLatencyRegressionFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Records[0].LatencySlots = 11 // 8 → 11 > +25%
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "sync/g-opt") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Records[1].AllocsPerOp = 12000 // > 9000*1.25+200
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareAllocSlackAbsorbsSmallCounts(t *testing.T) {
+	b := report(t, `{"records":[{"name":"x","latency_slots":5,"allocs_per_op":3}]}`)
+	cur := report(t, `{"records":[{"name":"x","latency_slots":5,"allocs_per_op":150}]}`)
+	if fails := compare(b, cur, defaultTol); len(fails) != 0 {
+		t.Fatalf("slack did not absorb a tiny absolute jump: %v", fails)
+	}
+}
+
+func TestCompareChannelRegressionFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Channels[1].LatencySlots = 50 // the K=4 win evaporated
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "k4") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareMissingRecordFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Records = cur.Records[:1]
+	cur.Channels = nil
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 3 {
+		t.Fatalf("want 3 missing-record failures, got %v", fails)
+	}
+	for _, f := range fails {
+		if !strings.Contains(f, "missing") {
+			t.Fatalf("unexpected failure: %s", f)
+		}
+	}
+}
+
+func TestCompareReliabilityAllocFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Reliability[0].AllocsPerReplay = 5
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/replay") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareExtraCurrentRecordsIgnored(t *testing.T) {
+	b := report(t, `{"records":[{"name":"x","latency_slots":5,"allocs_per_op":10}]}`)
+	cur := report(t, baselineJSON)
+	cur.Records = append(cur.Records, struct {
+		Name         string `json:"name"`
+		LatencySlots int    `json:"latency_slots"`
+		AllocsPerOp  int64  `json:"allocs_per_op"`
+	}{"x", 5, 10})
+	if fails := compare(b, cur, defaultTol); len(fails) != 0 {
+		t.Fatalf("extra records should not fail the gate: %v", fails)
+	}
+}

@@ -30,11 +30,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "deployment seed")
 		r        = flag.Int("r", 0, "duty-cycle rate r; 0 or 1 = synchronous")
 		sched    = flag.String("sched", "gopt", "scheduler: opt|gopt|emodel|baseline|localized")
+		channels = flag.Int("channels", 0, "orthogonal channels K; 0 or 1 = single shared channel")
 		verbose  = flag.Bool("v", false, "print every advance")
 		jsonMode = flag.Bool("json", false, "emit machine-readable digest+result+report JSON")
 	)
 	flag.Parse()
-	if err := run(*n, *seed, *r, *sched, *verbose, *jsonMode); err != nil {
+	if err := run(*n, *seed, *r, *channels, *sched, *verbose, *jsonMode); err != nil {
 		fmt.Fprintln(os.Stderr, "mlb-run:", err)
 		os.Exit(1)
 	}
@@ -65,7 +66,7 @@ func emitJSON(in mlbs.Instance, res *mlbs.Result, rep *mlbs.Report) error {
 	return err
 }
 
-func run(n int, seed uint64, r int, schedName string, verbose, jsonMode bool) error {
+func run(n int, seed uint64, r, channels int, schedName string, verbose, jsonMode bool) error {
 	dep, err := mlbs.PaperDeployment(n, seed)
 	if err != nil {
 		return err
@@ -76,6 +77,7 @@ func run(n int, seed uint64, r int, schedName string, verbose, jsonMode bool) er
 	} else {
 		in = mlbs.SyncInstance(dep.G, dep.Source)
 	}
+	in = mlbs.WithChannels(in, channels)
 	if !jsonMode {
 		fmt.Printf("deployment: n=%d density=%.3f edges=%d source=%d ecc=%d seed=%d\n",
 			n, dep.Cfg.Density(), dep.G.M(), dep.Source, dep.SourceEcc, seed)

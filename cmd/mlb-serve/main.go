@@ -23,6 +23,12 @@
 //	curl -s localhost:8080/v1/plan -d '{"n":150,"seed":1,"r":10,"scheduler":"gopt"}'
 //	{"digest":"…","cache_hit":false,"result":{"pa":64,…},…}
 //
+// Every endpoint accepts an optional "channels" parameter selecting the
+// K-orthogonal-channel system (K > 1); plans then assign each advance a
+// (slot, channel) pair and cache entries are keyed per K:
+//
+//	curl -s localhost:8080/v1/plan -d '{"n":300,"seed":1,"r":50,"channels":4}'
+//
 // Reliability validation of the same plan at 5% frame loss:
 //
 //	curl -s localhost:8080/v1/validate \
@@ -164,6 +170,7 @@ type baseSelection struct {
 	Seed     uint64          `json:"seed,omitempty"`
 	R        int             `json:"r,omitempty"`
 	WakeSeed uint64          `json:"wake_seed,omitempty"`
+	Channels int             `json:"channels,omitempty"`
 	Instance json.RawMessage `json:"instance,omitempty"`
 }
 
@@ -179,7 +186,7 @@ func (b baseSelection) resolve() (*mlbs.Instance, *mlbs.PlanGenerator, error) {
 		}
 		return &in, nil, nil
 	}
-	return nil, &mlbs.PlanGenerator{N: b.N, Seed: b.Seed, DutyRate: b.R, WakeSeed: b.WakeSeed}, nil
+	return nil, &mlbs.PlanGenerator{N: b.N, Seed: b.Seed, DutyRate: b.R, WakeSeed: b.WakeSeed, Channels: b.Channels}, nil
 }
 
 // planHTTPRequest is the wire form of a plan request.
@@ -275,14 +282,20 @@ func generatorInstance(b baseSelection) (mlbs.Instance, error) {
 	if err != nil {
 		return mlbs.Instance{}, err
 	}
+	var in mlbs.Instance
 	if b.R > 1 {
 		ws := b.WakeSeed
 		if ws == 0 {
 			ws = b.Seed ^ 0xA5
 		}
-		return mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(b.N, b.R, ws), 0), nil
+		in = mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(b.N, b.R, ws), 0)
+	} else {
+		in = mlbs.SyncInstance(dep.G, dep.Source)
 	}
-	return mlbs.SyncInstance(dep.G, dep.Source), nil
+	if b.Channels > 1 {
+		in.Channels = b.Channels
+	}
+	return in, nil
 }
 
 // validateHTTPRequest is the wire form of a reliability validation: the

@@ -263,7 +263,7 @@ func Apply(base core.Instance, d Delta) (core.Instance, Mapping, error) {
 			pre = append(pre, v)
 		}
 	}
-	out := core.Instance{G: g, Source: source, Start: base.Start, Wake: wake, PreCovered: pre}
+	out := core.Instance{G: g, Source: source, Start: base.Start, Wake: wake, PreCovered: pre, Channels: base.Channels}
 	if _, connected := g.Eccentricity(source); !connected {
 		return core.Instance{}, Mapping{}, ErrDisconnected
 	}

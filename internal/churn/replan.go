@@ -70,9 +70,10 @@ type ReplanResult struct {
 // calls; like a core.Engine it is NOT safe for concurrent use — the
 // serving layer gives each worker goroutine its own.
 type Replanner struct {
-	sched       core.Scheduler
-	minKeptFrac float64
-	w, got      bitset.Set
+	sched           core.Scheduler
+	minKeptFrac     float64
+	w, got          bitset.Set
+	slotCov, slotTx bitset.Set // multi-channel slot scratch (see classify)
 }
 
 // NewReplanner builds a replanner; see ReplanConfig for defaults.
@@ -182,12 +183,18 @@ func (rp *Replanner) Replan(base core.Instance, basePlan *core.Schedule, d Delta
 
 // classify walks the base schedule against the mutated instance, returning
 // the longest valid prefix (with coverage re-derived per advance) and
-// leaving the prefix's coverage in rp.w.
+// leaving the prefix's coverage in rp.w. On a multi-channel base schedule
+// the walk proceeds slot by slot: a slot's advances (one per channel)
+// survive or fall together, so the kept prefix is always a whole number of
+// slots and its per-channel coverage attribution stays canonical.
 func (rp *Replanner) classify(mutated core.Instance, basePlan *core.Schedule, m Mapping) []core.Advance {
 	n := mutated.G.N()
+	k := mutated.K()
 	if rp.w.Capacity() < n {
 		rp.w = bitset.New(n)
 		rp.got = bitset.New(n)
+		rp.slotCov = bitset.New(n)
+		rp.slotTx = bitset.New(n)
 	} else {
 		rp.w.Clear()
 		rp.got.Clear()
@@ -199,51 +206,82 @@ func (rp *Replanner) classify(mutated core.Instance, basePlan *core.Schedule, m 
 
 	var kept []core.Advance
 	prev := mutated.Start - 1
-	for _, adv := range basePlan.Advances {
-		if adv.T <= prev {
+	advs := basePlan.Advances
+	for gi := 0; gi < len(advs) && rp.w.Len() < n; {
+		t := advs[gi].T
+		if t <= prev {
 			break
 		}
-		senders := make([]graph.NodeID, 0, len(adv.Senders))
-		ok := true
-		for _, u := range adv.Senders {
-			if u < 0 || u >= len(m.FromBase) {
-				ok = false
-				break
-			}
-			v := m.FromBase[u]
-			if v < 0 {
-				ok = false // sender failed
-				break
-			}
-			senders = append(senders, v)
+		end := gi
+		for end < len(advs) && advs[end].T == t {
+			end++
 		}
+		group := advs[gi:end]
+		if len(group) > k {
+			break
+		}
+		slotAdvances, ok := rp.classifySlot(mutated, m, t, k, group)
 		if !ok {
 			break
 		}
+		kept = append(kept, slotAdvances...)
+		rp.w.UnionWith(rp.slotCov)
+		prev = t
+		gi = end
+	}
+	return kept
+}
+
+// classifySlot remaps and re-validates one slot's advance group against
+// the mutated instance and rp.w (the coverage before the slot). On
+// success it returns the rebuilt advances and leaves their joint coverage
+// in rp.slotCov; on any model violation it reports ok=false and the
+// prefix ends before this slot.
+func (rp *Replanner) classifySlot(mutated core.Instance, m Mapping, t, k int, group []core.Advance) ([]core.Advance, bool) {
+	rp.slotCov.Clear()
+	rp.slotTx.Clear()
+	out := make([]core.Advance, 0, len(group))
+	prevCh := -1
+	for _, adv := range group {
+		if adv.Channel <= prevCh || adv.Channel >= k {
+			return nil, false
+		}
+		prevCh = adv.Channel
+		senders := make([]graph.NodeID, 0, len(adv.Senders))
+		for _, u := range adv.Senders {
+			if u < 0 || u >= len(m.FromBase) {
+				return nil, false
+			}
+			v := m.FromBase[u]
+			if v < 0 {
+				return nil, false // sender failed
+			}
+			senders = append(senders, v)
+		}
 		slices.Sort(senders)
 		for _, v := range senders {
-			if !rp.w.Has(v) || !mutated.Wake.Awake(v, adv.T) || !mutated.G.Nbr(v).AnyDifference(rp.w) {
-				ok = false
-				break
+			if !rp.w.Has(v) || !mutated.Wake.Awake(v, t) || !mutated.G.Nbr(v).AnyDifference(rp.w) || rp.slotTx.Has(v) {
+				return nil, false
 			}
+			rp.slotTx.Add(v)
 		}
-		if !ok || !color.ConflictFree(mutated.G, rp.w, senders) {
-			break
+		if !color.ConflictFree(mutated.G, rp.w, senders) {
+			return nil, false
 		}
 		rp.got.Clear()
 		for _, v := range senders {
 			rp.got.UnionWith(mutated.G.Nbr(v))
 		}
 		rp.got.DifferenceWith(rp.w)
-		covered := rp.got.AppendMembers(make([]graph.NodeID, 0, rp.got.Len()))
-		kept = append(kept, core.Advance{T: adv.T, Senders: senders, Covered: covered})
-		rp.w.UnionWith(rp.got)
-		prev = adv.T
-		if rp.w.Len() == n {
-			break
+		rp.got.DifferenceWith(rp.slotCov)
+		if rp.got.Empty() {
+			return nil, false // the advance covers nothing new on the mutated graph
 		}
+		covered := rp.got.AppendMembers(make([]graph.NodeID, 0, rp.got.Len()))
+		out = append(out, core.Advance{T: t, Channel: adv.Channel, Senders: senders, Covered: covered})
+		rp.slotCov.UnionWith(rp.got)
 	}
-	return kept
+	return out, true
 }
 
 // preCoveredList snapshots rp.w minus the source as a fresh slice — the

@@ -1,0 +1,159 @@
+package color
+
+import (
+	"mlbs/internal/bitset"
+	"mlbs/internal/graph"
+)
+
+// Multi-channel extension of the color scheme: with K orthogonal frequency
+// channels, one slot can carry up to K color classes at once — classes
+// that mutually conflict on a shared channel are harmless on different
+// channels, because a collision needs the same slot AND the same channel.
+// A Bundle is one such per-slot selection: an ordered list of classes,
+// class i firing on channel i. The only physical constraint across
+// channels is the radio itself — a node transmits on at most one channel
+// per slot — so bundle members must have pairwise-disjoint senders.
+
+// Bundle is an ordered set of pairwise sender-disjoint classes assigned to
+// channels 0..len(b)-1 of one slot.
+type Bundle []Class
+
+// DefaultMaxBundles caps per-state bundle enumeration in the channelized
+// search when the caller passes limit ≤ 0.
+const DefaultMaxBundles = 64
+
+// SendersDisjoint reports whether no node appears in two classes of the
+// bundle — the one-radio-per-node constraint.
+func (b Bundle) SendersDisjoint() bool {
+	seen := make(map[graph.NodeID]struct{})
+	for _, cls := range b {
+		for _, u := range cls {
+			if _, dup := seen[u]; dup {
+				return false
+			}
+			seen[u] = struct{}{}
+		}
+	}
+	return true
+}
+
+// CoveredInto computes the union of uncovered receivers over every class
+// of the bundle into dst (cleared first) and returns it — the joint
+// advance a channelized slot produces.
+func (b Bundle) CoveredInto(g *graph.Graph, w bitset.Set, dst bitset.Set) bitset.Set {
+	dst.Clear()
+	for _, cls := range b {
+		for _, u := range cls {
+			dst.UnionWith(g.Nbr(u))
+		}
+	}
+	dst.DifferenceWith(w)
+	return dst
+}
+
+// Bundles enumerates the size-m subsets of classes with pairwise-disjoint
+// senders, where m = min(k, len(classes)) — every way to load one slot's K
+// channels. Monotone coverage makes maximal bundles dominate smaller ones
+// (firing an extra class on a free channel never hurts), so only the
+// largest feasible size is enumerated; when sender overlap (possible with
+// maximal-set classes, never with a greedy partition) leaves no size-m
+// subset disjoint, the size steps down until some subset fits. Subsets
+// emit in lexicographic index order — with classes in greedy order, the
+// first bundle is the top-m classes by coverage. limit ≤ 0 selects
+// DefaultMaxBundles; hitting the cap sets truncated.
+//
+// The returned bundles alias the Scratch's buffers (and the classes given)
+// and stay valid until its next use.
+func (sc *Scratch) Bundles(classes []Class, k, limit int) (bundles []Bundle, truncated bool) {
+	if limit <= 0 {
+		limit = DefaultMaxBundles
+	}
+	m := k
+	if len(classes) < m {
+		m = len(classes)
+	}
+	if m <= 0 {
+		return nil, false
+	}
+	sc.bundleClasses = sc.bundleClasses[:0]
+	sc.bundles = sc.bundles[:0]
+	// Pre-size the recursion index once: depth never exceeds m, so every
+	// append inside enumBundles stays in place and a warm Scratch
+	// enumerates without allocating (the search calls this per dfs state).
+	if cap(sc.bundleIdx) < m {
+		sc.bundleIdx = make([]int, 0, m)
+	}
+	idx := sc.bundleIdx[:0]
+	for size := m; size >= 1 && len(sc.bundles) == 0; size-- {
+		truncated = sc.enumBundles(classes, idx, 0, size, limit)
+	}
+	return sc.bundles, truncated
+}
+
+// enumBundles extends the partial index selection idx (next index ≥ from)
+// to the target size, emitting disjoint combinations into sc.bundles. It
+// returns true when the limit cut the enumeration short.
+func (sc *Scratch) enumBundles(classes []Class, idx []int, from, size, limit int) bool {
+	if len(idx) == size {
+		start := len(sc.bundleClasses)
+		for _, i := range idx {
+			sc.bundleClasses = append(sc.bundleClasses, classes[i])
+		}
+		b := Bundle(sc.bundleClasses[start:len(sc.bundleClasses):len(sc.bundleClasses)])
+		sc.bundles = append(sc.bundles, b)
+		return len(sc.bundles) >= limit
+	}
+	for i := from; i <= len(classes)-(size-len(idx)); i++ {
+		if !sc.disjointWith(classes, idx, i) {
+			continue
+		}
+		if sc.enumBundles(classes, append(idx, i), i+1, size, limit) {
+			return true
+		}
+	}
+	return false
+}
+
+// disjointWith reports whether classes[i] shares no sender with the
+// classes already selected in idx.
+func (sc *Scratch) disjointWith(classes []Class, idx []int, i int) bool {
+	for _, j := range idx {
+		if intersects(classes[j], classes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports whether two ascending-sorted classes share a member.
+func intersects(a, b Class) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// CompareBundles orders bundles lexicographically class by class — the
+// deterministic tie-break of the channelized search's move ordering.
+func CompareBundles(a, b Bundle) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := compareClasses(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

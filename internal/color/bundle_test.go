@@ -1,0 +1,159 @@
+package color
+
+import (
+	"reflect"
+	"testing"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/graph"
+)
+
+func classesOf(ids ...[]graph.NodeID) []Class {
+	out := make([]Class, len(ids))
+	for i, c := range ids {
+		out[i] = Class(c)
+	}
+	return out
+}
+
+func TestBundlesDisjointSubsets(t *testing.T) {
+	var sc Scratch
+	classes := classesOf([]int{0}, []int{1}, []int{2}, []int{3})
+	bundles, trunc := sc.Bundles(classes, 2, 0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	want := [][][]int{
+		{{0}, {1}}, {{0}, {2}}, {{0}, {3}},
+		{{1}, {2}}, {{1}, {3}}, {{2}, {3}},
+	}
+	if len(bundles) != len(want) {
+		t.Fatalf("got %d bundles, want %d: %v", len(bundles), len(want), bundles)
+	}
+	for i, b := range bundles {
+		if len(b) != 2 {
+			t.Fatalf("bundle %d has %d classes", i, len(b))
+		}
+		for j, cls := range b {
+			if !reflect.DeepEqual([]int(cls), want[i][j]) {
+				t.Fatalf("bundle %d = %v, want %v", i, b, want[i])
+			}
+		}
+		if !b.SendersDisjoint() {
+			t.Fatalf("bundle %d not sender-disjoint: %v", i, b)
+		}
+	}
+}
+
+func TestBundlesSkipOverlapping(t *testing.T) {
+	var sc Scratch
+	classes := classesOf([]int{0, 1}, []int{1, 2}, []int{3})
+	bundles, trunc := sc.Bundles(classes, 2, 0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	// {0,1}+{1,2} share sender 1 and must be skipped.
+	want := [][][]int{{{0, 1}, {3}}, {{1, 2}, {3}}}
+	if len(bundles) != len(want) {
+		t.Fatalf("got %v, want %v", bundles, want)
+	}
+	for i, b := range bundles {
+		for j, cls := range b {
+			if !reflect.DeepEqual([]int(cls), want[i][j]) {
+				t.Fatalf("bundle %d = %v, want %v", i, b, want[i])
+			}
+		}
+	}
+}
+
+func TestBundlesFallBackToSmallerSize(t *testing.T) {
+	var sc Scratch
+	// Every pair overlaps: no size-2 bundle exists, so size 1 is emitted.
+	classes := classesOf([]int{0, 1}, []int{1, 2}, []int{0, 2})
+	bundles, trunc := sc.Bundles(classes, 2, 0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if len(bundles) != 3 {
+		t.Fatalf("got %d bundles, want 3 singletons: %v", len(bundles), bundles)
+	}
+	for i, b := range bundles {
+		if len(b) != 1 || !reflect.DeepEqual([]int(b[0]), []int(classes[i])) {
+			t.Fatalf("bundle %d = %v, want singleton %v", i, b, classes[i])
+		}
+	}
+}
+
+func TestBundlesLimitTruncates(t *testing.T) {
+	var sc Scratch
+	classes := classesOf([]int{0}, []int{1}, []int{2}, []int{3}, []int{4})
+	bundles, trunc := sc.Bundles(classes, 2, 3)
+	if !trunc {
+		t.Fatal("expected truncation at limit 3")
+	}
+	if len(bundles) != 3 {
+		t.Fatalf("got %d bundles, want exactly the limit 3", len(bundles))
+	}
+	// The prefix must match the unlimited enumeration.
+	var sc2 Scratch
+	full, _ := sc2.Bundles(classes, 2, 0)
+	for i := range bundles {
+		if CompareBundles(bundles[i], full[i]) != 0 {
+			t.Fatalf("truncated prefix diverges at %d: %v vs %v", i, bundles[i], full[i])
+		}
+	}
+}
+
+func TestBundlesKBeyondClassCount(t *testing.T) {
+	var sc Scratch
+	classes := classesOf([]int{0}, []int{2})
+	bundles, _ := sc.Bundles(classes, 8, 0)
+	if len(bundles) != 1 || len(bundles[0]) != 2 {
+		t.Fatalf("want the single full bundle, got %v", bundles)
+	}
+}
+
+func TestBundleCoveredInto(t *testing.T) {
+	g := graph.NewBuilder(6, nil).
+		AddEdge(0, 1).AddEdge(0, 2).
+		AddEdge(1, 3).AddEdge(2, 4).AddEdge(1, 5).AddEdge(2, 5).
+		Build()
+	w := bitset.FromMembers(6, 0, 1, 2)
+	b := Bundle{Class{1}, Class{2}}
+	dst := bitset.FromMembers(6)
+	got := b.CoveredInto(g, w, dst).Members()
+	if !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Fatalf("bundle coverage = %v, want [3 4 5]", got)
+	}
+	var sc Scratch
+	if n := sc.BundleCoveredLen(g, w, b); n != 3 {
+		t.Fatalf("BundleCoveredLen = %d, want 3", n)
+	}
+}
+
+// TestBundlesWarmAllocs pins the enumeration's reuse discipline: after
+// warm-up, repeated Bundles calls on a Scratch allocate nothing — the
+// property the channelized search's per-state move generation relies on.
+func TestBundlesWarmAllocs(t *testing.T) {
+	var sc Scratch
+	classes := classesOf([]int{0}, []int{1}, []int{2}, []int{3}, []int{4}, []int{5})
+	sc.Bundles(classes, 3, 0) // warm-up
+	allocs := testing.AllocsPerRun(10, func() {
+		sc.Bundles(classes, 3, 0)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Bundles allocated %.0f objects per call; want 0", allocs)
+	}
+}
+
+func TestCompareBundles(t *testing.T) {
+	a := Bundle{Class{0}, Class{1}}
+	b := Bundle{Class{0}, Class{2}}
+	if CompareBundles(a, b) >= 0 || CompareBundles(b, a) <= 0 || CompareBundles(a, a) != 0 {
+		t.Fatal("CompareBundles ordering broken")
+	}
+	short := Bundle{Class{0}}
+	if CompareBundles(short, a) >= 0 {
+		t.Fatal("shorter bundle with equal prefix must order first")
+	}
+}

@@ -36,7 +36,22 @@ type Scratch struct {
 
 	covTmp bitset.Set
 
+	// Bundle enumeration state (multi-channel slots; see bundle.go).
+	bundles       []Bundle
+	bundleClasses []Class // backing storage the returned bundles slice into
+	bundleIdx     []int
+
 	mk mkState
+}
+
+// BundleCoveredLen returns the joint advance size |A| of a bundle —
+// Bundle.CoveredInto(...).Len() without materializing a fresh set.
+func (sc *Scratch) BundleCoveredLen(g *graph.Graph, w bitset.Set, b Bundle) int {
+	if sc.covTmp.Capacity() < w.Capacity() {
+		sc.covTmp = bitset.New(w.Capacity())
+	}
+	tmp := sc.covTmp[:w.Words()]
+	return b.CoveredInto(g, w, tmp).Len()
 }
 
 func (sc *Scratch) pool() *bitset.Pool {

@@ -27,6 +27,12 @@ import (
 	"mlbs/internal/graph"
 )
 
+// MaxChannels bounds Instance.Channels: more orthogonal channels than any
+// real radio stack offers would only blow up the per-slot bundle
+// enumeration without changing a schedule (λ classes saturate far below
+// this).
+const MaxChannels = 64
+
 // Instance is one broadcast problem: a topology, the source, the slot at
 // which the source initiates (t_s), and the wake schedule.
 type Instance struct {
@@ -38,6 +44,21 @@ type Instance struct {
 	// the source — multi-source dissemination and the monotonicity
 	// experiments use it; leave nil for the paper's single-source setting.
 	PreCovered []graph.NodeID
+	// Channels is the number of orthogonal frequency channels available to
+	// the deployment. 0 and 1 both mean the paper's single shared channel.
+	// With K > 1 a slot may carry up to K concurrent relay classes, one per
+	// channel: two senders conflict only when they collide in the same slot
+	// AND on the same channel (the multi-channel model of Nguyen et al.,
+	// arXiv:1810.12130, transplanted to broadcast).
+	Channels int
+}
+
+// K returns the effective channel count: max(1, Channels).
+func (in Instance) K() int {
+	if in.Channels > 1 {
+		return in.Channels
+	}
+	return 1
 }
 
 // initialCoverage returns {Source} ∪ PreCovered as a bitset.
@@ -63,6 +84,10 @@ func (in Instance) Validate() error {
 		return fmt.Errorf("core: wake schedule covers %d nodes, graph has %d", in.Wake.N(), in.G.N())
 	case in.Start < 0:
 		return errors.New("core: negative start slot")
+	case in.Channels < 0:
+		return fmt.Errorf("core: negative channel count %d", in.Channels)
+	case in.Channels > MaxChannels:
+		return fmt.Errorf("core: %d channels exceeds the limit %d", in.Channels, MaxChannels)
 	}
 	for _, u := range in.PreCovered {
 		if u < 0 || u >= in.G.N() {
@@ -88,9 +113,14 @@ func Async(g *graph.Graph, source graph.NodeID, wake dutycycle.Schedule, from in
 }
 
 // Advance is one broadcasting advance: the selected color's relays firing
-// concurrently at slot T and the nodes they newly cover.
+// concurrently at slot T on frequency channel Channel (always 0 in the
+// single-channel system) and the nodes they newly cover. In a
+// multi-channel schedule several advances may share a slot, one per
+// channel in ascending channel order; a node reachable by more than one
+// of them is attributed to the lowest channel that covers it.
 type Advance struct {
 	T       int
+	Channel int `json:"Channel,omitempty"`
 	Senders []graph.NodeID
 	Covered []graph.NodeID
 }
@@ -120,52 +150,90 @@ func (s *Schedule) PA() int { return s.End() }
 func (s *Schedule) Latency() int { return s.End() - s.Start + 1 }
 
 // Validate replays the schedule against the instance and checks every
-// model constraint: advances strictly ordered in time and not before t_s,
-// senders covered, awake, and in possession of uncovered neighbors,
-// concurrent senders pairwise conflict-free (Eq. 1 constraint 3), the
-// recorded coverage exactly N(senders) ∩ W̄, and full coverage at the end.
+// model constraint: advances strictly ordered by (slot, channel) and not
+// before t_s, at most K advances (channels 0..K−1, strictly ascending) per
+// slot, senders covered, awake, in possession of uncovered neighbors, and
+// transmitting on at most one channel per slot (one radio), same-channel
+// senders pairwise conflict-free (Eq. 1 constraint 3, made channel-aware),
+// the recorded coverage exactly N(senders) ∩ W̄ minus what lower channels
+// of the same slot already claimed, and full coverage at the end.
 func (s *Schedule) Validate(in Instance) error {
 	if err := in.Validate(); err != nil {
 		return err
 	}
 	n := in.G.N()
+	k := in.K()
 	w := in.initialCoverage()
+	got := bitset.New(n)
+	want := bitset.New(n)
+	slotCov := bitset.New(n) // coverage claimed by lower channels of the current slot
+	slotTx := bitset.New(n)  // nodes already transmitting in the current slot
 	prev := s.Start - 1
-	for ai, adv := range s.Advances {
-		if adv.T <= prev {
-			return fmt.Errorf("advance %d at t=%d not after t=%d", ai, adv.T, prev)
+	for ai := 0; ai < len(s.Advances); {
+		t := s.Advances[ai].T
+		if t <= prev {
+			return fmt.Errorf("advance %d at t=%d not after t=%d", ai, t, prev)
 		}
-		prev = adv.T
-		if len(adv.Senders) == 0 {
-			return fmt.Errorf("advance %d has no senders", ai)
+		prev = t
+		end := ai
+		for end < len(s.Advances) && s.Advances[end].T == t {
+			end++
 		}
-		for _, u := range adv.Senders {
-			if !w.Has(u) {
-				return fmt.Errorf("advance %d: sender %d has not received the message", ai, u)
+		if end-ai > k {
+			return fmt.Errorf("slot %d carries %d advances, instance has %d channels", t, end-ai, k)
+		}
+		slotCov.Clear()
+		slotTx.Clear()
+		prevCh := -1
+		for ; ai < end; ai++ {
+			adv := s.Advances[ai]
+			if adv.Channel <= prevCh {
+				return fmt.Errorf("advance %d: channel %d not above channel %d in slot %d", ai, adv.Channel, prevCh, t)
 			}
-			if !in.Wake.Awake(u, adv.T) {
-				return fmt.Errorf("advance %d: sender %d asleep at slot %d", ai, u, adv.T)
+			if adv.Channel >= k {
+				return fmt.Errorf("advance %d: channel %d outside [0,%d)", ai, adv.Channel, k)
 			}
-			if !in.G.Nbr(u).AnyDifference(w) {
-				return fmt.Errorf("advance %d: sender %d has no uncovered neighbor", ai, u)
+			prevCh = adv.Channel
+			if len(adv.Senders) == 0 {
+				return fmt.Errorf("advance %d has no senders", ai)
 			}
+			for _, u := range adv.Senders {
+				if !w.Has(u) {
+					return fmt.Errorf("advance %d: sender %d has not received the message", ai, u)
+				}
+				if !in.Wake.Awake(u, t) {
+					return fmt.Errorf("advance %d: sender %d asleep at slot %d", ai, u, t)
+				}
+				if !in.G.Nbr(u).AnyDifference(w) {
+					return fmt.Errorf("advance %d: sender %d has no uncovered neighbor", ai, u)
+				}
+				if slotTx.Has(u) {
+					return fmt.Errorf("advance %d: sender %d transmits on two channels in slot %d", ai, u, t)
+				}
+				slotTx.Add(u)
+			}
+			if !color.ConflictFree(in.G, w, adv.Senders) {
+				return fmt.Errorf("advance %d: senders conflict at an uncovered node", ai)
+			}
+			got.Clear()
+			for _, u := range adv.Senders {
+				got.UnionWith(in.G.Nbr(u))
+			}
+			got.DifferenceWith(w)
+			got.DifferenceWith(slotCov)
+			want.Clear()
+			for _, v := range adv.Covered {
+				want.Add(v)
+			}
+			if !got.Equal(want) {
+				return fmt.Errorf("advance %d: recorded coverage %v, relays reach %v", ai, want, got)
+			}
+			if got.Empty() {
+				return fmt.Errorf("advance %d: covers no new node (lower channels of slot %d claim its whole reach)", ai, t)
+			}
+			slotCov.UnionWith(got)
 		}
-		if !color.ConflictFree(in.G, w, adv.Senders) {
-			return fmt.Errorf("advance %d: senders conflict at an uncovered node", ai)
-		}
-		got := bitset.New(n)
-		for _, u := range adv.Senders {
-			got.UnionWith(in.G.Nbr(u))
-		}
-		got.DifferenceWith(w)
-		want := bitset.New(n)
-		for _, v := range adv.Covered {
-			want.Add(v)
-		}
-		if !got.Equal(want) {
-			return fmt.Errorf("advance %d: recorded coverage %v, relays reach %v", ai, want, got)
-		}
-		w.UnionWith(got)
+		w.UnionWith(slotCov)
 	}
 	if w.Len() != n {
 		return fmt.Errorf("broadcast incomplete: %d of %d nodes covered", w.Len(), n)
@@ -231,21 +299,29 @@ func nextUsefulSlot(g *graph.Graph, wake dutycycle.Schedule, w bitset.Set, t int
 	return best, sc.FilterAwake(all, wake, best), true
 }
 
-// move is one coverage-annotated color set the search can fire: the class
-// and the size of the advance it would produce. The advance's member set
-// is deliberately absent — it is materialized into the frame's single
-// active-coverage buffer only when the search actually descends into the
-// move, so pruned branches never pay for it.
+// move is one coverage-annotated selection the search can fire in a slot:
+// a single color class on the shared channel (bundle nil), or — on a
+// multi-channel instance — a bundle of up to K sender-disjoint classes,
+// one per channel. covLen is the size of the (joint) advance it would
+// produce; the advance's member set is deliberately absent — it is
+// materialized into the frame's single active-coverage buffer only when
+// the search actually descends into the move, so pruned branches never
+// pay for it.
 type move struct {
 	senders color.Class
+	bundle  color.Bundle // nil in the single-channel system
 	covLen  int
 }
 
 // compareMoves orders moves by descending coverage, ties by ascending
-// lexicographic senders — the deterministic branch order of the search.
+// lexicographic senders (class by class for bundles) — the deterministic
+// branch order of the search.
 func compareMoves(a, b move) int {
 	if a.covLen != b.covLen {
 		return b.covLen - a.covLen
+	}
+	if a.bundle != nil || b.bundle != nil {
+		return color.CompareBundles(a.bundle, b.bundle)
 	}
 	switch {
 	case lessIDs(a.senders, b.senders):

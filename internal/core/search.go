@@ -35,6 +35,10 @@ type SearchConfig struct {
 	// MaxSets caps maximal-set enumeration per state (MaximalMoves only);
 	// hitting the cap clears Exact. 0 selects DefaultMaxSets.
 	MaxSets int
+	// MaxBundles caps per-state bundle enumeration on multi-channel
+	// instances (Instance.Channels > 1); hitting the cap clears Exact.
+	// 0 selects color.DefaultMaxBundles.
+	MaxBundles int
 	// Incumbent seeds the upper bound; nil uses the E-model policy, which
 	// is both the paper's practical scheme and a strong initial incumbent.
 	Incumbent Scheduler
@@ -73,12 +77,16 @@ func NewSearch(name string, cfg SearchConfig) *Search { return &Search{name: nam
 func (s *Search) Name() string { return s.name }
 
 // pendingAdvance is one step of the line the dfs is currently walking.
-// senders and covered alias the owning frame's scratch buffers — valid for
-// exactly as long as the entry is on the stack — and are only materialized
-// into an Advance when the line is committed as the new incumbent.
+// senders, bundle and covered alias the owning frame's scratch buffers —
+// valid for exactly as long as the entry is on the stack — and are only
+// materialized into Advances when the line is committed as the new
+// incumbent. bundle is nil in the single-channel system; on a
+// multi-channel instance it holds the slot's full per-channel class list
+// and covered holds their joint coverage.
 type pendingAdvance struct {
 	t       int
 	senders color.Class
+	bundle  color.Bundle
 	covered bitset.Set
 }
 
@@ -98,6 +106,7 @@ type engine struct {
 	in      Instance
 	cfg     SearchConfig
 	n       int
+	k       int // effective channel count, in.K()
 	period  int
 	memo    memoTable
 	stats   SearchStats
@@ -110,19 +119,36 @@ type engine struct {
 	frames  []*frame
 	distBuf []int
 	quBuf   []graph.NodeID
+	// Channelized-commit scratch: the initial coverage and the two working
+	// sets commitBest uses to re-derive per-channel coverage attribution.
+	w0        bitset.Set
+	commitW   bitset.Set
+	commitTmp bitset.Set
 }
 
 // memoSeed keys the digest; any constant works, it only decorrelates the
 // hash from the raw set contents.
 const memoSeed = 0x6d6c62732d6d656d
 
+// memoSeedFor folds the channel count into the memo seed so channelized
+// states can never alias single-channel ones: the memoized value of a
+// coverage state depends on how many classes a slot may carry. K = 1
+// returns memoSeed exactly, keeping single-channel hashing bit-identical.
+func memoSeedFor(k int) uint64 {
+	if k <= 1 {
+		return memoSeed
+	}
+	return memoSeed ^ (0x9e3779b97f4a7c15 * uint64(k))
+}
+
 func newEngine(in Instance, cfg SearchConfig) *engine {
 	return &engine{
 		in:     in,
 		cfg:    cfg,
 		n:      in.G.N(),
+		k:      in.K(),
 		period: in.Wake.Period(),
-		memo:   newMemoTable(memoSeed),
+		memo:   newMemoTable(memoSeedFor(in.K())),
 		budget: cfg.Budget,
 		pool:   bitset.NewPool(),
 	}
@@ -142,8 +168,10 @@ func (e *engine) reset(in Instance, cfg SearchConfig) {
 	e.in = in
 	e.cfg = cfg
 	e.n = n
+	e.k = in.K()
 	e.period = in.Wake.Period()
 	e.memo.reset()
+	e.memo.seed = memoSeedFor(e.k)
 	e.stats = SearchStats{}
 	e.budget = cfg.Budget
 	e.trunc = false
@@ -181,6 +209,9 @@ func (s *Search) run(in Instance, cfg SearchConfig, reuse *engine) (*Result, *en
 	if cfg.MaxSets <= 0 {
 		cfg.MaxSets = DefaultMaxSets
 	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = color.DefaultMaxBundles
+	}
 	incumbent := cfg.Incumbent
 	if incumbent == nil {
 		switch {
@@ -212,6 +243,7 @@ func (s *Search) run(in Instance, cfg SearchConfig, reuse *engine) (*Result, *en
 	e.best = append([]Advance(nil), seed.Schedule.Advances...)
 
 	w0 := in.initialCoverage()
+	e.w0 = w0
 	var (
 		sched *Schedule
 		exact bool
@@ -281,8 +313,10 @@ func (e *engine) maxHop(w bitset.Set) int {
 
 // moves generates the color sets available at slot among the awake
 // candidates into fr, largest coverage first (ties: ascending lexicographic
-// senders). The returned slice and everything it references belong to fr
-// and are clobbered by the frame's next use.
+// senders). On a multi-channel instance every move is a bundle of up to K
+// sender-disjoint classes — one per channel — instead of a single class.
+// The returned slice and everything it references belong to fr and are
+// clobbered by the frame's next use.
 func (e *engine) moves(fr *frame, w bitset.Set, cands []graph.NodeID, slot int) []move {
 	var classes []color.Class
 	switch e.cfg.Moves {
@@ -298,6 +332,21 @@ func (e *engine) moves(fr *frame, w bitset.Set, cands []graph.NodeID, slot int) 
 		panic("core: unknown move generator")
 	}
 	fr.moves = fr.moves[:0]
+	if e.k > 1 && len(classes) > 1 {
+		bundles, capped := fr.scratch.Bundles(classes, e.k, e.cfg.MaxBundles)
+		if capped {
+			e.stats.MovesCapped = true
+		}
+		for _, b := range bundles {
+			fr.moves = append(fr.moves, move{
+				senders: b[0],
+				bundle:  b,
+				covLen:  fr.scratch.BundleCoveredLen(e.in.G, w, b),
+			})
+		}
+		slices.SortStableFunc(fr.moves, compareMoves)
+		return fr.moves
+	}
 	for _, c := range classes {
 		fr.moves = append(fr.moves, move{senders: c, covLen: fr.scratch.CoveredLen(e.in.G, w, c)})
 	}
@@ -308,16 +357,65 @@ func (e *engine) moves(fr *frame, w bitset.Set, cands []graph.NodeID, slot int) 
 // commitBest materializes the walked line on the stack into e.best. Only
 // here do pending advances turn into real Advance values (copied senders,
 // member-list coverage): improvements are rare, so the whole search defers
-// that work until a line actually wins.
+// that work until a line actually wins. On a multi-channel instance each
+// pending slot expands into one Advance per channel, with coverage
+// attributed to the lowest channel reaching each node — the canonical
+// form Schedule.Validate checks.
 func (e *engine) commitBest() {
 	e.best = e.best[:0]
-	for _, p := range e.stack {
-		e.best = append(e.best, Advance{
-			T:       p.t,
-			Senders: append([]graph.NodeID(nil), p.senders...),
-			Covered: p.covered.Members(),
-		})
+	if e.k <= 1 {
+		for _, p := range e.stack {
+			e.best = append(e.best, Advance{
+				T:       p.t,
+				Senders: append([]graph.NodeID(nil), p.senders...),
+				Covered: p.covered.Members(),
+			})
+		}
+		return
 	}
+	if e.commitW.Capacity() < e.n {
+		e.commitW = bitset.New(e.n)
+		e.commitTmp = bitset.New(e.n)
+	}
+	w := e.commitW[:e.w0.Words()]
+	tmp := e.commitTmp[:e.w0.Words()]
+	w.CopyFrom(e.w0)
+	for _, p := range e.stack {
+		b := p.bundle
+		if b == nil {
+			b = color.Bundle{p.senders}
+		}
+		e.best = appendBundleAdvances(e.best, e.in.G, w, tmp, p.t, b)
+	}
+}
+
+// appendBundleAdvances materializes one channelized slot: the bundle's
+// classes fire at slot t on channels 0, 1, …, each node's coverage
+// attributed to the lowest channel that reaches it; classes whose whole
+// reach was claimed by a lower channel are dropped (and their channel
+// reused). w — the coverage before the slot — accumulates the slot's
+// coverage; tmp is scratch.
+func appendBundleAdvances(out []Advance, g *graph.Graph, w, tmp bitset.Set, t int, b color.Bundle) []Advance {
+	ch := 0
+	for _, cls := range b {
+		tmp.Clear()
+		for _, u := range cls {
+			tmp.UnionWith(g.Nbr(u))
+		}
+		tmp.DifferenceWith(w)
+		if tmp.Empty() {
+			continue
+		}
+		out = append(out, Advance{
+			T:       t,
+			Channel: ch,
+			Senders: append([]graph.NodeID(nil), cls...),
+			Covered: tmp.Members(),
+		})
+		w.UnionWith(tmp)
+		ch++
+	}
+	return out
 }
 
 // dfs evaluates M(w, t): the minimal end time (slot of the last advance)
@@ -365,9 +463,13 @@ func (e *engine) dfs(depth int, w bitset.Set, t, limit int) (int, bool) {
 		if m.covLen == 0 {
 			continue // defensive: candidates always cover someone
 		}
-		m.senders.CoveredInto(e.in.G, w, fr.active)
+		if m.bundle != nil {
+			m.bundle.CoveredInto(e.in.G, w, fr.active)
+		} else {
+			m.senders.CoveredInto(e.in.G, w, fr.active)
+		}
 		bitset.UnionInto(fr.w2, w, fr.active)
-		e.stack = append(e.stack, pendingAdvance{t: slot, senders: m.senders, covered: fr.active})
+		e.stack = append(e.stack, pendingAdvance{t: slot, senders: m.senders, bundle: m.bundle, covered: fr.active})
 		if m.covLen+w.Len() == e.n {
 			// Ending at the current slot is unbeatable from this state
 			// (full coverage in one advance forces hop == 1, so lb == slot);
@@ -422,6 +524,7 @@ func (e *engine) reconstruct(w0 bitset.Set, t, want int) ([]Advance, error) {
 	var out []Advance
 	w := w0.Clone()
 	w2 := bitset.New(e.n)
+	tmp := bitset.New(e.n)
 	fr, probe := e.frame(0), e.frame(1)
 	for w.Len() < e.n {
 		slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t, &fr.scratch)
@@ -434,7 +537,11 @@ func (e *engine) reconstruct(w0 bitset.Set, t, want int) ([]Advance, error) {
 			if m.covLen == 0 {
 				continue
 			}
-			m.senders.CoveredInto(e.in.G, w, fr.active)
+			if m.bundle != nil {
+				m.bundle.CoveredInto(e.in.G, w, fr.active)
+			} else {
+				m.senders.CoveredInto(e.in.G, w, fr.active)
+			}
 			bitset.UnionInto(w2, w, fr.active)
 			if w2.Len() == e.n {
 				if slot != want {
@@ -450,12 +557,20 @@ func (e *engine) reconstruct(w0 bitset.Set, t, want int) ([]Advance, error) {
 					continue
 				}
 			}
-			out = append(out, Advance{
-				T:       slot,
-				Senders: append([]graph.NodeID(nil), m.senders...),
-				Covered: fr.active.Members(),
-			})
-			w.UnionWith(fr.active)
+			if e.k > 1 {
+				b := m.bundle
+				if b == nil {
+					b = color.Bundle{m.senders}
+				}
+				out = appendBundleAdvances(out, e.in.G, w, tmp, slot, b)
+			} else {
+				out = append(out, Advance{
+					T:       slot,
+					Senders: append([]graph.NodeID(nil), m.senders...),
+					Covered: fr.active.Members(),
+				})
+				w.UnionWith(fr.active)
+			}
 			t = slot + 1
 			found = true
 			break

@@ -1,0 +1,198 @@
+package graphio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+)
+
+func channelizedSchedule() *core.Schedule {
+	return &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2}},
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{3}},
+		{T: 2, Channel: 1, Senders: []graph.NodeID{2}, Covered: []graph.NodeID{}},
+	}}
+}
+
+func TestScheduleChannelRoundTrip(t *testing.T) {
+	s := channelizedSchedule()
+	data, err := EncodeSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"channel"`)) {
+		t.Fatal("channelized schedule encodes without a channel array")
+	}
+	got, err := DecodeSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip changed the schedule:\n%+v\nvs\n%+v", s, got)
+	}
+}
+
+func TestSingleChannelScheduleWireUnchanged(t *testing.T) {
+	// A schedule with every advance on channel 0 must encode exactly as
+	// the pre-multi-channel format: no "channel" key at all.
+	s := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1}},
+	}}
+	data, err := EncodeSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("channel")) {
+		t.Fatalf("single-channel schedule mentions channels:\n%s", data)
+	}
+}
+
+func TestDecodeScheduleChannelErrors(t *testing.T) {
+	cases := map[string]string{
+		"length mismatch": `{"version":1,"t":[1,2],"senders":[[0],[1]],"covered":[[1],[2]],"channel":[0]}`,
+		"negative":        `{"version":1,"t":[1],"senders":[[0]],"covered":[[1]],"channel":[-1]}`,
+		"huge":            `{"version":1,"t":[1],"senders":[[0]],"covered":[[1]],"channel":[9999]}`,
+	}
+	for name, data := range cases {
+		if _, err := DecodeSchedule([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestResultChannelRoundTrip(t *testing.T) {
+	res := &core.Result{Scheduler: "gopt", Schedule: channelizedSchedule(), PA: 2, Exact: false}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Schedule, got.Schedule) {
+		t.Fatal("result round trip changed the channelized schedule")
+	}
+}
+
+func channelizedInstance(k int) core.Instance {
+	in := figureInstance()
+	in.Channels = k
+	return in
+}
+
+func TestInstanceChannelRoundTrip(t *testing.T) {
+	in := channelizedInstance(4)
+	data, err := EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"channels": 4`)) {
+		t.Fatalf("channels missing from encoding:\n%s", data)
+	}
+	got, err := DecodeInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Channels != 4 {
+		t.Fatalf("decoded channels = %d, want 4", got.Channels)
+	}
+}
+
+func TestSingleChannelInstanceWireAndDigestUnchanged(t *testing.T) {
+	base := figureInstance()
+	enc0, err := EncodeInstance(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(enc0, []byte("channels")) {
+		t.Fatalf("single-channel instance mentions channels:\n%s", enc0)
+	}
+	// Channels = 1 canonicalizes to the same wire bytes and digest.
+	one := channelizedInstance(1)
+	enc1, err := EncodeInstance(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc0, enc1) {
+		t.Fatal("Channels=1 changes the wire encoding")
+	}
+	d0, err := InstanceDigest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := InstanceDigest(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != d1 {
+		t.Fatal("Channels=1 changes the instance digest")
+	}
+	d4, err := InstanceDigest(channelizedInstance(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 == d0 {
+		t.Fatal("Channels=4 does not change the instance digest")
+	}
+}
+
+// TestChannelizedDigestGolden pins the channelized digest extension
+// against drift, exactly like TestInstanceDigestGolden pins the base
+// scheme: if this hash changes, every cached channelized plan key in every
+// deployment is silently invalidated.
+func TestChannelizedDigestGolden(t *testing.T) {
+	in := core.Instance{
+		G:      graph.NewBuilder(3, nil).AddEdge(0, 1).AddEdge(1, 2).Build(),
+		Source: 0,
+		Start:  1,
+		Wake:   dutycycle.AlwaysAwake{Nodes: 3},
+	}
+	d1, err := InstanceDigest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Channels = 4
+	d4, err := InstanceDigest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "a4fd5e03c5988c9b02047cb87dc18648bc6157c0901d9064ebad833f3081201b"
+	if got := d4.String(); got != want {
+		t.Fatalf("channelized digest drifted:\n got %s\nwant %s\n(single-channel: %s)", got, want, d1)
+	}
+}
+
+func TestDecodeInstanceChannelBounds(t *testing.T) {
+	in := channelizedInstance(2)
+	data, err := EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, repl := range map[string]string{
+		"negative":  `"channels": -2`,
+		"too large": `"channels": 65`,
+	} {
+		bad := strings.Replace(string(data), `"channels": 2`, repl, 1)
+		if bad == string(data) {
+			t.Fatalf("%s: replacement failed", name)
+		}
+		if _, err := DecodeInstance([]byte(bad)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// channels: 1 decodes to the canonical 0.
+	one := strings.Replace(string(data), `"channels": 2`, `"channels": 1`, 1)
+	got, err := DecodeInstance([]byte(one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Channels != 0 {
+		t.Fatalf("channels:1 decoded to %d, want canonical 0", got.Channels)
+	}
+}

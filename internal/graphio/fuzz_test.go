@@ -27,6 +27,8 @@ func seedInstances(f *testing.F) [][]byte {
 			Wake: dutycycle.NewPeriodicPhase(3, []int{0, 1, 2, 1})},
 		{G: figureInstance().G, Source: 2, Start: 1,
 			Wake: dutycycle.AlwaysAwake{Nodes: 4}, PreCovered: []int{0, 3}},
+		{G: figureInstance().G, Source: 0, Start: 1,
+			Wake: dutycycle.AlwaysAwake{Nodes: 4}, Channels: 4},
 	}
 	var out [][]byte
 	for _, in := range ins {
@@ -101,6 +103,19 @@ func FuzzDecodeResult(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(data)
+	chRes, err := EncodeResult(&core.Result{
+		Scheduler: "gopt",
+		Schedule: &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+			{T: 1, Senders: []int{0}, Covered: []int{1, 2}},
+			{T: 2, Channel: 0, Senders: []int{1}, Covered: []int{3}},
+			{T: 2, Channel: 1, Senders: []int{2}, Covered: []int{4}},
+		}},
+		PA: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chRes)
 	f.Add([]byte(`{"version":1,"scheduler":"x","schedule":{"t":[1],"senders":[[0]],"covered":[[1]]}}`))
 	f.Add([]byte(`{"version":1,"schedule":{"t":[1,2],"senders":[[0]],"covered":[[1]]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -175,7 +190,19 @@ func FuzzDecodeSchedule(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(data)
+	// A channelized schedule: two advances sharing slot 2 on channels 0/1.
+	chData, err := EncodeSchedule(&core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []int{0}, Covered: []int{1, 2}},
+		{T: 2, Channel: 0, Senders: []int{1}, Covered: []int{3}},
+		{T: 2, Channel: 1, Senders: []int{2}, Covered: []int{4}},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chData)
 	f.Add([]byte(`{"version":1,"t":[2,1],"senders":[[0],[1]],"covered":[[1],[0]]}`))
+	f.Add([]byte(`{"version":1,"t":[1],"senders":[[0]],"covered":[[1]],"channel":[-3]}`))
+	f.Add([]byte(`{"version":1,"t":[1,2],"senders":[[0],[1]],"covered":[[1],[2]],"channel":[1]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeSchedule(data)
 		if err != nil {

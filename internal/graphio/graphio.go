@@ -109,7 +109,9 @@ func DecodeDeployment(data []byte) (*topology.Deployment, error) {
 	}, nil
 }
 
-// scheduleJSON is the stored form of a core.Schedule.
+// scheduleJSON is the stored form of a core.Schedule. Channel is emitted
+// only when some advance uses a channel other than 0, so single-channel
+// schedules encode byte-identically to the pre-multi-channel format.
 type scheduleJSON struct {
 	Version int              `json:"version"`
 	Source  graph.NodeID     `json:"source"`
@@ -117,6 +119,59 @@ type scheduleJSON struct {
 	T       []int            `json:"t"`
 	Senders [][]graph.NodeID `json:"senders"`
 	Covered [][]graph.NodeID `json:"covered"`
+	Channel []int            `json:"channel,omitempty"`
+}
+
+// maxWireChannel bounds per-advance channel numbers a decoder will accept;
+// Schedule.Validate enforces the instance's real channel count later.
+const maxWireChannel = core.MaxChannels
+
+// toScheduleJSON projects a schedule onto its stored form.
+func toScheduleJSON(s *core.Schedule) scheduleJSON {
+	out := scheduleJSON{Version: currentVersion, Source: s.Source, Start: s.Start}
+	channelized := false
+	for _, adv := range s.Advances {
+		out.T = append(out.T, adv.T)
+		out.Senders = append(out.Senders, adv.Senders)
+		out.Covered = append(out.Covered, adv.Covered)
+		if adv.Channel != 0 {
+			channelized = true
+		}
+	}
+	if channelized {
+		for _, adv := range s.Advances {
+			out.Channel = append(out.Channel, adv.Channel)
+		}
+	}
+	return out
+}
+
+// fromScheduleJSON rebuilds a schedule from its stored form, checking the
+// array shape and channel bounds.
+func fromScheduleJSON(in scheduleJSON) (*core.Schedule, error) {
+	if len(in.T) != len(in.Senders) || len(in.T) != len(in.Covered) {
+		return nil, fmt.Errorf("graphio: advance arrays of different lengths")
+	}
+	if len(in.Channel) != 0 && len(in.Channel) != len(in.T) {
+		return nil, fmt.Errorf("graphio: channel array of different length")
+	}
+	s := &core.Schedule{Source: in.Source, Start: in.Start}
+	for i := range in.T {
+		adv := core.Advance{
+			T:       in.T[i],
+			Senders: in.Senders[i],
+			Covered: in.Covered[i],
+		}
+		if len(in.Channel) > 0 {
+			ch := in.Channel[i]
+			if ch < 0 || ch >= maxWireChannel {
+				return nil, fmt.Errorf("graphio: advance %d channel %d outside [0,%d)", i, ch, maxWireChannel)
+			}
+			adv.Channel = ch
+		}
+		s.Advances = append(s.Advances, adv)
+	}
+	return s, nil
 }
 
 // EncodeSchedule serializes a schedule.
@@ -124,13 +179,7 @@ func EncodeSchedule(s *core.Schedule) ([]byte, error) {
 	if s == nil {
 		return nil, fmt.Errorf("graphio: nil schedule")
 	}
-	out := scheduleJSON{Version: currentVersion, Source: s.Source, Start: s.Start}
-	for _, adv := range s.Advances {
-		out.T = append(out.T, adv.T)
-		out.Senders = append(out.Senders, adv.Senders)
-		out.Covered = append(out.Covered, adv.Covered)
-	}
-	return json.MarshalIndent(out, "", " ")
+	return json.MarshalIndent(toScheduleJSON(s), "", " ")
 }
 
 // DecodeSchedule rebuilds a schedule; callers should Validate it against
@@ -143,16 +192,5 @@ func DecodeSchedule(data []byte) (*core.Schedule, error) {
 	if in.Version != currentVersion {
 		return nil, fmt.Errorf("graphio: unsupported version %d", in.Version)
 	}
-	if len(in.T) != len(in.Senders) || len(in.T) != len(in.Covered) {
-		return nil, fmt.Errorf("graphio: advance arrays of different lengths")
-	}
-	s := &core.Schedule{Source: in.Source, Start: in.Start}
-	for i := range in.T {
-		s.Advances = append(s.Advances, core.Advance{
-			T:       in.T[i],
-			Senders: in.Senders[i],
-			Covered: in.Covered[i],
-		})
-	}
-	return s, nil
+	return fromScheduleJSON(in)
 }

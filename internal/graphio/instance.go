@@ -44,7 +44,11 @@ type instanceJSON struct {
 	Source     int       `json:"source"`
 	Start      int       `json:"start"`
 	PreCovered []int     `json:"pre_covered,omitempty"`
-	Wake       wakeJSON  `json:"wake"`
+	// Channels is the orthogonal-channel count K; omitted (0) and 1 both
+	// mean the paper's single shared channel, so single-channel encodings
+	// are byte-identical to the pre-multi-channel wire format.
+	Channels int      `json:"channels,omitempty"`
+	Wake     wakeJSON `json:"wake"`
 }
 
 func encodeWake(s dutycycle.Schedule) (wakeJSON, error) {
@@ -132,6 +136,11 @@ func EncodeInstance(in core.Instance) ([]byte, error) {
 		Start:   in.Start,
 		Wake:    wake,
 	}
+	if in.Channels > 1 {
+		// 0 and 1 both mean single-channel; canonicalize to the omitted
+		// form so equal instances encode equally.
+		out.Channels = in.Channels
+	}
 	if len(in.PreCovered) > 0 {
 		out.PreCovered = append([]int(nil), in.PreCovered...)
 		slices.Sort(out.PreCovered)
@@ -170,6 +179,12 @@ func DecodeInstance(data []byte) (core.Instance, error) {
 	}
 	if st.Nodes < 1 || st.Nodes > MaxWireNodes {
 		return core.Instance{}, fmt.Errorf("graphio: instance has %d nodes (limit %d)", st.Nodes, MaxWireNodes)
+	}
+	if st.Channels < 0 || st.Channels > core.MaxChannels {
+		return core.Instance{}, fmt.Errorf("graphio: channel count %d outside [0,%d]", st.Channels, core.MaxChannels)
+	}
+	if st.Channels == 1 {
+		st.Channels = 0 // canonical single-channel form
 	}
 	var pos []geom.Point
 	if len(st.X) > 0 || len(st.Y) > 0 {
@@ -212,6 +227,7 @@ func DecodeInstance(data []byte) (core.Instance, error) {
 		Start:      st.Start,
 		Wake:       wake,
 		PreCovered: st.PreCovered,
+		Channels:   st.Channels,
 	}
 	if err := in.Validate(); err != nil {
 		return core.Instance{}, fmt.Errorf("graphio: %w", err)
@@ -319,6 +335,14 @@ func InstanceDigest(in core.Instance) (Digest, error) {
 	for _, s := range wake.Slots {
 		w.Ints(s)
 	}
+	// The channel count is appended only when K > 1, so every
+	// single-channel instance keeps its pre-multi-channel digest (cache
+	// keys, golden pins). The tag string keeps a channelized encoding from
+	// aliasing any single-channel one.
+	if in.Channels > 1 {
+		w.S("channels")
+		w.I(in.Channels)
+	}
 	return w.Sum(), nil
 }
 
@@ -339,20 +363,14 @@ func EncodeResult(res *core.Result) ([]byte, error) {
 	if res == nil || res.Schedule == nil {
 		return nil, fmt.Errorf("graphio: nil result")
 	}
-	s := res.Schedule
 	out := resultJSON{
 		Version:   currentVersion,
 		Scheduler: res.Scheduler,
 		PA:        res.PA,
-		Latency:   s.Latency(),
+		Latency:   res.Schedule.Latency(),
 		Exact:     res.Exact,
 		Stats:     res.Stats,
-		Schedule:  scheduleJSON{Version: currentVersion, Source: s.Source, Start: s.Start},
-	}
-	for _, adv := range s.Advances {
-		out.Schedule.T = append(out.Schedule.T, adv.T)
-		out.Schedule.Senders = append(out.Schedule.Senders, adv.Senders)
-		out.Schedule.Covered = append(out.Schedule.Covered, adv.Covered)
+		Schedule:  toScheduleJSON(res.Schedule),
 	}
 	return json.MarshalIndent(out, "", " ")
 }
@@ -367,16 +385,9 @@ func DecodeResult(data []byte) (*core.Result, error) {
 	if st.Version != currentVersion {
 		return nil, fmt.Errorf("graphio: unsupported version %d", st.Version)
 	}
-	if len(st.Schedule.T) != len(st.Schedule.Senders) || len(st.Schedule.T) != len(st.Schedule.Covered) {
-		return nil, fmt.Errorf("graphio: advance arrays of different lengths")
-	}
-	s := &core.Schedule{Source: st.Schedule.Source, Start: st.Schedule.Start}
-	for i := range st.Schedule.T {
-		s.Advances = append(s.Advances, core.Advance{
-			T:       st.Schedule.T[i],
-			Senders: st.Schedule.Senders[i],
-			Covered: st.Schedule.Covered[i],
-		})
+	s, err := fromScheduleJSON(st.Schedule)
+	if err != nil {
+		return nil, err
 	}
 	return &core.Result{
 		Scheduler: st.Scheduler,

@@ -131,17 +131,30 @@ func (e *Estimator) Repair(in core.Instance, sched *core.Schedule, model LossMod
 		}
 		classes := sc.GreedyPartition(g, reliable, cands)
 		added := false
+		// With K > 1 orthogonal channels, mutually-conflicting repair
+		// classes pack onto the same slot on distinct channels (greedy
+		// classes are sender-disjoint, so the one-radio rule holds); a
+		// class whose members all sleep at the open slot falls through to
+		// its own later slot. K = 1 reduces to one class per slot.
+		k := in.K()
 		t := cur.End() + 1
+		openT, openCh := -1, -1
 		for _, cls := range classes {
 			if t-baseEnd > cfg.MaxExtraSlots {
 				// Every later class would fire at slot ≥ t: the whole
 				// remainder of this round is out of budget.
 				break
 			}
-			// Earliest slot ≥ t at which some class member may transmit.
+			// Earliest slot ≥ from at which some class member may
+			// transmit, where from is the open slot while it has a free
+			// channel.
+			from := t
+			if openT >= 0 && openCh+1 < k {
+				from = openT
+			}
 			slot := -1
 			for _, u := range cls {
-				if nw := in.Wake.NextAwake(u, t); slot < 0 || nw < slot {
+				if nw := in.Wake.NextAwake(u, from); slot < 0 || nw < slot {
 					slot = nw
 				}
 			}
@@ -155,6 +168,10 @@ func (e *Estimator) Repair(in core.Instance, sched *core.Schedule, model LossMod
 			if len(awake) == 0 {
 				continue
 			}
+			ch := 0
+			if slot == openT {
+				ch = openCh + 1
+			}
 			reach.Clear()
 			for _, u := range awake {
 				reach.UnionWith(g.Nbr(u))
@@ -162,11 +179,16 @@ func (e *Estimator) Repair(in core.Instance, sched *core.Schedule, model LossMod
 			reach.IntersectWith(targets)
 			cur.Advances = append(cur.Advances, core.Advance{
 				T:       slot,
+				Channel: ch,
 				Senders: append([]graph.NodeID(nil), awake...),
 				Covered: reach.Members(),
 			})
 			added = true
-			t = slot + 1
+			openT, openCh = slot, ch
+			t = slot
+			if ch+1 >= k {
+				t = slot + 1
+			}
 		}
 		if !added {
 			break

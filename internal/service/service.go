@@ -76,6 +76,9 @@ type Generator struct {
 	// WakeSeed seeds the uniform wake schedule; 0 derives Seed^0xA5, the
 	// same convention mlb-run uses.
 	WakeSeed uint64 `json:"wake_seed,omitempty"`
+	// Channels is the orthogonal-channel count K of the generated
+	// instance; 0 and 1 both select the single-channel system.
+	Channels int `json:"channels,omitempty"`
 }
 
 // Request is one plan request. Exactly one of Instance and Generator must
@@ -421,22 +424,33 @@ func (s *Service) resolve(req Request) (core.Instance, error) {
 	if gen.N < 1 {
 		return core.Instance{}, fmt.Errorf("service: generator node count %d", gen.N)
 	}
+	if gen.Channels < 0 || gen.Channels > core.MaxChannels {
+		return core.Instance{}, fmt.Errorf("service: generator channel count %d outside [0,%d]", gen.Channels, core.MaxChannels)
+	}
+	if gen.Channels == 1 {
+		gen.Channels = 0 // canonical single-channel form, one cache entry
+	}
 	key := "gen|" + strconv.Itoa(gen.N) + "|" + strconv.FormatUint(gen.Seed, 10) +
-		"|" + strconv.Itoa(gen.DutyRate) + "|" + strconv.FormatUint(gen.WakeSeed, 10)
+		"|" + strconv.Itoa(gen.DutyRate) + "|" + strconv.FormatUint(gen.WakeSeed, 10) +
+		"|" + strconv.Itoa(gen.Channels)
 	in, _, _, err := s.gens.GetOrCompute(key, func() (core.Instance, error) {
 		dep, err := topology.Generate(topology.PaperConfig(gen.N), gen.Seed)
 		if err != nil {
 			return core.Instance{}, err
 		}
+		var in core.Instance
 		if gen.DutyRate > 1 {
 			ws := gen.WakeSeed
 			if ws == 0 {
 				ws = gen.Seed ^ 0xA5
 			}
 			wake := dutycycle.NewUniform(gen.N, gen.DutyRate, ws, 0)
-			return core.Async(dep.G, dep.Source, wake, 0), nil
+			in = core.Async(dep.G, dep.Source, wake, 0)
+		} else {
+			in = core.Sync(dep.G, dep.Source)
 		}
-		return core.Sync(dep.G, dep.Source), nil
+		in.Channels = gen.Channels
+		return in, nil
 	})
 	return in, err
 }
@@ -588,6 +602,7 @@ type SweepRequest struct {
 	Seeds     []uint64 `json:"seeds"`
 	DutyRate  int      `json:"r,omitempty"`
 	WakeSeed  uint64   `json:"wake_seed,omitempty"`
+	Channels  int      `json:"channels,omitempty"`
 	Scheduler string   `json:"scheduler,omitempty"`
 	Budget    int      `json:"budget,omitempty"`
 	NoCache   bool     `json:"no_cache,omitempty"`
@@ -625,7 +640,7 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest, emit func(SweepIt
 				return err
 			}
 			resp, err := s.Plan(ctx, Request{
-				Generator: &Generator{N: n, Seed: seed, DutyRate: req.DutyRate, WakeSeed: req.WakeSeed},
+				Generator: &Generator{N: n, Seed: seed, DutyRate: req.DutyRate, WakeSeed: req.WakeSeed, Channels: req.Channels},
 				Scheduler: req.Scheduler,
 				Budget:    req.Budget,
 				NoCache:   req.NoCache,

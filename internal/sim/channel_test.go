@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+)
+
+// chKite: 0—1, 0—2, 1—3, 2—3, 1—4, 2—5. Relays 1 and 2 share uncovered
+// node 3 — a same-channel collision, harmless on two channels.
+func chKite() *graph.Graph {
+	return graph.NewBuilder(6, nil).
+		AddEdge(0, 1).AddEdge(0, 2).
+		AddEdge(1, 3).AddEdge(2, 3).
+		AddEdge(1, 4).AddEdge(2, 5).
+		Build()
+}
+
+func chInstance(k int) core.Instance {
+	in := core.Sync(chKite(), 0)
+	in.Channels = k
+	return in
+}
+
+func chSchedule() *core.Schedule {
+	return &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2}},
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{3, 4}},
+		{T: 2, Channel: 1, Senders: []graph.NodeID{2}, Covered: []graph.NodeID{5}},
+	}}
+}
+
+func TestReplayChannelizedSlot(t *testing.T) {
+	in := chInstance(2)
+	rep, err := Replay(in, chSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("channelized replay incomplete: %+v", rep)
+	}
+	if len(rep.Collisions) != 0 {
+		t.Fatalf("orthogonal channels collided: %v", rep.Collisions)
+	}
+	for v, want := range []int{0, 1, 1, 2, 2, 2} {
+		if rep.CoveredAt[v] != want {
+			t.Fatalf("node %d covered at %d, want %d", v, rep.CoveredAt[v], want)
+		}
+	}
+	if rep.Usage.Transmissions != 3 {
+		t.Fatalf("transmissions = %d, want 3", rep.Usage.Transmissions)
+	}
+}
+
+func TestReplaySameChannelCollision(t *testing.T) {
+	// Same senders, both on channel 0 of a 2-channel instance: node 3
+	// hears two frames on one channel and loses both.
+	s := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2}},
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1, 2}, Covered: []graph.NodeID{3, 4, 5}},
+	}}
+	rep, err := Replay(chInstance(2), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed {
+		t.Fatal("same-channel collision not detected")
+	}
+	if len(rep.Collisions) != 1 || rep.Collisions[0].Receiver != 3 || rep.Collisions[0].Channel != 0 {
+		t.Fatalf("collisions = %+v, want one at node 3 channel 0", rep.Collisions)
+	}
+	if rep.CoveredAt[3] >= 0 {
+		t.Fatal("collided node reported covered")
+	}
+	// Private receivers 4 and 5 each heard exactly one frame.
+	if rep.CoveredAt[4] != 2 || rep.CoveredAt[5] != 2 {
+		t.Fatalf("private receivers: %v", rep.CoveredAt)
+	}
+}
+
+func TestReplayCrossChannelRescue(t *testing.T) {
+	// Channel 1 carries a clean frame to node 3 while channel 0 collides
+	// there: the node is covered, but the channel-0 collision is still
+	// reported — a conflict-aware schedule must not produce any.
+	g := graph.NewBuilder(6, nil).
+		AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 5).
+		AddEdge(1, 3).AddEdge(2, 3).AddEdge(5, 3).
+		AddEdge(1, 4).AddEdge(2, 4).
+		Build()
+	in := core.Sync(g, 0)
+	in.Channels = 2
+	s := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2, 5}},
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1, 2}, Covered: []graph.NodeID{4}},
+		{T: 2, Channel: 1, Senders: []graph.NodeID{5}, Covered: []graph.NodeID{3}},
+	}}
+	rep, err := Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoveredAt[3] != 2 {
+		t.Fatalf("node 3 not rescued by channel 1: CoveredAt = %v", rep.CoveredAt)
+	}
+	// Nodes 3 and 4 both hear 1 and 2 collide on channel 0; only 3 has a
+	// clean channel-1 frame to fall back on.
+	if len(rep.Collisions) != 2 ||
+		rep.Collisions[0].Receiver != 3 || rep.Collisions[0].Channel != 0 ||
+		rep.Collisions[1].Receiver != 4 || rep.Collisions[1].Channel != 0 {
+		t.Fatalf("collisions = %+v, want channel-0 collisions at 3 and 4", rep.Collisions)
+	}
+	if rep.CoveredAt[4] >= 0 {
+		t.Fatal("node 4 has no clean channel and must stay dark")
+	}
+	if rep.Completed {
+		t.Fatal("execution with a collision must not report Completed")
+	}
+}
+
+func TestReplayChannelErrors(t *testing.T) {
+	base := chSchedule()
+
+	twoRadios := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		base.Advances[0],
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{3, 4}},
+		{T: 2, Channel: 1, Senders: []graph.NodeID{1, 2}, Covered: []graph.NodeID{5}},
+	}}
+	if _, err := Replay(chInstance(2), twoRadios); err == nil || !strings.Contains(err.Error(), "two channels") {
+		t.Fatalf("two-radio schedule: err = %v", err)
+	}
+
+	if _, err := Replay(chInstance(1), base); err == nil {
+		t.Fatal("channelized schedule accepted on a single-channel instance")
+	}
+
+	outOfRange := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Channel: 5, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2}},
+	}}
+	if _, err := Replay(chInstance(2), outOfRange); err == nil || !strings.Contains(err.Error(), "channel") {
+		t.Fatalf("out-of-range channel: err = %v", err)
+	}
+
+	disorder := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		base.Advances[0],
+		{T: 2, Channel: 1, Senders: []graph.NodeID{2}, Covered: []graph.NodeID{5}},
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{3, 4}},
+	}}
+	if _, err := Replay(chInstance(2), disorder); err == nil || !strings.Contains(err.Error(), "order") {
+		t.Fatalf("descending channels: err = %v", err)
+	}
+}
+
+// TestReplayerReusableAfterGroupError pins the cleanup contract: a failed
+// multi-channel replay must not leave per-slot marks (isTx, slotFlag) set
+// on a reused Replayer, or the next — perfectly valid — replay would be
+// rejected or mis-covered.
+func TestReplayerReusableAfterGroupError(t *testing.T) {
+	in := chInstance(2)
+	bad := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		chSchedule().Advances[0],
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{3, 4}},
+		{T: 2, Channel: 1, Senders: []graph.NodeID{1, 2}, Covered: []graph.NodeID{5}},
+	}}
+	r := NewReplayer()
+	if _, err := r.Replay(in, bad); err == nil {
+		t.Fatal("two-radio schedule accepted")
+	}
+	rep, err := r.Replay(in, chSchedule())
+	if err != nil {
+		t.Fatalf("valid replay after an error on the same Replayer: %v", err)
+	}
+	if !rep.Completed || len(rep.Collisions) != 0 {
+		t.Fatalf("reused replayer corrupted: completed=%v collisions=%v", rep.Completed, rep.Collisions)
+	}
+
+	// An error after channel 0 was processed (asleep sender on channel 1)
+	// must clear the slot reception marks too.
+	asleepIn := core.Async(chKite(), 0, dutycycle.NewPeriodicPhase(2, []int{0, 0, 1, 0, 0, 0}), 0)
+	asleepIn.Channels = 2
+	late := &core.Schedule{Source: 0, Start: 2, Advances: []core.Advance{
+		{T: 2, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2}},
+		{T: 4, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{3, 4}},
+		{T: 4, Channel: 1, Senders: []graph.NodeID{2}, Covered: []graph.NodeID{5}}, // 2 wakes on odd slots only: asleep at 4
+	}}
+	if _, err := r.Replay(asleepIn, late); err == nil || !strings.Contains(err.Error(), "channel was off") {
+		t.Fatalf("want asleep error, got %v", err)
+	}
+	rep, err = r.Replay(in, chSchedule())
+	if err != nil || !rep.Completed {
+		t.Fatalf("replayer corrupted after mid-group error: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestLossyReplayChannelized(t *testing.T) {
+	in := chInstance(2)
+	s := chSchedule()
+	// A lossless lossy replay matches the ideal one.
+	rep, err := ReplayLossy(in, s, NoLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.LostFrames != 0 {
+		t.Fatalf("lossless channelized replay: %+v", rep)
+	}
+	// Killing the 0→1 link strands relay 1; relay 2's channel-1 frame
+	// still covers 3 and 5, node 4 stays dark, and nothing errors.
+	kill := func(t int, u, v graph.NodeID) bool { return u == 0 && v == 1 }
+	rep, err = ReplayLossy(in, s, kill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed {
+		t.Fatal("stranded-relay execution reported complete")
+	}
+	if rep.CoveredAt[1] >= 0 || rep.CoveredAt[4] >= 0 {
+		t.Fatalf("1 and 4 should stay dark: %v", rep.CoveredAt)
+	}
+	if rep.CoveredAt[3] != 2 || rep.CoveredAt[5] != 2 {
+		t.Fatalf("relay 2's receivers should be covered at 2: %v", rep.CoveredAt)
+	}
+	if rep.LostFrames != 1 {
+		t.Fatalf("lost frames = %d, want 1", rep.LostFrames)
+	}
+}
+
+func TestChannelizedReplayMatchesValidate(t *testing.T) {
+	// Schedules the channelized search produces replay collision-free on
+	// both wake systems — the sim/core consistency contract.
+	for _, k := range []int{2, 4} {
+		for _, duty := range []bool{false, true} {
+			in := core.Sync(chKite(), 0)
+			if duty {
+				in = core.Async(chKite(), 0, dutycycle.NewUniform(6, 3, 5, 0), 0)
+			}
+			in.Channels = k
+			res, err := core.NewGOPT(0).Schedule(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Fatalf("K=%d duty=%v: %v", k, duty, err)
+			}
+			rep, err := Replay(in, res.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Completed || len(rep.Collisions) != 0 {
+				t.Fatalf("K=%d duty=%v: completed=%v collisions=%v", k, duty, rep.Completed, rep.Collisions)
+			}
+		}
+	}
+}

@@ -57,7 +57,19 @@ type Replayer struct {
 	collArena []graph.NodeID // backing storage for Collision.Senders lists
 	colls     []Collision
 	report    Report
+
+	// Multi-channel slot state (see transmitGroup); kept cleared between
+	// slots via slotNodes.
+	slotFlag  []uint8        // per-node flagRec/flagNew marks for the current slot
+	slotNodes []graph.NodeID // nodes with a nonzero slotFlag
+	slotTx    []graph.NodeID // every scheduled sender of the current slot, all channels
 }
+
+// slotFlag bits.
+const (
+	flagRec uint8 = 1 << iota // a reception was tallied for this node this slot
+	flagNew                   // node was newly covered by an earlier channel this slot
+)
 
 // NewReplayer returns a ready ideal-channel replayer.
 func NewReplayer() *Replayer { return &Replayer{} }
@@ -70,6 +82,7 @@ func (r *Replayer) reset(in core.Instance, start int) {
 		r.covered = make([]int, n)
 		r.nFrames = make([]int32, n)
 		r.isTx = make([]bool, n)
+		r.slotFlag = make([]uint8, n)
 	}
 	if r.w.Capacity() < n {
 		r.w = bitset.New(n)
@@ -226,15 +239,22 @@ func (r *Replayer) Replay(in core.Instance, sched *core.Schedule) (*Report, erro
 	return r.replay(in, sched)
 }
 
-// replay is the shared schedule-execution loop. r.loss selects the channel.
+// replay is the shared schedule-execution loop. r.loss selects the loss
+// behavior; multi-channel slots (several advances sharing a T on distinct
+// ascending channels, legal only when the instance has K > 1 channels)
+// route through transmitGroup.
 func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, error) {
 	r.reset(in, sched.Start)
-	prev := sched.Start - 1
+	k := in.K()
+	prevT, prevCh := sched.Start-1, int(^uint(0)>>1)
 	for _, adv := range sched.Advances {
-		if adv.T <= prev {
+		if adv.T < prevT || (adv.T == prevT && adv.Channel <= prevCh) {
 			return nil, errOrder(adv.T)
 		}
-		prev = adv.T
+		if adv.Channel < 0 || adv.Channel >= k {
+			return nil, fmt.Errorf("sim: advance at t=%d uses channel %d, instance has %d", adv.T, adv.Channel, k)
+		}
+		prevT, prevCh = adv.T, adv.Channel
 	}
 	maxT := sched.Start - 1
 	if len(sched.Advances) > 0 {
@@ -242,12 +262,16 @@ func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, erro
 	}
 	ai := 0
 	for t := sched.Start; t <= maxT; t++ {
-		var senders []graph.NodeID
-		if ai < len(sched.Advances) && sched.Advances[ai].T == t {
-			senders = sched.Advances[ai].Senders
+		start := ai
+		for ai < len(sched.Advances) && sched.Advances[ai].T == t {
 			ai++
 		}
-		if len(senders) > 0 {
+		group := sched.Advances[start:ai]
+		var senders []graph.NodeID
+		switch {
+		case len(group) == 1 && group[0].Channel == 0:
+			// Single-channel slot: the classic per-slot physics.
+			senders = group[0].Senders
 			firing := senders
 			if r.loss != nil {
 				var err error
@@ -260,10 +284,148 @@ func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, erro
 					return nil, err
 				}
 			}
+		case len(group) > 0:
+			var err error
+			if senders, err = r.transmitGroup(t, group); err != nil {
+				return nil, err
+			}
 		}
 		r.accountQuiet(t, senders)
 	}
 	return r.finish(sched.Start, maxT), nil
+}
+
+// transmitGroup applies the physics of one multi-channel slot: every
+// advance's senders fire on the advance's own frequency channel, frames
+// interfere only within a channel, and an uncovered receiver becomes
+// covered when some channel delivers it exactly one frame. Collisions are
+// recorded per (receiver, channel); a receiver rescued by another channel
+// still reports the collision — a conflict-aware schedule must not produce
+// any. Returns the slot's scheduled senders across all channels (the
+// accountQuiet input).
+func (r *Replayer) transmitGroup(t int, group []core.Advance) ([]graph.NodeID, error) {
+	// One radio per node: a sender may appear on at most one channel. The
+	// isTx marks are cleared on every exit — error paths included — so a
+	// failed replay never corrupts a reused Replayer.
+	r.slotTx = r.slotTx[:0]
+	for gi := range group {
+		for _, u := range group[gi].Senders {
+			if u < 0 || u >= r.n {
+				r.clearTxMarks()
+				return nil, errOut(u, t)
+			}
+			if r.isTx[u] {
+				r.clearTxMarks()
+				return nil, fmt.Errorf("sim: node %d transmits on two channels at t=%d", u, t)
+			}
+			r.isTx[u] = true
+			r.slotTx = append(r.slotTx, u)
+		}
+	}
+	r.clearTxMarks()
+
+	r.slotNodes = r.slotNodes[:0]
+	r.newly = r.newly[:0]
+	for gi := range group {
+		adv := &group[gi]
+		firing := adv.Senders
+		if r.loss != nil {
+			var err error
+			if firing, err = r.filterAble(t, adv.Senders); err != nil {
+				r.clearSlotFlags()
+				return nil, err
+			}
+		} else {
+			for _, u := range firing {
+				if !r.w.Has(u) {
+					r.clearSlotFlags()
+					return nil, errUncovered(u, t)
+				}
+			}
+		}
+		for _, u := range firing {
+			if !r.in.Wake.Awake(u, t) {
+				r.clearSlotFlags()
+				return nil, errAsleep(u, t)
+			}
+		}
+		r.touched = r.touched[:0]
+		for _, u := range firing {
+			r.report.Usage.Transmissions++
+			for _, v := range r.in.G.Adj(u) {
+				if r.loss != nil && r.loss(t, u, v) {
+					r.lost++
+					continue
+				}
+				if r.nFrames[v] == 0 {
+					r.touched = append(r.touched, v)
+				}
+				r.nFrames[v]++
+			}
+		}
+		sort.Ints(r.touched)
+		for _, v := range r.touched {
+			k := r.nFrames[v]
+			r.nFrames[v] = 0
+			if r.slotFlag[v] == 0 {
+				r.slotNodes = append(r.slotNodes, v)
+			}
+			if r.w.Has(v) || r.slotFlag[v]&flagNew != 0 {
+				// Already covered (before the slot, or by a lower channel):
+				// one duplicate reception is tallied per slot, like the
+				// single-channel MAC discard.
+				if r.slotFlag[v]&flagRec == 0 {
+					r.slotFlag[v] |= flagRec
+					r.report.Usage.Receptions++
+				}
+				continue
+			}
+			if k == 1 {
+				if r.slotFlag[v]&flagRec == 0 {
+					r.slotFlag[v] |= flagRec
+					r.report.Usage.Receptions++
+				}
+				r.slotFlag[v] |= flagNew
+				r.newly = append(r.newly, v)
+				continue
+			}
+			// Same-channel collision at an uncovered node; re-derive the
+			// interfering senders of this channel.
+			start := len(r.collArena)
+			for _, u := range firing {
+				if r.in.G.Nbr(v).Has(u) && (r.loss == nil || !r.loss(t, u, v)) {
+					r.collArena = append(r.collArena, u)
+				}
+			}
+			cs := r.collArena[start:len(r.collArena):len(r.collArena)]
+			sort.Ints(cs)
+			r.report.Usage.Collisions++
+			r.colls = append(r.colls, Collision{T: t, Receiver: v, Senders: cs, Channel: adv.Channel})
+		}
+	}
+	sort.Ints(r.newly)
+	for _, v := range r.newly {
+		r.w.Add(v)
+		r.covered[v] = t
+	}
+	r.clearSlotFlags()
+	return r.slotTx, nil
+}
+
+// clearTxMarks clears the isTx marks of the senders recorded in slotTx,
+// keeping the slotTx list itself (accountQuiet consumes it).
+func (r *Replayer) clearTxMarks() {
+	for _, u := range r.slotTx {
+		r.isTx[u] = false
+	}
+}
+
+// clearSlotFlags zeroes the per-slot reception marks of every node
+// touched so far — the cleanup all transmitGroup exits share.
+func (r *Replayer) clearSlotFlags() {
+	for _, v := range r.slotNodes {
+		r.slotFlag[v] = 0
+	}
 }
 
 // RunPolicy drives an online policy against the ideal physics; see the

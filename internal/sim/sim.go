@@ -1,10 +1,15 @@
 // Package sim executes broadcast schedules against the network physics:
 // per slot, every transmitting node's frame reaches all of its neighbors,
 // and an uncovered node hearing two or more concurrent frames loses both to
-// a collision (the interference model of Section III). The simulator is
-// deliberately independent of the schedulers — it re-derives coverage from
-// transmissions alone, so a scheduling bug shows up as a physical collision
-// or an incomplete broadcast, not as a silently-accepted claim.
+// a collision (the interference model of Section III). On a multi-channel
+// instance (Instance.Channels = K > 1) the physics are per frequency
+// channel: frames interfere only with frames on the same channel, an
+// uncovered node is covered when any channel delivers it exactly one
+// frame, and a node may transmit on at most one channel per slot. The
+// simulator is deliberately independent of the schedulers — it re-derives
+// coverage from transmissions alone, so a scheduling bug shows up as a
+// physical collision or an incomplete broadcast, not as a
+// silently-accepted claim.
 //
 // Two modes are provided: Replay executes a precomputed core.Schedule
 // (the paper's offline/proactive schedulers), and RunPolicy drives an
@@ -23,11 +28,15 @@ import (
 	"mlbs/internal/mote"
 )
 
-// Collision records one destroyed reception.
+// Collision records one destroyed reception. Channel is the frequency
+// channel the frames collided on — always 0 in the single-channel system;
+// in a multi-channel execution a receiver collided on one channel may
+// still be covered by a clean frame on another.
 type Collision struct {
 	T        int
 	Receiver graph.NodeID
 	Senders  []graph.NodeID
+	Channel  int `json:",omitempty"`
 }
 
 // Report is the physical outcome of a broadcast execution.

@@ -219,6 +219,20 @@ func PaperTopologyConfig(n int) TopologyConfig { return topology.PaperConfig(n) 
 // starting at t_s = 1 (the paper's convention).
 func SyncInstance(g *Graph, source NodeID) Instance { return core.Sync(g, source) }
 
+// MaxChannels bounds Instance.Channels.
+const MaxChannels = core.MaxChannels
+
+// WithChannels returns the instance with K orthogonal frequency channels:
+// schedules may then fire up to K mutually-conflicting relay classes in
+// one slot, one per channel, and collision detection becomes channel-aware
+// (two senders conflict only in the same slot AND channel). K ≤ 1 is the
+// paper's single shared channel; with K = 1 every scheduler, digest and
+// wire encoding is bit-identical to the single-channel system.
+func WithChannels(in Instance, k int) Instance {
+	in.Channels = k
+	return in
+}
+
 // AsyncInstance wraps a graph, source and wake schedule into a duty-cycle
 // instance starting at the source's first wake slot at or after `from`.
 func AsyncInstance(g *Graph, source NodeID, wake WakeSchedule, from int) Instance {
