@@ -81,6 +81,23 @@ type channelRecord struct {
 	LatencyVsK1  float64 `json:"latency_over_k1"`
 }
 
+// improveRecord captures one anytime-improver case: the approximation's
+// schedule tightened under a deterministic move budget. Slot counts are
+// exact functions of (n, seed, r, max_moves) — CI gates on them.
+type improveRecord struct {
+	Name         string `json:"name"`
+	Nodes        int    `json:"nodes"`
+	System       string `json:"system"`
+	MaxMoves     int    `json:"max_moves"`
+	InputSlots   int    `json:"input_latency_slots"`
+	LatencySlots int    `json:"latency_slots"`
+	SlotsSaved   int    `json:"slots_saved"`
+	Moves        int    `json:"moves"`
+	Searches     int    `json:"searches"`
+	Exact        bool   `json:"exact"`
+	NsPerOp      int64  `json:"ns_per_op"`
+}
+
 type report struct {
 	Tool        string              `json:"tool"`
 	GoVersion   string              `json:"go_version"`
@@ -94,6 +111,7 @@ type report struct {
 	Service     []serviceRecord     `json:"service"`
 	Reliability []reliabilityRecord `json:"reliability"`
 	Channels    []channelRecord     `json:"channels"`
+	Improve     []improveRecord     `json:"improve"`
 }
 
 func main() {
@@ -106,6 +124,7 @@ func main() {
 		relTr   = flag.Int("reltrials", 500, "Monte-Carlo trials per reliability case")
 		out     = flag.String("out", "BENCH_schedulers.json", "output JSON path")
 		chOut   = flag.String("chout", "BENCH_channels.json", "latency-vs-K curve JSON path (empty disables)")
+		impOut  = flag.String("impout", "BENCH_improve.json", "anytime-improver section JSON path (empty disables)")
 	)
 	flag.Parse()
 
@@ -213,6 +232,33 @@ func main() {
 		}
 		chData = append(chData, '\n')
 		if err := os.WriteFile(*chOut, chData, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	impRecs, err := benchImprove(dep, *n, *seed, *r)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Improve = impRecs
+	for _, ir := range impRecs {
+		fmt.Printf("%-28s %6d -> %4d slots (%d moves, exact=%v) %12d ns/op\n",
+			ir.Name, ir.InputSlots, ir.LatencySlots, ir.Moves, ir.Exact, ir.NsPerOp)
+	}
+	if *impOut != "" {
+		impData, err := json.MarshalIndent(struct {
+			Tool      string          `json:"tool"`
+			GoVersion string          `json:"go_version"`
+			Timestamp string          `json:"timestamp"`
+			Nodes     int             `json:"nodes"`
+			Seed      uint64          `json:"seed"`
+			Improve   []improveRecord `json:"improve"`
+		}{"mlb-bench", runtime.Version(), rep.Timestamp, *n, *seed, impRecs}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		impData = append(impData, '\n')
+		if err := os.WriteFile(*impOut, impData, 0o644); err != nil {
 			fatal(err)
 		}
 	}
@@ -339,6 +385,59 @@ func benchChannels(dep *mlbs.Deployment, n int, seed uint64, r int) ([]channelRe
 				rec.LatencyVsK1 = float64(lat) / float64(k1)
 			}
 			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// benchImprove runs the anytime improver over the baseline approximations
+// under deterministic move budgets — MaxMoves instead of a wall-clock
+// deadline, so the slot counts CI gates on cannot flake with machine load.
+func benchImprove(dep *mlbs.Deployment, n int, seed uint64, r int) ([]improveRecord, error) {
+	systems := []struct {
+		name  string
+		in    mlbs.Instance
+		sched mlbs.Scheduler
+	}{
+		{"sync", mlbs.SyncInstance(dep.G, dep.Source), mlbs.Baseline26()},
+		{fmt.Sprintf("duty-r%d", r), mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(n, r, 9), 0), mlbs.Baseline17()},
+	}
+	imp := mlbs.NewImprover()
+	var out []improveRecord
+	for _, sys := range systems {
+		base, err := sys.sched.Schedule(sys.in)
+		if err != nil {
+			return nil, fmt.Errorf("improve %s: %w", sys.name, err)
+		}
+		for _, moves := range []int{8, 64} {
+			opt := mlbs.ImproveOptions{MaxMoves: moves}
+			res, st, err := imp.Improve(sys.in, base.Schedule, opt)
+			if err != nil {
+				return nil, fmt.Errorf("improve %s moves=%d: %w", sys.name, moves, err)
+			}
+			if err := res.Validate(sys.in); err != nil {
+				return nil, fmt.Errorf("improve %s moves=%d: invalid schedule: %w", sys.name, moves, err)
+			}
+			nsOp, _, _, err := measure(1, func() error {
+				_, _, err := imp.Improve(sys.in, base.Schedule, opt)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, improveRecord{
+				Name:         fmt.Sprintf("improve/%s-n%d/moves%d", sys.name, n, moves),
+				Nodes:        n,
+				System:       sys.name,
+				MaxMoves:     moves,
+				InputSlots:   base.Schedule.Latency(),
+				LatencySlots: res.Latency(),
+				SlotsSaved:   st.SlotsSaved,
+				Moves:        st.Moves,
+				Searches:     st.Searches,
+				Exact:        st.Exact,
+				NsPerOp:      nsOp,
+			})
 		}
 	}
 	return out, nil

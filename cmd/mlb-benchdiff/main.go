@@ -16,7 +16,11 @@
 //     absolute slack, so a 2→3 alloc jitter on a tiny count cannot flake);
 //   - reliability[].allocs_per_replay — the Monte-Carlo engine's ~0
 //     allocs/replay contract;
-//   - channels[].latency_slots — the latency-vs-K curve.
+//   - channels[].latency_slots — the latency-vs-K curve;
+//   - improve[].latency_slots — the anytime improver's slot counts under
+//     deterministic move budgets (must never exceed baseline: the improver
+//     getting WORSE at improving is a regression even inside tolerance, so
+//     these compare with zero relative slack).
 //
 // A record present in the baseline but missing from the current report is
 // also a failure: silently dropping a benchmark is how regressions hide.
@@ -46,6 +50,10 @@ type benchReport struct {
 		Name         string `json:"name"`
 		LatencySlots int    `json:"latency_slots"`
 	} `json:"channels"`
+	Improve []struct {
+		Name         string `json:"name"`
+		LatencySlots int    `json:"latency_slots"`
+	} `json:"improve"`
 }
 
 // tolerances bundles the comparison knobs.
@@ -119,6 +127,23 @@ func compare(baseline, current benchReport, tol tolerances) []string {
 				b.Name, got, b.LatencySlots))
 		}
 	}
+	curImp := make(map[string]int, len(current.Improve))
+	for _, r := range current.Improve {
+		curImp[r.Name] = r.LatencySlots
+	}
+	for _, b := range baseline.Improve {
+		got, ok := curImp[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("improve record %q missing from current report", b.Name))
+			continue
+		}
+		// Deterministic move budgets: the improved slot count is exact, so
+		// any increase is a real quality regression — no relative slack.
+		if got > b.LatencySlots {
+			fails = append(fails, fmt.Sprintf("%s: improved latency %d slots, baseline %d",
+				b.Name, got, b.LatencySlots))
+		}
+	}
 	return fails
 }
 
@@ -163,6 +188,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel records within %.0f%% of baseline\n",
-		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), *tol*100)
+	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d improve records within %.0f%% of baseline\n",
+		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Improve), *tol*100)
 }

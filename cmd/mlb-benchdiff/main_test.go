@@ -26,6 +26,10 @@ const baselineJSON = `{
   "channels": [
     {"name": "channels/duty-r50-n300/k1", "latency_slots": 50},
     {"name": "channels/duty-r50-n300/k4", "latency_slots": 35}
+  ],
+  "improve": [
+    {"name": "improve/duty-r10-n150/moves8", "latency_slots": 40},
+    {"name": "improve/duty-r10-n150/moves64", "latency_slots": 20}
   ]
 }`
 
@@ -123,5 +127,36 @@ func TestCompareExtraCurrentRecordsIgnored(t *testing.T) {
 	}{"x", 5, 10})
 	if fails := compare(b, cur, defaultTol); len(fails) != 0 {
 		t.Fatalf("extra records should not fail the gate: %v", fails)
+	}
+}
+
+func TestCompareImproveRegressionFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	// Improve records gate with ZERO slack: even one extra slot — well
+	// inside the 25% relative tolerance — is a quality regression.
+	cur.Improve[1].LatencySlots = 21
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "moves64") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareImproveMissingFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Improve = nil
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 2 {
+		t.Fatalf("want 2 missing improve records, got %v", fails)
+	}
+}
+
+func TestCompareImproveBetterPasses(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Improve[0].LatencySlots = 18 // improver got better — never a failure
+	if fails := compare(b, cur, defaultTol); len(fails) != 0 {
+		t.Fatalf("improvement flagged: %v", fails)
 	}
 }

@@ -6,13 +6,21 @@
 // Usage:
 //
 //	mlb-load [-n 300] [-seed 1] [-r 0] [-sched gopt] [-requests 64]
-//	         [-conc 8] [-addr http://host:8080] [-out BENCH_load.json]
+//	         [-conc 8] [-budget 0,1ms,10ms] [-addr http://host:8080]
+//	         [-out BENCH_load.json]
 //
 // Without -addr the service runs in-process (no HTTP in the way); with
 // -addr requests go over the wire to a running mlb-serve. The cold phase
 // sends no_cache requests for one fixed instance, so every request pays
 // the full branch-and-bound; the warm phase primes the cache once and then
 // measures pure hits.
+//
+// -budget sweeps the anytime-improvement budget: each listed duration gets
+// its own cold/warm pair (in-process runs use a fresh service per budget so
+// phases don't share cache state). The warm numbers at every budget should
+// match budget 0 within noise — a warm hit never pays for improvement, it
+// only enqueues a background upgrade — which is exactly what this report
+// is for proving.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,54 +48,77 @@ type phaseStats struct {
 	P99Ns       int64   `json:"p99_ns"`
 }
 
+// budgetStats is one improvement budget's cold/warm pair.
+type budgetStats struct {
+	Budget  string     `json:"budget"`
+	Cold    phaseStats `json:"cold"`
+	Warm    phaseStats `json:"warm"`
+	Speedup float64    `json:"warm_over_cold_speedup"`
+}
+
 type loadReport struct {
-	Tool      string     `json:"tool"`
-	GoVersion string     `json:"go_version"`
-	Timestamp string     `json:"timestamp"`
-	Target    string     `json:"target"` // "in-process" or the HTTP address
-	Nodes     int        `json:"nodes"`
-	Seed      uint64     `json:"seed"`
-	DutyRate  int        `json:"duty_rate"`
-	Scheduler string     `json:"scheduler"`
-	Conc      int        `json:"concurrency"`
-	Cold      phaseStats `json:"cold"`
-	Warm      phaseStats `json:"warm"`
-	Speedup   float64    `json:"warm_over_cold_speedup"`
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	Timestamp string `json:"timestamp"`
+	Target    string `json:"target"` // "in-process" or the HTTP address
+	Nodes     int    `json:"nodes"`
+	Seed      uint64 `json:"seed"`
+	DutyRate  int    `json:"duty_rate"`
+	Scheduler string `json:"scheduler"`
+	Conc      int    `json:"concurrency"`
+	// Cold/Warm mirror the first budget (the schema every consumer already
+	// reads); Budgets carries the full -budget sweep.
+	Cold    phaseStats    `json:"cold"`
+	Warm    phaseStats    `json:"warm"`
+	Speedup float64       `json:"warm_over_cold_speedup"`
+	Budgets []budgetStats `json:"budgets,omitempty"`
 }
 
 func main() {
 	var (
-		n     = flag.Int("n", 300, "deployment size (paper topology)")
-		seed  = flag.Uint64("seed", 1, "deployment seed")
-		r     = flag.Int("r", 0, "duty-cycle rate; 0 or 1 = synchronous")
-		sched = flag.String("sched", "gopt", "scheduler: gopt|opt|emodel|energy|baseline")
-		reqs  = flag.Int("requests", 64, "requests per phase")
-		conc  = flag.Int("conc", 8, "concurrent clients")
-		addr  = flag.String("addr", "", "target a running mlb-serve (default: in-process)")
-		out   = flag.String("out", "", "also write the report JSON here")
+		n       = flag.Int("n", 300, "deployment size (paper topology)")
+		seed    = flag.Uint64("seed", 1, "deployment seed")
+		r       = flag.Int("r", 0, "duty-cycle rate; 0 or 1 = synchronous")
+		sched   = flag.String("sched", "gopt", "scheduler: gopt|opt|emodel|energy|baseline")
+		reqs    = flag.Int("requests", 64, "requests per phase")
+		conc    = flag.Int("conc", 8, "concurrent clients")
+		addr    = flag.String("addr", "", "target a running mlb-serve (default: in-process)")
+		budgets = flag.String("budget", "0", "comma-separated improvement budgets to sweep (e.g. 0,1ms,10ms)")
+		out     = flag.String("out", "", "also write the report JSON here")
 	)
 	flag.Parse()
 
-	var send func(noCache bool) error
+	budgetList, err := parseBudgets(*budgets)
+	if err != nil {
+		fatal(err)
+	}
+
 	target := "in-process"
-	if *addr == "" {
-		svc := mlbs.NewService(mlbs.ServiceConfig{Workers: runtime.GOMAXPROCS(0)})
-		defer svc.Close()
-		send = func(noCache bool) error {
-			_, err := svc.Plan(context.Background(), mlbs.PlanRequest{
-				Generator: &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
-				Scheduler: *sched,
-				NoCache:   noCache,
-			})
-			return err
-		}
-	} else {
+	if *addr != "" {
 		target = *addr
+	}
+	// makeSend builds one budget's request function, plus a cleanup. Each
+	// in-process budget gets a fresh service so its cold/warm phases are
+	// not primed (or pre-improved) by the previous budget's traffic.
+	makeSend := func(budget time.Duration) (func(noCache bool) error, func()) {
+		if *addr == "" {
+			svc := mlbs.NewService(mlbs.ServiceConfig{Workers: runtime.GOMAXPROCS(0), ImproveWorkers: 2})
+			return func(noCache bool) error {
+				_, err := svc.Plan(context.Background(), mlbs.PlanRequest{
+					Generator:     &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
+					Scheduler:     *sched,
+					NoCache:       noCache,
+					ImproveBudget: budget,
+				})
+				return err
+			}, svc.Close
+		}
 		client := &http.Client{Timeout: 5 * time.Minute}
-		send = func(noCache bool) error {
+		return func(noCache bool) error {
 			body, _ := json.Marshal(map[string]any{
 				"n": *n, "seed": *seed, "r": *r,
 				"scheduler": *sched, "no_cache": noCache,
+				"improve_budget_ms": budget.Milliseconds(),
 			})
 			resp, err := client.Post(*addr+"/v1/plan", "application/json", bytes.NewReader(body))
 			if err != nil {
@@ -100,7 +132,7 @@ func main() {
 				return fmt.Errorf("status %d", resp.StatusCode)
 			}
 			return nil
-		}
+		}, func() {}
 	}
 
 	rep := loadReport{
@@ -115,35 +147,19 @@ func main() {
 		Conc:      *conc,
 	}
 
-	// One throwaway request materializes the deployment so the cold phase
-	// measures scheduling, not topology sampling.
-	if err := send(true); err != nil {
-		fatal(err)
-	}
-
-	var err error
-	rep.Cold, err = runPhase(*reqs, *conc, func() error { return send(true) })
-	if err != nil {
-		fatal(err)
-	}
-	// Prime, then measure pure hits.
-	if err := send(false); err != nil {
-		fatal(err)
-	}
-	rep.Warm, err = runPhase(*reqs, *conc, func() error { return send(false) })
-	if err != nil {
-		fatal(err)
-	}
-	if rep.Cold.PlansPerSec > 0 {
-		rep.Speedup = rep.Warm.PlansPerSec / rep.Cold.PlansPerSec
-	}
-
 	fmt.Printf("target=%s n=%d r=%d sched=%s conc=%d\n", target, *n, *r, *sched, *conc)
-	fmt.Printf("cold: %10.1f plans/sec  p50=%-12v p99=%v\n",
-		rep.Cold.PlansPerSec, time.Duration(rep.Cold.P50Ns), time.Duration(rep.Cold.P99Ns))
-	fmt.Printf("warm: %10.1f plans/sec  p50=%-12v p99=%v\n",
-		rep.Warm.PlansPerSec, time.Duration(rep.Warm.P50Ns), time.Duration(rep.Warm.P99Ns))
-	fmt.Printf("warm/cold speedup: %.1f×\n", rep.Speedup)
+	for _, budget := range budgetList {
+		bs, err := runBudget(budget, *reqs, *conc, makeSend)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Budgets = append(rep.Budgets, bs)
+		fmt.Printf("budget=%-6s cold: %10.1f plans/sec  p50=%-12v p99=%v\n",
+			bs.Budget, bs.Cold.PlansPerSec, time.Duration(bs.Cold.P50Ns), time.Duration(bs.Cold.P99Ns))
+		fmt.Printf("budget=%-6s warm: %10.1f plans/sec  p50=%-12v p99=%v  (%.1f× over cold)\n",
+			bs.Budget, bs.Warm.PlansPerSec, time.Duration(bs.Warm.P50Ns), time.Duration(bs.Warm.P99Ns), bs.Speedup)
+	}
+	rep.Cold, rep.Warm, rep.Speedup = rep.Budgets[0].Cold, rep.Budgets[0].Warm, rep.Budgets[0].Speedup
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -155,6 +171,60 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// parseBudgets splits the -budget list; "0" stays a plain zero so the
+// default run is exactly the pre-improver load shape.
+func parseBudgets(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -budget %q: %w", part, err)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		out = []time.Duration{0}
+	}
+	return out, nil
+}
+
+// runBudget measures one budget's cold and warm phases.
+func runBudget(budget time.Duration, reqs, conc int, makeSend func(time.Duration) (func(bool) error, func())) (budgetStats, error) {
+	send, cleanup := makeSend(budget)
+	defer cleanup()
+	bs := budgetStats{Budget: budget.String()}
+	// One throwaway request materializes the deployment so the cold phase
+	// measures scheduling, not topology sampling.
+	if err := send(true); err != nil {
+		return bs, err
+	}
+	var err error
+	bs.Cold, err = runPhase(reqs, conc, func() error { return send(true) })
+	if err != nil {
+		return bs, err
+	}
+	// Prime, then measure pure hits.
+	if err := send(false); err != nil {
+		return bs, err
+	}
+	bs.Warm, err = runPhase(reqs, conc, func() error { return send(false) })
+	if err != nil {
+		return bs, err
+	}
+	if bs.Cold.PlansPerSec > 0 {
+		bs.Speedup = bs.Warm.PlansPerSec / bs.Cold.PlansPerSec
+	}
+	return bs, nil
 }
 
 // runPhase fires total requests from conc workers and aggregates wall

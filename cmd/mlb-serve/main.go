@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mlb-serve [-addr :8080] [-workers 0] [-cache 4096] [-queue 16]
+//	          [-improve-workers 2]
 //	          [-read-header-timeout 5s] [-read-timeout 60s] [-idle-timeout 2m]
 //
 // Endpoints:
@@ -68,6 +69,7 @@ type serveConfig struct {
 	workers           int
 	cache             int
 	queue             int
+	improveWorkers    int
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
@@ -84,6 +86,8 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "scheduling workers (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.cache, "cache", 4096, "plan cache capacity (entries)")
 	fs.IntVar(&cfg.queue, "queue", 16, "per-worker job queue depth")
+	fs.IntVar(&cfg.improveWorkers, "improve-workers", 2,
+		"background anytime-improver goroutines (0 disables background plan upgrades)")
 	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second,
 		"max time to read a request's headers (0 disables)")
 	fs.DurationVar(&cfg.readTimeout, "read-timeout", 60*time.Second,
@@ -121,9 +125,10 @@ func main() {
 		os.Exit(2)
 	}
 	svc := mlbs.NewService(mlbs.ServiceConfig{
-		Workers:       cfg.workers,
-		QueueDepth:    cfg.queue,
-		CacheCapacity: cfg.cache,
+		Workers:        cfg.workers,
+		QueueDepth:     cfg.queue,
+		CacheCapacity:  cfg.cache,
+		ImproveWorkers: cfg.improveWorkers,
 	})
 	defer svc.Close()
 
@@ -196,16 +201,27 @@ type planHTTPRequest struct {
 	Budget    int    `json:"budget,omitempty"`
 	NoCache   bool   `json:"no_cache,omitempty"`
 	Replay    bool   `json:"replay,omitempty"`
+	// ImproveBudgetMs buys anytime improvement: spent synchronously on a
+	// cold miss, or as a background upgrade re-published under the same
+	// digest on a warm hit. 0 keeps the pre-improver path bit-identical.
+	ImproveBudgetMs int64 `json:"improve_budget_ms,omitempty"`
 }
 
 type planHTTPResponse struct {
-	Digest    string          `json:"digest"`
-	Scheduler string          `json:"scheduler"`
-	CacheHit  bool            `json:"cache_hit"`
-	Coalesced bool            `json:"coalesced"`
-	ElapsedNs int64           `json:"elapsed_ns"`
-	Result    json.RawMessage `json:"result"`
-	Report    *mlbs.Report    `json:"report,omitempty"`
+	Digest    string `json:"digest"`
+	Scheduler string `json:"scheduler"`
+	CacheHit  bool   `json:"cache_hit"`
+	Coalesced bool   `json:"coalesced"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	// Exact mirrors the result's exactness at the top level so clients can
+	// tell a proven-optimal plan from a budget-truncated one without
+	// parsing the nested result; Generation/Improved carry the anytime
+	// improver's provenance (omitted for plans it never touched).
+	Exact      bool            `json:"exact"`
+	Generation int             `json:"generation,omitempty"`
+	Improved   bool            `json:"improved,omitempty"`
+	Result     json.RawMessage `json:"result"`
+	Report     *mlbs.Report    `json:"report,omitempty"`
 }
 
 // decodeBody reads a size-limited request body into v, reporting a 400 on
@@ -228,7 +244,12 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &hr) {
 		return
 	}
-	req := mlbs.PlanRequest{Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
+	req := mlbs.PlanRequest{
+		Scheduler:     hr.Scheduler,
+		Budget:        hr.Budget,
+		NoCache:       hr.NoCache,
+		ImproveBudget: time.Duration(hr.ImproveBudgetMs) * time.Millisecond,
+	}
 	inst, gen, err := hr.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -247,12 +268,15 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := planHTTPResponse{
-		Digest:    resp.Digest,
-		Scheduler: resp.Scheduler,
-		CacheHit:  resp.CacheHit,
-		Coalesced: resp.Coalesced,
-		ElapsedNs: resp.Elapsed.Nanoseconds(),
-		Result:    resJSON,
+		Digest:     resp.Digest,
+		Scheduler:  resp.Scheduler,
+		CacheHit:   resp.CacheHit,
+		Coalesced:  resp.Coalesced,
+		ElapsedNs:  resp.Elapsed.Nanoseconds(),
+		Exact:      resp.Result.Exact,
+		Generation: resp.Result.Generation,
+		Improved:   resp.Result.Improved,
+		Result:     resJSON,
 	}
 	if hr.Replay {
 		if inst == nil {
@@ -520,6 +544,14 @@ func handleMetrics(svc *mlbs.PlanService, w http.ResponseWriter) {
 	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_hits_total counter\nmlbs_replan_cache_hits_total %d\n", m.ReplanHits)
 	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_misses_total counter\nmlbs_replan_cache_misses_total %d\n", m.ReplanMisses)
 	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_entries gauge\nmlbs_replan_cache_entries %d\n", m.ReplanEntries)
+	fmt.Fprintf(w, "# TYPE mlbs_improve_total counter\nmlbs_improve_total %d\n", m.Improvements)
+	fmt.Fprintf(w, "# TYPE mlbs_improve_slots_saved_total counter\nmlbs_improve_slots_saved_total %d\n", m.ImproveSlotsSaved)
+	fmt.Fprintf(w, "# TYPE mlbs_improve_queued_total counter\nmlbs_improve_queued_total %d\n", m.ImproveQueued)
+	fmt.Fprintf(w, "# TYPE mlbs_improve_dropped_total counter\nmlbs_improve_dropped_total %d\n", m.ImproveDropped)
+	fmt.Fprintf(w, "# TYPE mlbs_improve_generation_total counter\n")
+	for i, c := range m.Generations {
+		fmt.Fprintf(w, "mlbs_improve_generation_total{gen=\"%d\"} %d\n", i, c)
+	}
 	fmt.Fprintf(w, "# TYPE mlbs_plan_latency_seconds summary\n")
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.5\"} %g\n", m.P50.Seconds())
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.99\"} %g\n", m.P99.Seconds())

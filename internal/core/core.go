@@ -247,6 +247,13 @@ type SearchStats struct {
 	MemoHits    int  // memoized states reused
 	MemoEntries int  // distinct states stored
 	MovesCapped bool // OPT move enumeration hit its cap somewhere
+	// BudgetExhausted reports that the state budget ran out mid-search:
+	// some subtree was abandoned with only its admissible bound. A result
+	// can still be Exact with this set (fail-high proofs survive
+	// truncation), but a non-exact result with it set is a budget
+	// artifact, not a structural limit. Omitted from JSON when false so
+	// pre-existing encodings keep their exact bytes.
+	BudgetExhausted bool `json:",omitempty"`
 }
 
 // Result is a scheduler's output. Exact is true when the scheduler proved
@@ -258,6 +265,13 @@ type Result struct {
 	PA        int
 	Exact     bool
 	Stats     SearchStats
+	// Generation counts quality re-publications of this plan under its
+	// instance digest: 0 is the first plan computed for the key, and each
+	// background improver upgrade re-publishes with the next generation.
+	// Improved marks a schedule the anytime improver has tightened below
+	// its original scheduler's output.
+	Generation int
+	Improved   bool
 }
 
 // Scheduler is the common interface of OPT, G-OPT, E-model and baselines.

@@ -25,6 +25,18 @@ func (s *Search) NewEngine() *Engine { return &Engine{search: s} }
 // Name implements Scheduler.
 func (en *Engine) Name() string { return en.search.name }
 
+// ScheduleWith runs one search with per-call configuration overrides,
+// recycling the engine's arenas exactly like Schedule. The anytime
+// improver drives its tail re-searches through this: every move carries
+// its own state budget and a freshly seeded incumbent, neither of which
+// is known at engine construction. Zero fields of cfg default the same
+// way Search defaults them.
+func (en *Engine) ScheduleWith(in Instance, cfg SearchConfig) (*Result, error) {
+	res, e, err := en.search.run(in, cfg, en.e)
+	en.e = e
+	return res, err
+}
+
 // Schedule implements Scheduler, recycling the engine's arenas.
 func (en *Engine) Schedule(in Instance) (*Result, error) {
 	cfg := en.search.cfg

@@ -280,6 +280,7 @@ func (s *Search) run(in Instance, cfg SearchConfig, reuse *engine) (*Result, *en
 		}
 	}
 	e.stats.MemoEntries = e.memo.count
+	e.stats.BudgetExhausted = e.trunc
 	return &Result{
 		Scheduler: s.name,
 		Schedule:  sched,

@@ -349,13 +349,18 @@ func InstanceDigest(in core.Instance) (Digest, error) {
 // resultJSON is the stored form of a core.Result — the schema both
 // `mlb-run -json` and the plan service's HTTP responses emit.
 type resultJSON struct {
-	Version   int              `json:"version"`
-	Scheduler string           `json:"scheduler"`
-	PA        int              `json:"pa"`
-	Latency   int              `json:"latency"`
-	Exact     bool             `json:"exact"`
-	Stats     core.SearchStats `json:"stats"`
-	Schedule  scheduleJSON     `json:"schedule"`
+	Version   int    `json:"version"`
+	Scheduler string `json:"scheduler"`
+	PA        int    `json:"pa"`
+	Latency   int    `json:"latency"`
+	Exact     bool   `json:"exact"`
+	// Generation and Improved carry the anytime-improver provenance of a
+	// served plan. Both are omitted at their zero values so every wire
+	// encoding that predates the improver stays byte-identical.
+	Generation int              `json:"generation,omitempty"`
+	Improved   bool             `json:"improved,omitempty"`
+	Stats      core.SearchStats `json:"stats"`
+	Schedule   scheduleJSON     `json:"schedule"`
 }
 
 // EncodeResult serializes a scheduler result, schedule included.
@@ -364,13 +369,15 @@ func EncodeResult(res *core.Result) ([]byte, error) {
 		return nil, fmt.Errorf("graphio: nil result")
 	}
 	out := resultJSON{
-		Version:   currentVersion,
-		Scheduler: res.Scheduler,
-		PA:        res.PA,
-		Latency:   res.Schedule.Latency(),
-		Exact:     res.Exact,
-		Stats:     res.Stats,
-		Schedule:  toScheduleJSON(res.Schedule),
+		Version:    currentVersion,
+		Scheduler:  res.Scheduler,
+		PA:         res.PA,
+		Latency:    res.Schedule.Latency(),
+		Exact:      res.Exact,
+		Generation: res.Generation,
+		Improved:   res.Improved,
+		Stats:      res.Stats,
+		Schedule:   toScheduleJSON(res.Schedule),
 	}
 	return json.MarshalIndent(out, "", " ")
 }
@@ -390,10 +397,12 @@ func DecodeResult(data []byte) (*core.Result, error) {
 		return nil, err
 	}
 	return &core.Result{
-		Scheduler: st.Scheduler,
-		Schedule:  s,
-		PA:        st.PA,
-		Exact:     st.Exact,
-		Stats:     st.Stats,
+		Scheduler:  st.Scheduler,
+		Schedule:   s,
+		PA:         st.PA,
+		Exact:      st.Exact,
+		Generation: st.Generation,
+		Improved:   st.Improved,
+		Stats:      st.Stats,
 	}, nil
 }

@@ -1,6 +1,8 @@
 package graphio
 
 import (
+	"bytes"
+
 	"testing"
 
 	"mlbs/internal/core"
@@ -237,5 +239,41 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 	if err := got.Schedule.Validate(in); err != nil {
 		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+}
+
+// TestResultWireStability: a result the improver never touched encodes
+// without the generation/improved keys at all — pre-improver consumers
+// (and golden files) see byte-identical JSON — while improver provenance
+// survives a round trip when present.
+func TestResultWireStability(t *testing.T) {
+	in := paperInstance(t, 60, 3, 0)
+	res, err := core.NewGOPT(0).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"generation", "improved"} {
+		if bytes.Contains(data, []byte(key)) {
+			t.Errorf("unimproved encoding leaks %q:\n%s", key, data)
+		}
+	}
+
+	imp := *res
+	imp.Generation = 3
+	imp.Improved = true
+	data, err = EncodeResult(&imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 3 || !got.Improved {
+		t.Fatalf("provenance lost in round trip: gen %d improved %v", got.Generation, got.Improved)
 	}
 }

@@ -159,6 +159,52 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return val, true
 }
 
+// Peek returns the value under key without bumping its recency or the
+// hit/miss counters. The background improver pool uses this to read the
+// plan it is about to upgrade: a maintenance probe must not distort the
+// traffic statistics operators alert on, nor keep an otherwise-cold entry
+// artificially resident.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var val V
+	if ok {
+		val = e.val
+	}
+	s.mu.Unlock()
+	return val, ok
+}
+
+// Update atomically rewrites the value under key: f observes the current
+// value under the shard lock and returns the replacement plus whether to
+// commit. Returning commit=false leaves the entry untouched; a key that
+// is not resident is never inserted (f is not called), so an upgrade
+// racing an eviction quietly drops instead of resurrecting a dead entry.
+// Neither recency nor the traffic counters move — like Peek, this is a
+// maintenance operation, not a serving probe. f runs under the shard
+// lock and must be fast and must not touch the cache.
+//
+// The serving layer's generation protocol builds on the atomicity: each
+// improver publication reads the resident plan's generation and end slot
+// and commits only a strictly better plan with the next generation, so
+// readers can never observe the generation counter move backwards or the
+// plan quality regress within an entry's lifetime.
+func (c *Cache[V]) Update(key string, f func(cur V) (V, bool)) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var val V
+	if ok {
+		if next, commit := f(e.val); commit {
+			e.val = next
+		}
+		val = e.val
+	}
+	s.mu.Unlock()
+	return val, ok
+}
+
 // Put stores val under key, evicting the shard's least recently used entry
 // when the shard is at its bound. Storing an existing key refreshes the
 // value and its recency.

@@ -253,3 +253,78 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Fatalf("bound violated: %d entries", n)
 	}
 }
+
+func TestPeekDoesNotTouchStatsOrRecency(t *testing.T) {
+	c := New[int](4, 1)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if v, ok := c.Peek("k0"); !ok || v != 0 {
+		t.Fatalf("Peek(k0) = %d, %v", v, ok)
+	}
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatal("Peek invented an entry")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved traffic counters: %+v", st)
+	}
+	// Peek must not have bumped k0: inserting one more entry evicts it
+	// as the least recently used.
+	c.Put("k4", 4)
+	if _, ok := c.Peek("k0"); ok {
+		t.Fatal("Peek refreshed recency; k0 survived eviction")
+	}
+}
+
+func TestUpdateAtomicRMW(t *testing.T) {
+	c := New[int](8, 1)
+	c.Put("a", 5)
+	// Commit path.
+	if v, ok := c.Update("a", func(cur int) (int, bool) { return cur + 1, true }); !ok || v != 6 {
+		t.Fatalf("Update commit = %d, %v", v, ok)
+	}
+	if v, _ := c.Get("a"); v != 6 {
+		t.Fatalf("committed value lost: %d", v)
+	}
+	// Decline path leaves the entry untouched.
+	if v, ok := c.Update("a", func(cur int) (int, bool) { return 99, false }); !ok || v != 6 {
+		t.Fatalf("declined Update = %d, %v", v, ok)
+	}
+	// Absent keys are never inserted and f is never called.
+	called := false
+	if _, ok := c.Update("ghost", func(cur int) (int, bool) { called = true; return 1, true }); ok || called {
+		t.Fatalf("Update on absent key: ok=%v called=%v", ok, called)
+	}
+	if _, ok := c.Peek("ghost"); ok {
+		t.Fatal("Update resurrected an absent key")
+	}
+}
+
+func TestUpdateConcurrentMonotone(t *testing.T) {
+	// 32 goroutines race increment-if-larger updates; the final value must
+	// be the max and no reader may ever observe it decrease.
+	c := New[int](8, 1)
+	c.Put("gen", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := 0
+			for i := 0; i < 200; i++ {
+				v, ok := c.Update("gen", func(cur int) (int, bool) { return cur + 1, true })
+				if !ok {
+					panic("entry vanished")
+				}
+				if v < prev {
+					panic("observed regression")
+				}
+				prev = v
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := c.Get("gen"); v != 32*200 {
+		t.Fatalf("lost updates: %d", v)
+	}
+}

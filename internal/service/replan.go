@@ -158,7 +158,7 @@ func (s *Service) Replan(ctx context.Context, req ReplanRequest) (ReplanResponse
 	var baseHit bool
 	out, hit, coalesced, err := cachedCompute(ctx, s.rcache, rkey, req.NoCache,
 		func(ctx context.Context) (*replanOutcome, error) {
-			basePlan, planHit, _, err := s.planFor(ctx, pkey, base, sp, false)
+			basePlan, planHit, _, err := s.planFor(ctx, pkey, base, sp, false, 0)
 			if err != nil {
 				return nil, err
 			}

@@ -31,6 +31,7 @@ import (
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/emodel"
 	"mlbs/internal/graphio"
+	"mlbs/internal/improve"
 	"mlbs/internal/plancache"
 	"mlbs/internal/reliability"
 	"mlbs/internal/topology"
@@ -60,6 +61,15 @@ type Config struct {
 	// ReplanCacheCapacity bounds the repaired-plan cache keyed by
 	// (base digest, delta digest) that backs Replan requests. Default 1024.
 	ReplanCacheCapacity int
+	// ImproveWorkers is the background anytime-improver pool size. 0 (the
+	// default) disables background improvement entirely: warm hits with an
+	// improve budget are served as-is, exactly the pre-improver behavior.
+	// Cold-path synchronous improvement only needs a request budget, not
+	// the pool.
+	ImproveWorkers int
+	// ImproveQueue bounds the background improvement queue; a full queue
+	// drops the upgrade request (counted, never blocks a Plan). Default 64.
+	ImproveQueue int
 }
 
 // Generator asks the service to build the instance itself from the
@@ -94,6 +104,16 @@ type Request struct {
 	// NoCache bypasses the cache lookup (the result is still stored) —
 	// load generators use it to measure the cold path.
 	NoCache bool
+	// ImproveBudget is the anytime-improvement budget. 0 (the default)
+	// keeps the pre-improver serving path bit-identical. On a cache miss
+	// the budget is spent synchronously after the base search, so the
+	// caller's first answer is already tightened; on a hit the cached plan
+	// is served instantly and a background upgrade is enqueued (when the
+	// pool is enabled and the plan is not already exact), re-published
+	// under the same key with the next Generation. The budget is
+	// deliberately not part of the cache key: all budgets share one entry
+	// per (digest, scheduler), which is what lets generations accumulate.
+	ImproveBudget time.Duration
 }
 
 // Response is one plan answer. Result is shared and immutable.
@@ -134,6 +154,16 @@ type Metrics struct {
 	ReplanHits        int64
 	ReplanMisses      int64
 	ReplanEntries     int
+	// Anytime-improvement traffic: accepted upgrades (sync + background
+	// publications), total latency slots shaved off served plans, and the
+	// background queue's accounting. Generations histograms publications
+	// by the generation they produced (bucket i counts generation i;
+	// the last bucket absorbs everything beyond).
+	Improvements      int64
+	ImproveSlotsSaved int64
+	ImproveQueued     int64
+	ImproveDropped    int64
+	Generations       [improveGenBuckets]int64
 	HitP50            time.Duration
 	HitP99            time.Duration
 	MissP50           time.Duration
@@ -172,6 +202,9 @@ type job struct {
 	val   *valJob    // set for Monte-Carlo validation jobs
 	rep   *replanJob // set for churn-repair jobs
 	reply chan<- jobResult
+	// improve is the synchronous anytime-improvement budget spent on a
+	// cold search's result before it is stored and returned.
+	improve time.Duration
 }
 
 // valJob carries one Monte-Carlo validation: the (shared, immutable)
@@ -208,6 +241,10 @@ type worker struct {
 	engines    map[spec]core.Scheduler
 	replanners map[spec]*churn.Replanner
 	est        *reliability.Estimator
+	// imp is the worker's reusable improver for synchronous cold-path
+	// improvement; like the engines, it is touched only by the worker's
+	// own goroutine so its arenas stay warm.
+	imp *improve.Improver
 }
 
 func (w *worker) run(s *Service) {
@@ -232,7 +269,7 @@ func (w *worker) run(s *Service) {
 			jb.reply <- jobResult{out: out, err: err}
 			continue
 		}
-		res, err := w.exec(jb)
+		res, err := w.exec(s, jb)
 		if err == nil {
 			s.searches.Add(1)
 		}
@@ -267,8 +304,37 @@ func (w *worker) execValidate(jb job) (*validateOutcome, error) {
 	return &validateOutcome{report: rep}, nil
 }
 
-func (w *worker) exec(jb job) (*core.Result, error) {
-	return w.scheduler(resolveSpec(jb.sp, jb.in)).Schedule(jb.in)
+func (w *worker) exec(s *Service, jb job) (*core.Result, error) {
+	res, err := w.scheduler(resolveSpec(jb.sp, jb.in)).Schedule(jb.in)
+	if err != nil || jb.improve <= 0 || res.Exact {
+		return res, err
+	}
+	// Cold-path synchronous improvement: the first answer for this key is
+	// already tightened before it is stored, so even a cache-cold client
+	// with a budget never sees the raw approximation. Published as
+	// Generation 0 — it IS the first plan under this key.
+	if w.imp == nil {
+		w.imp = improve.New()
+	}
+	out, st, ierr := w.imp.Improve(jb.in, res.Schedule, improve.Options{Deadline: jb.improve})
+	if ierr != nil || (st.SlotsSaved == 0 && !st.Exact) {
+		// An improver failure is a quality loss, not a serving failure:
+		// fall back to the unimproved result.
+		return res, nil
+	}
+	next := *res
+	if st.SlotsSaved > 0 {
+		next.Schedule = out
+		next.PA = out.End()
+		next.Improved = true
+		s.improvements.Add(1)
+		s.improveSlotsSaved.Add(int64(st.SlotsSaved))
+		s.genHist[0].Add(1)
+	}
+	// A greedy-optimality proof from the full-tail search upgrades Exact
+	// honestly: no greedy-move schedule ends before this one.
+	next.Exact = next.Exact || st.Exact
+	return &next, nil
 }
 
 // resolveSpec maps the generic "baseline" selection onto the
@@ -330,6 +396,15 @@ type Service struct {
 	closed   bool
 	inflight sync.WaitGroup
 
+	// Background anytime-improvement pool. improving dedupes upgrades per
+	// plan key: a key already queued or running is not enqueued again, so
+	// a hot key under heavy hit traffic costs at most one inflight
+	// improver no matter how many requests carry a budget.
+	improveJobs chan improveJob
+	improveWg   sync.WaitGroup
+	improveMu   sync.Mutex
+	improving   map[string]struct{}
+
 	requests          atomic.Int64
 	searches          atomic.Int64
 	validations       atomic.Int64
@@ -339,8 +414,26 @@ type Service struct {
 	replanIncremental atomic.Int64
 	replanCold        atomic.Int64
 	errs              atomic.Int64
+	improvements      atomic.Int64
+	improveSlotsSaved atomic.Int64
+	improveQueued     atomic.Int64
+	improveDropped    atomic.Int64
+	genHist           [improveGenBuckets]atomic.Int64
 	hitHist           hist
 	missHist          hist
+}
+
+// improveGenBuckets sizes the generation histogram: bucket i counts
+// publications at generation i, with the final bucket absorbing the tail.
+// Generations beyond a handful mean the improver keeps finding slack on a
+// hot key — worth an operator's eye, not worth unbounded counters.
+const improveGenBuckets = 8
+
+// improveJob asks the background pool to upgrade the plan cached under key.
+type improveJob struct {
+	key    string
+	in     core.Instance
+	budget time.Duration
 }
 
 // New builds and starts a service.
@@ -377,7 +470,117 @@ func New(cfg Config) *Service {
 		s.wg.Add(1)
 		go w.run(s)
 	}
+	if cfg.ImproveWorkers > 0 {
+		if cfg.ImproveQueue <= 0 {
+			cfg.ImproveQueue = 64
+		}
+		s.cfg.ImproveQueue = cfg.ImproveQueue
+		s.improveJobs = make(chan improveJob, cfg.ImproveQueue)
+		s.improving = make(map[string]struct{})
+		for i := 0; i < cfg.ImproveWorkers; i++ {
+			s.improveWg.Add(1)
+			go s.runImprover()
+		}
+	}
 	return s
+}
+
+// runImprover is one background pool goroutine: it owns a reusable
+// improver and upgrades cached plans in place, re-publishing every
+// accepted move through the cache's atomic Update so readers always see a
+// monotone (generation, end-slot) pair.
+func (s *Service) runImprover() {
+	defer s.improveWg.Done()
+	imp := improve.New()
+	for jb := range s.improveJobs {
+		s.upgrade(imp, jb)
+		s.improveMu.Lock()
+		delete(s.improving, jb.key)
+		s.improveMu.Unlock()
+	}
+}
+
+// upgrade runs one background improvement against the plan currently
+// cached under jb.key. Peek (not Get) reads it: a maintenance probe must
+// not distort hit/miss accounting or entry recency. Each accepted move is
+// published immediately — anytime semantics means a client hitting the key
+// mid-run gets the best schedule found so far, not the best at enqueue
+// time. Update never inserts, so an upgrade racing an eviction drops
+// instead of resurrecting the entry.
+func (s *Service) upgrade(imp *improve.Improver, jb improveJob) {
+	cur, ok := s.cache.Peek(jb.key)
+	if !ok || cur.Exact {
+		return
+	}
+	publish := func(sched *core.Schedule, exact bool) {
+		s.cache.Update(jb.key, func(res *core.Result) (*core.Result, bool) {
+			if sched.End() >= res.Schedule.End() {
+				// A concurrent writer (another budget's cold compute, a
+				// replan publication) got here with an equal or better
+				// plan; never regress, never bump the generation for a
+				// non-improvement.
+				if exact && sched.End() == res.Schedule.End() && !res.Exact {
+					next := *res
+					next.Exact = true
+					return &next, true
+				}
+				return res, false
+			}
+			next := *res
+			next.Schedule = sched
+			next.PA = sched.End()
+			next.Generation = res.Generation + 1
+			next.Improved = true
+			next.Exact = exact
+			s.improvements.Add(1)
+			s.improveSlotsSaved.Add(int64(res.Schedule.End() - sched.End()))
+			b := next.Generation
+			if b >= improveGenBuckets {
+				b = improveGenBuckets - 1
+			}
+			s.genHist[b].Add(1)
+			return &next, true
+		})
+	}
+	out, st, err := imp.Improve(jb.in, cur.Schedule, improve.Options{
+		Deadline: jb.budget,
+		OnImprove: func(sched *core.Schedule, snap improve.Stats) {
+			publish(sched, false)
+		},
+	})
+	if err != nil {
+		return
+	}
+	if st.Exact {
+		// The full-tail search proved no greedy schedule beats out; stamp
+		// the entry exact if it still holds a plan at that end slot.
+		publish(out, true)
+	}
+}
+
+// enqueueImprove asks the background pool to upgrade key, deduping against
+// upgrades already queued or running. Never blocks: a full queue counts a
+// drop and moves on — improvement is best-effort, serving is not.
+func (s *Service) enqueueImprove(key string, in core.Instance, budget time.Duration) {
+	if s.improveJobs == nil {
+		return
+	}
+	s.improveMu.Lock()
+	if _, busy := s.improving[key]; busy {
+		s.improveMu.Unlock()
+		return
+	}
+	s.improving[key] = struct{}{}
+	s.improveMu.Unlock()
+	select {
+	case s.improveJobs <- improveJob{key: key, in: in, budget: budget}:
+		s.improveQueued.Add(1)
+	default:
+		s.improveMu.Lock()
+		delete(s.improving, key)
+		s.improveMu.Unlock()
+		s.improveDropped.Add(1)
+	}
 }
 
 // Close waits for in-flight requests, stops the workers, and makes further
@@ -395,6 +598,12 @@ func (s *Service) Close() {
 		close(w.jobs)
 	}
 	s.wg.Wait()
+	// No Plan is in flight and the workers are gone, so nothing can
+	// enqueue another upgrade; drain the background pool last.
+	if s.improveJobs != nil {
+		close(s.improveJobs)
+		s.improveWg.Wait()
+	}
 }
 
 // enter registers an in-flight request; it fails once Close has begun.
@@ -476,8 +685,8 @@ func (s *Service) dispatchJob(ctx context.Context, key string, jb job) (jobResul
 }
 
 // dispatch queues one search and waits for its result.
-func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp spec) (*core.Result, error) {
-	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp})
+func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp spec, improveBudget time.Duration) (*core.Result, error) {
+	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp, improve: improveBudget})
 	if err != nil {
 		return nil, err
 	}
@@ -521,9 +730,9 @@ func cachedCompute[V any](ctx context.Context, c *plancache.Cache[V], key string
 
 // planFor obtains the plan behind key: from the cache, or by exactly one
 // dispatched search even under concurrent identical requests.
-func (s *Service) planFor(ctx context.Context, key string, in core.Instance, sp spec, noCache bool) (res *core.Result, hit, coalesced bool, err error) {
+func (s *Service) planFor(ctx context.Context, key string, in core.Instance, sp spec, noCache bool, improveBudget time.Duration) (res *core.Result, hit, coalesced bool, err error) {
 	return cachedCompute(ctx, s.cache, key, noCache, func(ctx context.Context) (*core.Result, error) {
-		return s.dispatch(ctx, key, in, sp)
+		return s.dispatch(ctx, key, in, sp, improveBudget)
 	})
 }
 
@@ -554,7 +763,7 @@ func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
 	key := planKey(digest, sp)
 
 	s.requests.Add(1)
-	res, hit, coalesced, err := s.planFor(ctx, key, in, sp, req.NoCache)
+	res, hit, coalesced, err := s.planFor(ctx, key, in, sp, req.NoCache, req.ImproveBudget)
 	elapsed := time.Since(start)
 	if err != nil {
 		s.errs.Add(1)
@@ -562,6 +771,12 @@ func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
 	}
 	if hit {
 		s.hitHist.observe(elapsed)
+		// Serve best-so-far instantly, improve in the background: a warm
+		// hit with a budget never pays for its own improvement, it funds
+		// the next reader's. Already-exact plans have nothing left.
+		if req.ImproveBudget > 0 && !res.Exact {
+			s.enqueueImprove(key, in, req.ImproveBudget)
+		}
 	} else {
 		s.missHist.observe(elapsed)
 	}
@@ -674,6 +889,10 @@ func (s *Service) Metrics() Metrics {
 	var merged [histBuckets]int64
 	total := s.hitHist.snapshot(&merged)
 	total += s.missHist.snapshot(&merged)
+	var gens [improveGenBuckets]int64
+	for i := range gens {
+		gens[i] = s.genHist[i].Load()
+	}
 	return Metrics{
 		Requests:          s.requests.Load(),
 		Hits:              cs.Hits,
@@ -695,6 +914,11 @@ func (s *Service) Metrics() Metrics {
 		ReplanHits:        rs.Hits,
 		ReplanMisses:      rs.Misses,
 		ReplanEntries:     rs.Entries,
+		Improvements:      s.improvements.Load(),
+		ImproveSlotsSaved: s.improveSlotsSaved.Load(),
+		ImproveQueued:     s.improveQueued.Load(),
+		ImproveDropped:    s.improveDropped.Load(),
+		Generations:       gens,
 		HitP50:            s.hitHist.percentile(0.50),
 		HitP99:            s.hitHist.percentile(0.99),
 		MissP50:           s.missHist.percentile(0.50),

@@ -138,7 +138,7 @@ func (s *Service) Validate(ctx context.Context, req ValidateRequest) (ValidateRe
 	// The schedule itself always goes through the plan cache: re-running
 	// the search would not change the Monte-Carlo answer, only waste a
 	// worker.
-	res, planHit, _, err := s.planFor(ctx, pkey, in, sp, false)
+	res, planHit, _, err := s.planFor(ctx, pkey, in, sp, false, 0)
 	if err != nil {
 		s.errs.Add(1)
 		return ValidateResponse{}, err

@@ -43,6 +43,7 @@ import (
 	"mlbs/internal/geom"
 	"mlbs/internal/graph"
 	"mlbs/internal/graphio"
+	"mlbs/internal/improve"
 	"mlbs/internal/localized"
 	"mlbs/internal/mote"
 	"mlbs/internal/paperfig"
@@ -130,6 +131,14 @@ type (
 	SweepRequest = service.SweepRequest
 	// SweepItem is one streamed sweep result.
 	SweepItem = service.SweepItem
+	// Improver is the anytime schedule improver: it tightens any valid
+	// schedule under a deadline or move budget, never returning worse than
+	// its input (DESIGN.md §14). Not concurrency-safe; one per goroutine.
+	Improver = improve.Improver
+	// ImproveOptions budgets one Improve call.
+	ImproveOptions = improve.Options
+	// ImproveStats reports what an Improve call did.
+	ImproveStats = improve.Stats
 	// Replayer executes schedules against the physics with reusable
 	// buffers; a report stays valid until the replayer's next call.
 	Replayer = sim.Replayer
@@ -476,6 +485,11 @@ func NewReusableOPT(budget, maxSets int) *SearchEngine {
 // LRU-bounded, singleflight-deduplicated schedule cache in front of a
 // sharded worker pool of reusable engines. Close it when done.
 func NewService(cfg ServiceConfig) *PlanService { return service.New(cfg) }
+
+// NewImprover returns a reusable anytime schedule improver. Like the
+// search engines, its arenas survive across calls and it must not be
+// shared between goroutines.
+func NewImprover() *Improver { return improve.New() }
 
 // NewReplayer returns a reusable ideal-channel replayer; reports alias its
 // buffers and stay valid until its next call.
