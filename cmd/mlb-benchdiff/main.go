@@ -20,7 +20,12 @@
 //   - improve[].latency_slots — the anytime improver's slot counts under
 //     deterministic move budgets (must never exceed baseline: the improver
 //     getting WORSE at improving is a regression even inside tolerance, so
-//     these compare with zero relative slack).
+//     these compare with zero relative slack);
+//   - obs[].spans — the span count of a traced cold plan, deterministic for
+//     a fixed request shape, compared exactly;
+//   - obs[].overhead_pct — the tracing-enabled-vs-disabled cold-plan tax,
+//     compared with an absolute percentage-point slack (-obs-slack) because
+//     shared CI runners make tight wall-clock ratios flake.
 //
 // A record present in the baseline but missing from the current report is
 // also a failure: silently dropping a benchmark is how regressions hide.
@@ -54,6 +59,11 @@ type benchReport struct {
 		Name         string `json:"name"`
 		LatencySlots int    `json:"latency_slots"`
 	} `json:"improve"`
+	Obs []struct {
+		Name        string  `json:"name"`
+		OverheadPct float64 `json:"overhead_pct"`
+		Spans       int     `json:"spans"`
+	} `json:"obs"`
 }
 
 // tolerances bundles the comparison knobs.
@@ -64,6 +74,12 @@ type tolerances struct {
 	// AllocSlack is the absolute allocs/op slack added on top of the
 	// relative bound, absorbing fixed-size jitter on small counts.
 	AllocSlack float64
+	// ObsOverheadSlack is the absolute percentage-point slack on the
+	// tracing-overhead comparison: wall-clock ratios on shared CI runners
+	// are too noisy for a tight bound, so the real zero-cost pin lives in
+	// the alloc-count unit tests and this gate only catches the tracing
+	// path becoming grossly expensive.
+	ObsOverheadSlack float64
 }
 
 // compare returns every regression found, empty when the gate passes.
@@ -144,6 +160,31 @@ func compare(baseline, current benchReport, tol tolerances) []string {
 				b.Name, got, b.LatencySlots))
 		}
 	}
+	type obsPin struct {
+		overhead float64
+		spans    int
+	}
+	curObs := make(map[string]obsPin, len(current.Obs))
+	for _, r := range current.Obs {
+		curObs[r.Name] = obsPin{r.OverheadPct, r.Spans}
+	}
+	for _, b := range baseline.Obs {
+		got, ok := curObs[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("obs record %q missing from current report", b.Name))
+			continue
+		}
+		// The span tree of a fixed request shape is deterministic: any
+		// change must be a deliberate baseline update, so compare exactly.
+		if got.spans != b.Spans {
+			fails = append(fails, fmt.Sprintf("%s: traced cold plan has %d spans, baseline %d",
+				b.Name, got.spans, b.Spans))
+		}
+		if got.overhead > b.OverheadPct+tol.ObsOverheadSlack {
+			fails = append(fails, fmt.Sprintf("%s: tracing overhead %.2f%%, baseline %.2f%% (+%.0f-point slack)",
+				b.Name, got.overhead, b.OverheadPct, tol.ObsOverheadSlack))
+		}
+	}
 	return fails
 }
 
@@ -165,6 +206,7 @@ func main() {
 		curPath    = flag.String("current", "BENCH_ci.json", "freshly generated report")
 		tol        = flag.Float64("tol", 0.25, "relative regression tolerance")
 		allocSlack = flag.Float64("alloc-slack", 200, "absolute allocs/op slack")
+		obsSlack   = flag.Float64("obs-slack", 10, "absolute percentage-point slack on tracing overhead")
 	)
 	flag.Parse()
 	if *tol < 0 || math.IsNaN(*tol) {
@@ -181,13 +223,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mlb-benchdiff:", err)
 		os.Exit(2)
 	}
-	fails := compare(baseline, current, tolerances{Rel: *tol, AllocSlack: *allocSlack})
+	fails := compare(baseline, current, tolerances{Rel: *tol, AllocSlack: *allocSlack, ObsOverheadSlack: *obsSlack})
 	if len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d improve records within %.0f%% of baseline\n",
-		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Improve), *tol*100)
+	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d improve, %d obs records within %.0f%% of baseline\n",
+		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Improve), len(baseline.Obs), *tol*100)
 }

@@ -30,10 +30,13 @@ const baselineJSON = `{
   "improve": [
     {"name": "improve/duty-r10-n150/moves8", "latency_slots": 40},
     {"name": "improve/duty-r10-n150/moves64", "latency_slots": 20}
+  ],
+  "obs": [
+    {"name": "obs/cold-plan-n150", "overhead_pct": 1.5, "spans": 5}
   ]
 }`
 
-var defaultTol = tolerances{Rel: 0.25, AllocSlack: 200}
+var defaultTol = tolerances{Rel: 0.25, AllocSlack: 200, ObsOverheadSlack: 10}
 
 func TestCompareIdenticalPasses(t *testing.T) {
 	b := report(t, baselineJSON)
@@ -149,6 +152,42 @@ func TestCompareImproveMissingFails(t *testing.T) {
 	fails := compare(b, cur, defaultTol)
 	if len(fails) != 2 {
 		t.Fatalf("want 2 missing improve records, got %v", fails)
+	}
+}
+
+func TestCompareObsSpanDriftFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	// The span tree is deterministic: even one FEWER span must fail — a
+	// silently vanished phase is an observability regression.
+	cur.Obs[0].Spans = 4
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "spans") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareObsOverheadGate(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Obs[0].OverheadPct = 11.0 // within baseline 1.5 + 10-point slack
+	if fails := compare(b, cur, defaultTol); len(fails) != 0 {
+		t.Fatalf("within-slack overhead flagged: %v", fails)
+	}
+	cur.Obs[0].OverheadPct = 12.0 // beyond the slack
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "overhead") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareObsMissingFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Obs = nil
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "obs record") {
+		t.Fatalf("fails = %v", fails)
 	}
 }
 

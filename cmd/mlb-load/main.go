@@ -7,7 +7,12 @@
 //
 //	mlb-load [-n 300] [-seed 1] [-r 0] [-sched gopt] [-requests 64]
 //	         [-conc 8] [-budget 0,1ms,10ms] [-addr http://host:8080]
-//	         [-out BENCH_load.json]
+//	         [-out BENCH_load.json] [-trace]
+//
+// -trace prints the slowest retained request trace after the run as an
+// indented span tree with per-phase durations and engine counters: against
+// a server it is fetched from GET /debug/traces, in-process a local flight
+// recorder captures every request.
 //
 // Without -addr the service runs in-process (no HTTP in the way); with
 // -addr requests go over the wire to a running mlb-serve. The cold phase
@@ -85,8 +90,16 @@ func main() {
 		addr    = flag.String("addr", "", "target a running mlb-serve (default: in-process)")
 		budgets = flag.String("budget", "0", "comma-separated improvement budgets to sweep (e.g. 0,1ms,10ms)")
 		out     = flag.String("out", "", "also write the report JSON here")
+		trace   = flag.Bool("trace", false, "after the run, pretty-print the slowest retained request trace")
 	)
 	flag.Parse()
+
+	// In-process runs have no mlb-serve flight recorder to ask, so -trace
+	// keeps a local one and threads a trace through every request.
+	var rec *mlbs.TraceRecorder
+	if *trace && *addr == "" {
+		rec = mlbs.NewTraceRecorder(0, 0)
+	}
 
 	budgetList, err := parseBudgets(*budgets)
 	if err != nil {
@@ -104,12 +117,27 @@ func main() {
 		if *addr == "" {
 			svc := mlbs.NewService(mlbs.ServiceConfig{Workers: runtime.GOMAXPROCS(0), ImproveWorkers: 2})
 			return func(noCache bool) error {
-				_, err := svc.Plan(context.Background(), mlbs.PlanRequest{
+				ctx := context.Background()
+				var tr *mlbs.Trace
+				if rec != nil {
+					tr = mlbs.NewTrace("/v1/plan")
+					ctx = mlbs.TraceContext(ctx, tr)
+				}
+				resp, err := svc.Plan(ctx, mlbs.PlanRequest{
 					Generator:     &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
 					Scheduler:     *sched,
 					NoCache:       noCache,
 					ImproveBudget: budget,
 				})
+				if tr != nil {
+					digest, msg := "", ""
+					if err != nil {
+						msg = err.Error()
+					} else {
+						digest = resp.Digest
+					}
+					rec.Record(tr.Finish(digest, msg))
+				}
 				return err
 			}, svc.Close
 		}
@@ -161,6 +189,12 @@ func main() {
 	}
 	rep.Cold, rep.Warm, rep.Speedup = rep.Budgets[0].Cold, rep.Budgets[0].Warm, rep.Budgets[0].Speedup
 
+	if *trace {
+		if err := printSlowestTrace(*addr, rec); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -171,6 +205,42 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// printSlowestTrace renders the slowest retained request trace: from the
+// local recorder for in-process runs, from the server's flight recorder
+// (GET /debug/traces) otherwise.
+func printSlowestTrace(addr string, rec *mlbs.TraceRecorder) error {
+	var slowest *mlbs.TraceSnapshot
+	if addr == "" {
+		if _, slow := rec.Snapshot(); len(slow) > 0 {
+			slowest = slow[0]
+		}
+	} else {
+		resp, err := http.Get(addr + "/debug/traces")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /debug/traces: status %d", resp.StatusCode)
+		}
+		var idx struct {
+			Slowest []*mlbs.TraceSnapshot `json:"slowest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+			return err
+		}
+		if len(idx.Slowest) > 0 {
+			slowest = idx.Slowest[0]
+		}
+	}
+	if slowest == nil {
+		fmt.Println("no request trace retained")
+		return nil
+	}
+	fmt.Printf("\nslowest trace:\n%s", mlbs.FormatTrace(slowest))
+	return nil
 }
 
 // parseBudgets splits the -budget list; "0" stays a plain zero so the

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mlb-serve [-addr :8080] [-workers 0] [-cache 4096] [-queue 16]
-//	          [-improve-workers 2]
+//	          [-improve-workers 2] [-trace-recent 64] [-trace-slowest 16]
 //	          [-read-header-timeout 5s] [-read-timeout 60s] [-idle-timeout 2m]
 //
 // Endpoints:
@@ -17,7 +17,14 @@
 //	POST /v1/replan    incremental re-plan after a topology delta
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text format
+//	GET  /debug/traces           flight recorder: last-N + slowest-N traces
+//	GET  /debug/traces/{digest}  one retained trace as a span tree
 //	/debug/pprof/      runtime profiles
+//
+// Every POST endpoint above (except /v1/sweep) runs under an always-on
+// request trace: the span tree — cache, search, improve, repair phases
+// with search-internal counters — lands in a bounded in-memory flight
+// recorder served by /debug/traces (DESIGN.md §15).
 //
 // A generator-form request and its response:
 //
@@ -56,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	runtimemetrics "runtime/metrics"
 	"syscall"
 	"time"
 
@@ -70,6 +78,8 @@ type serveConfig struct {
 	cache             int
 	queue             int
 	improveWorkers    int
+	traceRecent       int
+	traceSlowest      int
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
@@ -88,6 +98,10 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	fs.IntVar(&cfg.queue, "queue", 16, "per-worker job queue depth")
 	fs.IntVar(&cfg.improveWorkers, "improve-workers", 2,
 		"background anytime-improver goroutines (0 disables background plan upgrades)")
+	fs.IntVar(&cfg.traceRecent, "trace-recent", 64,
+		"flight-recorder ring size: most recent request traces retained for /debug/traces")
+	fs.IntVar(&cfg.traceSlowest, "trace-slowest", 16,
+		"flight-recorder slow board size: slowest request traces retained for /debug/traces")
 	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second,
 		"max time to read a request's headers (0 disables)")
 	fs.DurationVar(&cfg.readTimeout, "read-timeout", 60*time.Second,
@@ -132,7 +146,7 @@ func main() {
 	})
 	defer svc.Close()
 
-	srv := buildServer(cfg, newMux(svc))
+	srv := buildServer(cfg, newMux(svc, newServeObs(cfg.traceRecent, cfg.traceSlowest)))
 	go func() {
 		log.Printf("mlb-serve: listening on %s (%d workers, cache %d)", cfg.addr, cfg.workers, cfg.cache)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -149,16 +163,95 @@ func main() {
 	_ = srv.Shutdown(ctx)
 }
 
-func newMux(svc *mlbs.PlanService) *http.ServeMux {
+// serveObs bundles the server-side observability state: the always-on
+// flight recorder behind /debug/traces and one fixed-edge latency
+// histogram per traced endpoint (the mlbs_http_request_duration_seconds
+// family on /metrics).
+type serveObs struct {
+	rec *mlbs.TraceRecorder
+	lat map[string]*mlbs.LatencyHistogram
+}
+
+// tracedEndpoints are the POST endpoints that run under a request trace,
+// in the order /metrics emits their latency series.
+var tracedEndpoints = []string{"/v1/plan", "/v1/validate", "/v1/replan"}
+
+func newServeObs(recentN, slowestN int) *serveObs {
+	o := &serveObs{
+		rec: mlbs.NewTraceRecorder(recentN, slowestN),
+		lat: make(map[string]*mlbs.LatencyHistogram, len(tracedEndpoints)),
+	}
+	for _, ep := range tracedEndpoints {
+		o.lat[ep] = mlbs.NewLatencyHistogram(nil)
+	}
+	return o
+}
+
+// traced wraps one handler with per-request span tracing: a fresh trace
+// rides the request context into the service (which annotates its cache,
+// search, improve and repair phases), and the finished snapshot lands in
+// the flight recorder plus the endpoint's latency histogram. The handler
+// returns the request's digest (empty if it never got that far) and the
+// terminal error, both recorded on the trace.
+func (o *serveObs) traced(endpoint string, h func(w http.ResponseWriter, r *http.Request) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := mlbs.NewTrace(endpoint)
+		digest, err := h(w, r.WithContext(mlbs.TraceContext(r.Context(), tr)))
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		snap := tr.Finish(digest, msg)
+		o.rec.Record(snap)
+		if snap != nil {
+			o.lat[endpoint].Observe(time.Duration(snap.DurationNs))
+		}
+	}
+}
+
+// tracesIndexResponse is the GET /debug/traces schema.
+type tracesIndexResponse struct {
+	Seen    int64                 `json:"seen"`
+	Recent  []*mlbs.TraceSnapshot `json:"recent"`
+	Slowest []*mlbs.TraceSnapshot `json:"slowest"`
+}
+
+func handleTracesIndex(o *serveObs, w http.ResponseWriter) {
+	recent, slowest := o.rec.Snapshot()
+	if recent == nil {
+		recent = []*mlbs.TraceSnapshot{}
+	}
+	if slowest == nil {
+		slowest = []*mlbs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, tracesIndexResponse{Seen: o.rec.Seen(), Recent: recent, Slowest: slowest})
+}
+
+func handleTraceByDigest(o *serveObs, w http.ResponseWriter, digest string) {
+	if s := o.rec.Find(digest); s != nil {
+		writeJSON(w, http.StatusOK, s)
+		return
+	}
+	httpError(w, http.StatusNotFound, fmt.Errorf("no retained trace for digest %s", digest))
+}
+
+func newMux(svc *mlbs.PlanService, obsv *serveObs) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) { handlePlan(svc, w, r) })
+	mux.HandleFunc("POST /v1/plan", obsv.traced("/v1/plan",
+		func(w http.ResponseWriter, r *http.Request) (string, error) { return handlePlan(svc, w, r) }))
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(svc, w, r) })
-	mux.HandleFunc("POST /v1/validate", func(w http.ResponseWriter, r *http.Request) { handleValidate(svc, w, r) })
-	mux.HandleFunc("POST /v1/replan", func(w http.ResponseWriter, r *http.Request) { handleReplan(svc, w, r) })
+	mux.HandleFunc("POST /v1/validate", obsv.traced("/v1/validate",
+		func(w http.ResponseWriter, r *http.Request) (string, error) { return handleValidate(svc, w, r) }))
+	mux.HandleFunc("POST /v1/replan", obsv.traced("/v1/replan",
+		func(w http.ResponseWriter, r *http.Request) (string, error) { return handleReplan(svc, w, r) }))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, w) })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, obsv, w) })
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) { handleTracesIndex(obsv, w) })
+	mux.HandleFunc("GET /debug/traces/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		handleTraceByDigest(obsv, w, r.PathValue("digest"))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -225,24 +318,28 @@ type planHTTPResponse struct {
 }
 
 // decodeBody reads a size-limited request body into v, reporting a 400 on
-// failure. It returns false when the handler should stop.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+// failure. A non-nil return means the handler should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return false
+		return err
 	}
 	if err := json.Unmarshal(data, v); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return false
+		err = fmt.Errorf("bad request body: %w", err)
+		httpError(w, http.StatusBadRequest, err)
+		return err
 	}
-	return true
+	return nil
 }
 
-func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+// Handlers return the request's digest and terminal error for the trace
+// middleware; the HTTP response itself is already written by the time
+// they return.
+func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) (string, error) {
 	var hr planHTTPRequest
-	if !decodeBody(w, r, &hr) {
-		return
+	if err := decodeBody(w, r, &hr); err != nil {
+		return "", err
 	}
 	req := mlbs.PlanRequest{
 		Scheduler:     hr.Scheduler,
@@ -253,19 +350,19 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 	inst, gen, err := hr.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	req.Instance, req.Generator = inst, gen
 
 	resp, err := svc.Plan(r.Context(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	resJSON, err := mlbs.EncodeResult(resp.Result)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
-		return
+		return resp.Digest, err
 	}
 	out := planHTTPResponse{
 		Digest:     resp.Digest,
@@ -285,18 +382,19 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
 			in, err := generatorInstance(hr.baseSelection)
 			if err != nil {
 				httpError(w, http.StatusInternalServerError, err)
-				return
+				return resp.Digest, err
 			}
 			inst = &in
 		}
 		rep, err := mlbs.Replay(*inst, resp.Result.Schedule)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
-			return
+			return resp.Digest, err
 		}
 		out.Report = rep
 	}
 	writeJSON(w, http.StatusOK, out)
+	return resp.Digest, nil
 }
 
 // generatorInstance mirrors the service's generator resolution (and
@@ -360,10 +458,10 @@ type repairHTTP struct {
 	Schedule        json.RawMessage `json:"schedule"`
 }
 
-func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) (string, error) {
 	var hr validateHTTPRequest
-	if !decodeBody(w, r, &hr) {
-		return
+	if err := decodeBody(w, r, &hr); err != nil {
+		return "", err
 	}
 	req := mlbs.ValidateRequest{
 		Scheduler:     hr.Scheduler,
@@ -377,19 +475,19 @@ func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Reques
 	inst, gen, err := hr.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	req.Instance, req.Generator = inst, gen
 
 	resp, err := svc.Validate(r.Context(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	repJSON, err := mlbs.EncodeReliabilityReport(resp.Report)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
-		return
+		return resp.Digest, err
 	}
 	out := validateHTTPResponse{
 		Digest:       resp.Digest,
@@ -404,12 +502,12 @@ func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Reques
 		beforeJSON, err := mlbs.EncodeReliabilityReport(rr.Before)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
-			return
+			return resp.Digest, err
 		}
 		schedJSON, err := mlbs.EncodeSchedule(rr.Schedule)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
-			return
+			return resp.Digest, err
 		}
 		out.Repair = &repairHTTP{
 			Target:          rr.Target,
@@ -424,6 +522,7 @@ func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Reques
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+	return resp.Digest, nil
 }
 
 // replanHTTPRequest is the wire form of a churn repair: the base-instance
@@ -450,37 +549,38 @@ type replanHTTPResponse struct {
 	Result       json.RawMessage `json:"result"`
 }
 
-func handleReplan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
+func handleReplan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) (string, error) {
 	var hr replanHTTPRequest
-	if !decodeBody(w, r, &hr) {
-		return
+	if err := decodeBody(w, r, &hr); err != nil {
+		return "", err
 	}
 	if len(hr.Delta) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("replan request needs a delta"))
-		return
+		err := fmt.Errorf("replan request needs a delta")
+		httpError(w, http.StatusBadRequest, err)
+		return "", err
 	}
 	delta, err := mlbs.DecodeChurnDelta(hr.Delta)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	req := mlbs.ReplanRequest{Delta: delta, Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
 	inst, gen, err := hr.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	req.Base, req.Generator = inst, gen
 
 	resp, err := svc.Replan(r.Context(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return "", err
 	}
 	resJSON, err := mlbs.EncodeResult(resp.Result)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
-		return
+		return resp.Digest, err
 	}
 	writeJSON(w, http.StatusOK, replanHTTPResponse{
 		BaseDigest:   resp.BaseDigest,
@@ -495,6 +595,7 @@ func handleReplan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request)
 		ElapsedNs:    resp.Elapsed.Nanoseconds(),
 		Result:       resJSON,
 	})
+	return resp.Digest, nil
 }
 
 func handleSweep(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) {
@@ -521,44 +622,78 @@ func handleSweep(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) 
 	}
 }
 
-func handleMetrics(svc *mlbs.PlanService, w http.ResponseWriter) {
+func handleMetrics(svc *mlbs.PlanService, obsv *serveObs, w http.ResponseWriter) {
 	m := svc.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# TYPE mlbs_plan_requests_total counter\nmlbs_plan_requests_total %d\n", m.Requests)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_hits_total counter\nmlbs_plan_cache_hits_total %d\n", m.Hits)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_misses_total counter\nmlbs_plan_cache_misses_total %d\n", m.Misses)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_coalesced_total counter\nmlbs_plan_coalesced_total %d\n", m.Coalesced)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_searches_total counter\nmlbs_plan_searches_total %d\n", m.Searches)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_errors_total counter\nmlbs_plan_errors_total %d\n", m.Errors)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_evictions_total counter\nmlbs_plan_cache_evictions_total %d\n", m.Evictions)
-	fmt.Fprintf(w, "# TYPE mlbs_plan_cache_entries gauge\nmlbs_plan_cache_entries %d\n", m.CacheEntries)
-	fmt.Fprintf(w, "# TYPE mlbs_validate_requests_total counter\nmlbs_validate_requests_total %d\n", m.Validations)
-	fmt.Fprintf(w, "# TYPE mlbs_validate_trials_total counter\nmlbs_validate_trials_total %d\n", m.MonteCarloTrials)
-	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_hits_total counter\nmlbs_validate_cache_hits_total %d\n", m.ValidateHits)
-	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_misses_total counter\nmlbs_validate_cache_misses_total %d\n", m.ValidateMisses)
-	fmt.Fprintf(w, "# TYPE mlbs_validate_cache_entries gauge\nmlbs_validate_cache_entries %d\n", m.ValidateEntries)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_requests_total counter\nmlbs_replan_requests_total %d\n", m.Replans)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_prefix_total counter\nmlbs_replan_prefix_total %d\n", m.ReplanPrefix)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_incremental_total counter\nmlbs_replan_incremental_total %d\n", m.ReplanIncremental)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_cold_total counter\nmlbs_replan_cold_total %d\n", m.ReplanCold)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_hits_total counter\nmlbs_replan_cache_hits_total %d\n", m.ReplanHits)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_misses_total counter\nmlbs_replan_cache_misses_total %d\n", m.ReplanMisses)
-	fmt.Fprintf(w, "# TYPE mlbs_replan_cache_entries gauge\nmlbs_replan_cache_entries %d\n", m.ReplanEntries)
-	fmt.Fprintf(w, "# TYPE mlbs_improve_total counter\nmlbs_improve_total %d\n", m.Improvements)
-	fmt.Fprintf(w, "# TYPE mlbs_improve_slots_saved_total counter\nmlbs_improve_slots_saved_total %d\n", m.ImproveSlotsSaved)
-	fmt.Fprintf(w, "# TYPE mlbs_improve_queued_total counter\nmlbs_improve_queued_total %d\n", m.ImproveQueued)
-	fmt.Fprintf(w, "# TYPE mlbs_improve_dropped_total counter\nmlbs_improve_dropped_total %d\n", m.ImproveDropped)
+	mlbs.WritePromCounter(w, "mlbs_plan_requests_total", "Plan requests received.", m.Requests)
+	mlbs.WritePromCounter(w, "mlbs_plan_cache_hits_total", "Plan requests answered from the schedule cache.", m.Hits)
+	mlbs.WritePromCounter(w, "mlbs_plan_cache_misses_total", "Plan requests that missed the schedule cache.", m.Misses)
+	mlbs.WritePromCounter(w, "mlbs_plan_coalesced_total", "Plan requests coalesced onto another caller's in-flight search.", m.Coalesced)
+	mlbs.WritePromCounter(w, "mlbs_plan_searches_total", "Schedule searches actually executed by the worker pool.", m.Searches)
+	mlbs.WritePromCounter(w, "mlbs_plan_errors_total", "Requests that ended in an error.", m.Errors)
+	mlbs.WritePromCounter(w, "mlbs_plan_cache_evictions_total", "Schedule-cache LRU evictions.", m.Evictions)
+	mlbs.WritePromGauge(w, "mlbs_plan_cache_entries", "Schedule-cache entries currently resident.", int64(m.CacheEntries))
+	mlbs.WritePromGauge(w, "mlbs_plan_cache_capacity", "Schedule-cache entry bound (pair with mlbs_plan_cache_entries for occupancy).", int64(m.CacheCapacity))
+	mlbs.WritePromCounter(w, "mlbs_engine_states_total", "Branch-and-bound states expanded across every search the service ran.", m.EngineStates)
+	mlbs.WritePromCounter(w, "mlbs_engine_memo_hits_total", "Search memo-table hits across every search the service ran.", m.EngineMemoHits)
+	mlbs.WritePromCounter(w, "mlbs_validate_requests_total", "Reliability validation requests received.", m.Validations)
+	mlbs.WritePromCounter(w, "mlbs_validate_trials_total", "Monte-Carlo trials executed.", m.MonteCarloTrials)
+	mlbs.WritePromCounter(w, "mlbs_validate_cache_hits_total", "Validations answered from the reliability-report cache.", m.ValidateHits)
+	mlbs.WritePromCounter(w, "mlbs_validate_cache_misses_total", "Validations that missed the reliability-report cache.", m.ValidateMisses)
+	mlbs.WritePromGauge(w, "mlbs_validate_cache_entries", "Reliability-report cache entries currently resident.", int64(m.ValidateEntries))
+	mlbs.WritePromCounter(w, "mlbs_replan_requests_total", "Churn replan requests received.", m.Replans)
+	mlbs.WritePromCounter(w, "mlbs_replan_prefix_total", "Repairs classified prefix-reusable.", m.ReplanPrefix)
+	mlbs.WritePromCounter(w, "mlbs_replan_incremental_total", "Repairs classified incremental.", m.ReplanIncremental)
+	mlbs.WritePromCounter(w, "mlbs_replan_cold_total", "Repairs that fell back to a cold full search.", m.ReplanCold)
+	mlbs.WritePromCounter(w, "mlbs_replan_cache_hits_total", "Replans answered from the repair cache.", m.ReplanHits)
+	mlbs.WritePromCounter(w, "mlbs_replan_cache_misses_total", "Replans that missed the repair cache.", m.ReplanMisses)
+	mlbs.WritePromGauge(w, "mlbs_replan_cache_entries", "Repair-cache entries currently resident.", int64(m.ReplanEntries))
+	mlbs.WritePromCounter(w, "mlbs_improve_total", "Anytime-improver upgrades accepted (sync and background).", m.Improvements)
+	mlbs.WritePromCounter(w, "mlbs_improve_slots_saved_total", "Latency slots shaved off served plans by the improver.", m.ImproveSlotsSaved)
+	mlbs.WritePromCounter(w, "mlbs_improve_queued_total", "Background improvement jobs enqueued.", m.ImproveQueued)
+	mlbs.WritePromCounter(w, "mlbs_improve_dropped_total", "Background improvement jobs dropped on a full queue.", m.ImproveDropped)
+	mlbs.WritePromGauge(w, "mlbs_improve_queue_depth", "Background improver queue occupancy.", int64(m.ImproveQueueDepth))
+	fmt.Fprintf(w, "# HELP mlbs_improve_generation_total Plan publications by improvement generation.\n")
 	fmt.Fprintf(w, "# TYPE mlbs_improve_generation_total counter\n")
 	for i, c := range m.Generations {
 		fmt.Fprintf(w, "mlbs_improve_generation_total{gen=\"%d\"} %d\n", i, c)
 	}
+	mlbs.WritePromCounter(w, "mlbs_traces_recorded_total", "Request traces finished into the flight recorder.", obsv.rec.Seen())
+	fmt.Fprintf(w, "# HELP mlbs_plan_latency_seconds Plan request latency quantiles (all requests).\n")
 	fmt.Fprintf(w, "# TYPE mlbs_plan_latency_seconds summary\n")
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.5\"} %g\n", m.P50.Seconds())
 	fmt.Fprintf(w, "mlbs_plan_latency_seconds{quantile=\"0.99\"} %g\n", m.P99.Seconds())
-	fmt.Fprintf(w, "mlbs_plan_hit_latency_seconds{quantile=\"0.5\"} %g\n", m.HitP50.Seconds())
-	fmt.Fprintf(w, "mlbs_plan_hit_latency_seconds{quantile=\"0.99\"} %g\n", m.HitP99.Seconds())
-	fmt.Fprintf(w, "mlbs_plan_miss_latency_seconds{quantile=\"0.5\"} %g\n", m.MissP50.Seconds())
-	fmt.Fprintf(w, "mlbs_plan_miss_latency_seconds{quantile=\"0.99\"} %g\n", m.MissP99.Seconds())
+	mlbs.WritePromHistogram(w, "mlbs_plan_hit_latency_seconds",
+		"Latency distribution of plan requests answered from the cache.", "", m.HitLatency)
+	mlbs.WritePromHistogram(w, "mlbs_plan_miss_latency_seconds",
+		"Latency distribution of plan requests that ran a search.", "", m.MissLatency)
+	fmt.Fprintf(w, "# HELP mlbs_http_request_duration_seconds End-to-end request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE mlbs_http_request_duration_seconds histogram\n")
+	for _, ep := range tracedEndpoints {
+		mlbs.WritePromHistogramSeries(w, "mlbs_http_request_duration_seconds",
+			fmt.Sprintf("endpoint=%q", ep), obsv.lat[ep].Snapshot())
+	}
+	writeRuntimeMetrics(w)
+}
+
+// writeRuntimeMetrics exports the process-health slice of runtime/metrics:
+// live goroutines, completed GC cycles, and live heap bytes.
+func writeRuntimeMetrics(w io.Writer) {
+	samples := []runtimemetrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	runtimemetrics.Read(samples)
+	if samples[0].Value.Kind() == runtimemetrics.KindUint64 {
+		mlbs.WritePromGauge(w, "mlbs_goroutines", "Live goroutines.", int64(samples[0].Value.Uint64()))
+	}
+	if samples[1].Value.Kind() == runtimemetrics.KindUint64 {
+		mlbs.WritePromCounter(w, "mlbs_gc_cycles_total", "Completed GC cycles.", int64(samples[1].Value.Uint64()))
+	}
+	if samples[2].Value.Kind() == runtimemetrics.KindUint64 {
+		mlbs.WritePromGauge(w, "mlbs_heap_objects_bytes", "Bytes of live heap objects.", int64(samples[2].Value.Uint64()))
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -12,6 +12,126 @@ import (
 	"mlbs"
 )
 
+// TestDebugTracesEndpoints drives the flight-recorder HTTP surface: a cold
+// plan must leave a retained trace whose span tree carries the cache,
+// search and improve phases, retrievable both from the index and by
+// digest; /metrics must expose the new engine counters and the
+// hit-latency histogram in standard Prometheus form.
+func TestDebugTracesEndpoints(t *testing.T) {
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(svc, newServeObs(0, 0)))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json",
+		strings.NewReader(`{"n":100,"seed":7,"improve_budget_ms":20}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var plan planHTTPResponse
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Digest) != 64 || plan.CacheHit {
+		t.Fatalf("cold plan response: %+v", plan)
+	}
+
+	// Index: the trace is in the ring (and, as the only request, on the
+	// slow board) with its digest attached.
+	ir, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ir.Body.Close()
+	var idx tracesIndexResponse
+	if err := json.NewDecoder(ir.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Seen != 1 || len(idx.Recent) != 1 || len(idx.Slowest) != 1 {
+		t.Fatalf("index after one request: seen=%d recent=%d slowest=%d", idx.Seen, len(idx.Recent), len(idx.Slowest))
+	}
+	if idx.Recent[0].Digest != plan.Digest || idx.Recent[0].Endpoint != "/v1/plan" {
+		t.Fatalf("retained trace: %+v", idx.Recent[0])
+	}
+
+	// By digest: the span tree carries the cache, search and improve
+	// phases (the acceptance contract).
+	tr, err := http.Get(ts.URL + "/debug/traces/" + plan.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace by digest: status %d", tr.StatusCode)
+	}
+	var snap mlbs.TraceSnapshot
+	if err := json.NewDecoder(tr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	for _, c := range snap.Root.Children {
+		phases[c.Name] = true
+	}
+	for _, want := range []string{"cache", "search", "improve"} {
+		if !phases[want] {
+			t.Fatalf("trace lacks %q phase: have %v", want, phases)
+		}
+	}
+	for _, c := range snap.Root.Children {
+		if c.Name != "search" {
+			continue
+		}
+		if exp, _ := c.Attrs["expanded"].(float64); exp <= 0 {
+			t.Fatalf("search span carries no engine counters: %v", c.Attrs)
+		}
+	}
+
+	// Unknown digest is a 404, not an empty 200.
+	nf, err := http.Get(ts.URL + "/debug/traces/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d", nf.StatusCode)
+	}
+
+	// The expanded Prometheus surface: HELP lines, the engine totals, and
+	// a conformant histogram for miss latency.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	mb, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(mb)
+	for _, want := range []string{
+		"# HELP mlbs_plan_requests_total",
+		"# TYPE mlbs_plan_miss_latency_seconds histogram",
+		"mlbs_plan_miss_latency_seconds_bucket{le=\"+Inf\"} 1",
+		"mlbs_plan_miss_latency_seconds_count 1",
+		"# TYPE mlbs_plan_hit_latency_seconds histogram",
+		"mlbs_http_request_duration_seconds_bucket{endpoint=\"/v1/plan\",le=\"+Inf\"} 1",
+		"mlbs_plan_cache_capacity",
+		"mlbs_improve_queue_depth",
+		"mlbs_traces_recorded_total 1",
+		"mlbs_goroutines",
+		"mlbs_gc_cycles_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "mlbs_engine_states_total ") ||
+		strings.Contains(metrics, "mlbs_engine_states_total 0\n") {
+		t.Fatalf("engine states total missing or zero after a cold search:\n%s", metrics)
+	}
+}
+
 // TestParseServeFlagsDefaults pins the satellite fix: the server must ship
 // with non-zero read-header/read/idle timeouts so a single slow client
 // cannot pin a connection forever.
@@ -59,7 +179,7 @@ func TestParseServeFlagsPlumbing(t *testing.T) {
 func TestValidateEndpointSmoke(t *testing.T) {
 	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 2})
 	defer svc.Close()
-	ts := httptest.NewServer(newMux(svc))
+	ts := httptest.NewServer(newMux(svc, newServeObs(0, 0)))
 	defer ts.Close()
 
 	body := `{"n":80,"seed":3,"loss_rate":0.1,"loss_seed":1,"trials":100,"target":0.98}`
@@ -144,7 +264,7 @@ func TestValidateEndpointSmoke(t *testing.T) {
 func TestReplanEndpointSmoke(t *testing.T) {
 	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 2})
 	defer svc.Close()
-	ts := httptest.NewServer(newMux(svc))
+	ts := httptest.NewServer(newMux(svc, newServeObs(0, 0)))
 	defer ts.Close()
 
 	body := `{"n":80,"seed":3,"delta":{"version":1,"events":[

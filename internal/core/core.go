@@ -254,6 +254,21 @@ type SearchStats struct {
 	// artifact, not a structural limit. Omitted from JSON when false so
 	// pre-existing encodings keep their exact bytes.
 	BudgetExhausted bool `json:",omitempty"`
+	// Depths holds the per-depth search profile — indexed by DFS depth —
+	// when the search ran with SearchConfig.DepthProfile set (traced
+	// requests only). Nil otherwise, and omitted from JSON when nil so
+	// pre-existing Result encodings keep their exact bytes.
+	Depths []DepthStats `json:",omitempty"`
+}
+
+// DepthStats is one depth level of a profiled search: how many states the
+// DFS expanded there, how many memo hits short-circuited recursion, and
+// how many subtrees each prune class cut.
+type DepthStats struct {
+	Expanded    int `json:",omitempty"` // states expanded at this depth
+	MemoHits    int `json:",omitempty"` // memo lookups that answered here
+	BoundPrunes int `json:",omitempty"` // subtrees cut by the admissible lower bound
+	BudgetCuts  int `json:",omitempty"` // subtrees abandoned when the budget ran out
 }
 
 // Result is a scheduler's output. Exact is true when the scheduler proved

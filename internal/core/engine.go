@@ -39,6 +39,19 @@ func (en *Engine) ScheduleWith(in Instance, cfg SearchConfig) (*Result, error) {
 
 // Schedule implements Scheduler, recycling the engine's arenas.
 func (en *Engine) Schedule(in Instance) (*Result, error) {
+	return en.schedule(in, false)
+}
+
+// ScheduleProfiled runs Schedule with the per-depth search profile
+// enabled: the Result's Stats.Depths reports expansions, memo hits and
+// prune counts by DFS depth. Traced requests use this; the plain
+// Schedule path stays profile-free so untraced results keep their exact
+// historic encodings.
+func (en *Engine) ScheduleProfiled(in Instance) (*Result, error) {
+	return en.schedule(in, true)
+}
+
+func (en *Engine) schedule(in Instance, profile bool) (*Result, error) {
 	cfg := en.search.cfg
 	if cfg.Incumbent == nil && cfg.Moves == MaximalMoves {
 		if en.inc == nil {
@@ -46,6 +59,7 @@ func (en *Engine) Schedule(in Instance) (*Result, error) {
 		}
 		cfg.Incumbent = en.inc
 	}
+	cfg.DepthProfile = profile
 	res, e, err := en.search.run(in, cfg, en.e)
 	en.e = e
 	return res, err

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"mlbs/internal/topology"
+)
+
+// TestDepthProfileInvariance pins the observability contract of the
+// per-depth search profile: a profiled run returns exactly the schedule
+// and aggregate stats of an unprofiled run (the profile observes, never
+// steers), its per-depth rows sum back to the aggregates, and an
+// unprofiled run carries no Depths at all — that nil is what keeps
+// pre-profile Result encodings byte-identical.
+func TestDepthProfileInvariance(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 21} {
+		dep, err := topology.Generate(topology.PaperConfig(100), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Sync(dep.G, dep.Source)
+
+		en := NewGOPT(0).NewEngine()
+		plain, err := en.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Stats.Depths != nil {
+			t.Fatalf("seed %d: unprofiled run carries Depths", seed)
+		}
+
+		prof, err := NewGOPT(0).NewEngine().ScheduleProfiled(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.Schedule.End() != plain.Schedule.End() || prof.PA != plain.PA || prof.Exact != plain.Exact {
+			t.Fatalf("seed %d: profiling changed the result: end %d/%d PA %d/%d",
+				seed, prof.Schedule.End(), plain.Schedule.End(), prof.PA, plain.PA)
+		}
+		if prof.Stats.Expanded != plain.Stats.Expanded || prof.Stats.MemoHits != plain.Stats.MemoHits {
+			t.Fatalf("seed %d: profiling changed search effort: %+v vs %+v",
+				seed, prof.Stats, plain.Stats)
+		}
+		if len(prof.Stats.Depths) == 0 {
+			t.Fatalf("seed %d: profiled run collected no depth rows", seed)
+		}
+		var exp, memo int
+		for _, d := range prof.Stats.Depths {
+			exp += d.Expanded
+			memo += d.MemoHits
+		}
+		if exp != prof.Stats.Expanded || memo != prof.Stats.MemoHits {
+			t.Fatalf("seed %d: depth rows don't sum to aggregates: expanded %d/%d memo %d/%d",
+				seed, exp, prof.Stats.Expanded, memo, prof.Stats.MemoHits)
+		}
+
+		// Reuse hazard: a profiled run followed by a plain run on the same
+		// engine must not leak or mutate the first result's profile.
+		en2 := NewGOPT(0).NewEngine()
+		p1, err := en2.ScheduleProfiled(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := len(p1.Stats.Depths)
+		p2, err := en2.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2.Stats.Depths != nil {
+			t.Fatalf("seed %d: profile leaked into the next unprofiled run", seed)
+		}
+		if len(p1.Stats.Depths) != rows {
+			t.Fatalf("seed %d: engine reuse mutated a handed-out profile", seed)
+		}
+	}
+}

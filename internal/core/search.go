@@ -42,6 +42,11 @@ type SearchConfig struct {
 	// Incumbent seeds the upper bound; nil uses the E-model policy, which
 	// is both the paper's practical scheme and a strong initial incumbent.
 	Incumbent Scheduler
+	// DepthProfile collects per-depth expansion/memo/prune counters into
+	// SearchStats.Depths. Off by default: profiled runs pay one branch and
+	// a small slice append per DFS event, and untraced requests must stay
+	// bit-identical to historic encodings.
+	DepthProfile bool
 }
 
 // DefaultBudget bounds search effort when SearchConfig.Budget is zero.
@@ -110,6 +115,7 @@ type engine struct {
 	period  int
 	memo    memoTable
 	stats   SearchStats
+	depths  []DepthStats // per-depth profile, cfg.DepthProfile only
 	budget  int
 	trunc   bool
 	bestEnd int
@@ -173,6 +179,7 @@ func (e *engine) reset(in Instance, cfg SearchConfig) {
 	e.memo.reset()
 	e.memo.seed = memoSeedFor(e.k)
 	e.stats = SearchStats{}
+	e.depths = nil // never reuse: the previous Result aliases the slice
 	e.budget = cfg.Budget
 	e.trunc = false
 	e.bestEnd = 0
@@ -188,6 +195,16 @@ func (e *engine) frame(depth int) *frame {
 		e.frames = append(e.frames, f)
 	}
 	return e.frames[depth]
+}
+
+// depthStats returns the profile row for depth, growing the profile on
+// first descent. Callers must have checked cfg.DepthProfile — the common
+// (unprofiled) search never reaches this.
+func (e *engine) depthStats(depth int) *DepthStats {
+	for len(e.depths) <= depth {
+		e.depths = append(e.depths, DepthStats{})
+	}
+	return &e.depths[depth]
 }
 
 // Schedule implements Scheduler.
@@ -281,6 +298,7 @@ func (s *Search) run(in Instance, cfg SearchConfig, reuse *engine) (*Result, *en
 	}
 	e.stats.MemoEntries = e.memo.count
 	e.stats.BudgetExhausted = e.trunc
+	e.stats.Depths = e.depths // nil unless cfg.DepthProfile collected rows
 	return &Result{
 		Scheduler: s.name,
 		Schedule:  sched,
@@ -438,25 +456,40 @@ func (e *engine) dfs(depth int, w bitset.Set, t, limit int) (int, bool) {
 	}
 	lb := slot + hop - 1
 	if lb >= limit {
+		if e.cfg.DepthProfile {
+			e.depthStats(depth).BoundPrunes++
+		}
 		return lb, false
 	}
 	tmod := slot % e.period
 	if r, kind := e.memo.lookup(w, tmod); kind != memoEmpty {
 		if kind == memoExact {
 			e.stats.MemoHits++
+			if e.cfg.DepthProfile {
+				e.depthStats(depth).MemoHits++
+			}
 			return slot + int(r), true
 		}
 		if v := slot + int(r); v >= limit {
 			e.stats.MemoHits++
+			if e.cfg.DepthProfile {
+				e.depthStats(depth).MemoHits++
+			}
 			return v, false
 		}
 	}
 	if e.budget <= 0 {
 		e.trunc = true
+		if e.cfg.DepthProfile {
+			e.depthStats(depth).BudgetCuts++
+		}
 		return lb, false
 	}
 	e.budget--
 	e.stats.Expanded++
+	if e.cfg.DepthProfile {
+		e.depthStats(depth).Expanded++
+	}
 
 	bestExact, minLB := inf, inf
 	for i := range e.moves(fr, w, cands, slot) {

@@ -90,6 +90,19 @@ type Stats struct {
 	Expanded   int  // search states expanded across all tail re-searches
 	Exact      bool // output proved optimal over greedy-move schedules
 	Converged  bool // every neighborhood dried up before the budget did
+	// Per-neighborhood breakdown of the same run: the aggregate counters
+	// above are the sums of these four (Moves = ΣAttempted, and so on).
+	Norm  MoveStats // input normalization replay
+	Tail  MoveStats // branch-and-bound tail re-searches
+	Merge MoveStats // slot merges and channel re-packs
+	Shift MoveStats // last-group wake-wait retiming
+}
+
+// MoveStats is one neighborhood's slice of an Improve run.
+type MoveStats struct {
+	Attempted  int // candidates evaluated
+	Accepted   int // candidates adopted
+	SlotsSaved int // end-slot reduction credited to this neighborhood
 }
 
 // Improver owns the reusable arenas of the anytime local search: one
@@ -261,7 +274,8 @@ func (imp *Improver) Improve(in core.Instance, sched *core.Schedule, opt Options
 	// dissolved advances before any neighborhood runs.
 	if bud.spend() {
 		st.Moves++
-		if _, err := imp.tryCandidate(in, s, s.cur, &st, opt); err != nil {
+		st.Norm.Attempted++
+		if _, err := imp.tryCandidate(in, s, s.cur, &st, &st.Norm, opt); err != nil {
 			return nil, st, err
 		}
 	}
@@ -280,6 +294,7 @@ func (imp *Improver) Improve(in core.Instance, sched *core.Schedule, opt Options
 				}
 				st.Moves++
 				st.Searches++
+				st.Tail.Attempted++
 				acc, proof, err := imp.tryTail(in, s, cut, searchBudget, &st, opt)
 				if err != nil {
 					return nil, st, err
@@ -401,7 +416,7 @@ func (imp *Improver) tryTail(in core.Instance, s *state, cut, searchBudget int, 
 	if err := (&core.Schedule{Source: in.Source, Start: in.Start, Advances: merged}).Validate(in); err != nil {
 		return false, false, fmt.Errorf("improve: tail re-search produced an invalid schedule: %w", err)
 	}
-	imp.adopt(in, s, merged, newEnd, st, opt)
+	imp.adopt(in, s, merged, newEnd, st, &st.Tail, opt)
 	return true, proof, nil
 }
 
@@ -417,6 +432,7 @@ func (imp *Improver) sweepMerges(in core.Instance, s *state, bud *budgetState, s
 		// Whole-group merge: group gi joins group gi−1's slot.
 		if bud.spend() {
 			st.Moves++
+			st.Merge.Attempted++
 			cand := imp.candAdv[:0]
 			cand = append(cand, s.cur[:p]...)
 			if k == 1 {
@@ -435,7 +451,7 @@ func (imp *Improver) sweepMerges(in core.Instance, s *state, bud *budgetState, s
 			}
 			cand = append(cand, s.cur[b:]...)
 			imp.candAdv = cand
-			acc, err := imp.tryCandidate(in, s, cand, st, opt)
+			acc, err := imp.tryCandidate(in, s, cand, st, &st.Merge, opt)
 			if err != nil || acc {
 				return acc, err
 			}
@@ -451,6 +467,7 @@ func (imp *Improver) sweepMerges(in core.Instance, s *state, bud *budgetState, s
 					return false, nil
 				}
 				st.Moves++
+				st.Merge.Attempted++
 				cand := imp.candAdv[:0]
 				cand = append(cand, s.cur[:a]...)
 				moved := s.cur[j]
@@ -462,7 +479,7 @@ func (imp *Improver) sweepMerges(in core.Instance, s *state, bud *budgetState, s
 				// which ends at index a in the original layout — inserting it
 				// at position a keeps advances sorted by slot.
 				imp.candAdv = cand
-				acc, err := imp.tryCandidate(in, s, cand, st, opt)
+				acc, err := imp.tryCandidate(in, s, cand, st, &st.Merge, opt)
 				if err != nil || acc {
 					return acc, err
 				}
@@ -508,13 +525,14 @@ func (imp *Improver) tryShift(in core.Instance, s *state, bud *budgetState, st *
 			return false, nil
 		}
 		st.Moves++
+		st.Shift.Attempted++
 		cand := imp.candAdv[:0]
 		cand = append(cand, s.cur...)
 		for i := a; i < len(cand); i++ {
 			cand[i].T = t2
 		}
 		imp.candAdv = cand
-		return imp.tryCandidate(in, s, cand, st, opt)
+		return imp.tryCandidate(in, s, cand, st, &st.Shift, opt)
 	}
 	return false, nil
 }
@@ -522,7 +540,7 @@ func (imp *Improver) tryShift(in core.Instance, s *state, bud *budgetState, st *
 // tryCandidate evaluates one candidate advance list by allocation-free
 // replay and, when it beats the current objective, materializes it,
 // re-verifies it with Schedule.Validate and adopts it.
-func (imp *Improver) tryCandidate(in core.Instance, s *state, cand []core.Advance, st *Stats, opt Options) (bool, error) {
+func (imp *Improver) tryCandidate(in core.Instance, s *state, cand []core.Advance, st *Stats, ms *MoveStats, opt Options) (bool, error) {
 	advC, sendC, end, ok := imp.replay(in, cand, nil)
 	if !ok || !better(end, advC, sendC, s.end, len(s.cur), s.senders) {
 		return false, nil
@@ -534,19 +552,22 @@ func (imp *Improver) tryCandidate(in core.Instance, s *state, cand []core.Advanc
 	if err := (&core.Schedule{Source: in.Source, Start: in.Start, Advances: norm}).Validate(in); err != nil {
 		return false, fmt.Errorf("improve: accepted move failed validation: %w", err)
 	}
-	imp.adopt(in, s, norm, end, st, opt)
+	imp.adopt(in, s, norm, end, st, ms, opt)
 	return true, nil
 }
 
 // adopt installs a validated, freshly materialized advance list as the
-// current best and notifies OnImprove.
-func (imp *Improver) adopt(in core.Instance, s *state, advs []core.Advance, end int, st *Stats, opt Options) {
+// current best, crediting the acceptance to the neighborhood in ms, and
+// notifies OnImprove.
+func (imp *Improver) adopt(in core.Instance, s *state, advs []core.Advance, end int, st *Stats, ms *MoveStats, opt Options) {
 	st.SlotsSaved += s.end - end
+	ms.SlotsSaved += s.end - end
 	s.cur = advs
 	s.end = end
 	s.senders = countSenders(advs)
 	imp.regroup(advs)
 	st.Accepted++
+	ms.Accepted++
 	if opt.OnImprove != nil {
 		opt.OnImprove(&core.Schedule{Source: in.Source, Start: in.Start, Advances: advs}, *st)
 	}

@@ -1,0 +1,55 @@
+package improve
+
+import "testing"
+
+// TestMoveStatsPartitionAggregates pins the per-neighborhood breakdown:
+// the four MoveStats rows partition the run's aggregate counters exactly,
+// and the tail row mirrors the Searches counter. The observability layer
+// exports both forms; they must never drift apart.
+func TestMoveStatsPartitionAggregates(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		n          int
+		seed       uint64
+		r, k       int
+		moveBudget int
+	}{
+		{"sync", 120, 3, 1, 1, 48},
+		{"dutycycle", 150, 1, 10, 1, 64},
+		{"multichannel", 120, 5, 5, 3, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := instance(t, tc.n, tc.seed, tc.r, tc.k)
+			base := approximation(t, in)
+			_, st, err := New().Improve(in, base, Options{MaxMoves: tc.moveBudget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kinds := []MoveStats{st.Norm, st.Tail, st.Merge, st.Shift}
+			var attempted, accepted, saved int
+			for _, m := range kinds {
+				attempted += m.Attempted
+				accepted += m.Accepted
+				saved += m.SlotsSaved
+				if m.Accepted > m.Attempted {
+					t.Errorf("neighborhood accepted %d of %d attempts", m.Accepted, m.Attempted)
+				}
+			}
+			if attempted != st.Moves {
+				t.Errorf("ΣAttempted = %d, Moves = %d", attempted, st.Moves)
+			}
+			if accepted != st.Accepted {
+				t.Errorf("ΣAccepted = %d, Accepted = %d", accepted, st.Accepted)
+			}
+			if saved != st.SlotsSaved {
+				t.Errorf("ΣSlotsSaved = %d, SlotsSaved = %d", saved, st.SlotsSaved)
+			}
+			if st.Tail.Attempted != st.Searches {
+				t.Errorf("Tail.Attempted = %d, Searches = %d", st.Tail.Attempted, st.Searches)
+			}
+			if st.Moves == 0 {
+				t.Error("run consumed no moves; the test exercised nothing")
+			}
+		})
+	}
+}

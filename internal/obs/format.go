@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FormatTrace renders a snapshot as an indented span tree with start
+// offsets, durations and attributes — the human form mlb-load -trace
+// prints. It works on snapshots decoded from the /debug/traces JSON as
+// well as freshly finished ones (attribute values may arrive as float64
+// after a JSON round trip; they render the same).
+func FormatTrace(s *TraceSnapshot) string {
+	if s == nil {
+		return "(no trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  digest=%s  %v  (%d spans)",
+		s.Endpoint, shortDigest(s.Digest), time.Duration(s.DurationNs), s.Spans)
+	if s.Error != "" {
+		fmt.Fprintf(&b, "  error=%q", s.Error)
+	}
+	b.WriteByte('\n')
+	formatSpan(&b, &s.Root, "")
+	return b.String()
+}
+
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12] + "…"
+	}
+	if d == "" {
+		return "-"
+	}
+	return d
+}
+
+func formatSpan(b *strings.Builder, sp *SpanSnapshot, indent string) {
+	for i := range sp.Children {
+		c := &sp.Children[i]
+		branch, next := "├─ ", "│  "
+		if i == len(sp.Children)-1 {
+			branch, next = "└─ ", "   "
+		}
+		fmt.Fprintf(b, "%s%s%-12s +%-10v %v%s\n",
+			indent, branch, c.Name, time.Duration(c.StartNs), time.Duration(c.DurationNs), formatAttrs(c.Attrs))
+		formatSpan(b, c, indent+next)
+	}
+}
+
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		v := attrs[k]
+		// JSON decoding turns integer attributes into float64; render
+		// whole numbers without the trailing ".0" either way.
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			v = int64(f)
+		}
+		fmt.Fprintf(&b, "  %s=%v", k, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyEdgesNs are the default finite bucket upper bounds of a
+// latency Histogram: one per power-of-two octave from 1.024µs to ~68.7s.
+// Exported so every emitter (per-endpoint histograms, the service's
+// hit/miss coarsening) agrees on the edge set.
+func DefaultLatencyEdgesNs() []int64 {
+	edges := make([]int64, 0, 27)
+	for e := 10; e <= 36; e++ {
+		edges = append(edges, int64(1)<<e)
+	}
+	return edges
+}
+
+// Histogram is a fixed-edge, lock-free latency histogram sized for
+// Prometheus export: ascending finite bucket upper bounds plus an
+// overflow bucket, a running nanosecond sum and a total count. Observe is
+// a binary search over ~27 edges and three atomic adds.
+type Histogram struct {
+	edges  []int64
+	counts []atomic.Int64 // len(edges)+1; last is the overflow bucket
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram builds a histogram over ascending finite edges
+// (nanoseconds); nil selects DefaultLatencyEdgesNs.
+func NewHistogram(edges []int64) *Histogram {
+	if edges == nil {
+		edges = DefaultLatencyEdgesNs()
+	}
+	return &Histogram{edges: edges, counts: make([]atomic.Int64, len(edges)+1)}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	lo, hi := 0, len(h.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.edges[mid] < ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time cumulative view: CumCounts[i] is
+// the number of observations ≤ UppersNs[i]; Count includes the overflow
+// bucket.
+type HistogramSnapshot struct {
+	UppersNs  []int64
+	CumCounts []int64
+	Count     int64
+	SumNs     int64
+}
+
+// Snapshot builds the cumulative view Prometheus histograms want.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		UppersNs:  h.edges,
+		CumCounts: make([]int64, len(h.edges)),
+		SumNs:     h.sum.Load(),
+		Count:     h.n.Load(),
+	}
+	var cum int64
+	for i := range h.edges {
+		cum += h.counts[i].Load()
+		snap.CumCounts[i] = cum
+	}
+	return snap
+}
+
+// promFloat renders a float the way Prometheus clients conventionally do.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePromHistogram emits one histogram metric family in Prometheus text
+// format: # HELP, # TYPE histogram, the cumulative _bucket series with
+// le edges in seconds, the terminal le="+Inf" bucket, _sum (seconds) and
+// _count. labels, when non-empty, is a rendered label list without braces
+// (`endpoint="/v1/plan"`) merged into every series.
+func WritePromHistogram(w io.Writer, name, help, labels string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	WritePromHistogramSeries(w, name, labels, s)
+}
+
+// WritePromHistogramSeries emits only the series lines of one histogram —
+// no # HELP/# TYPE header — so several label sets of the same family
+// (e.g. one per endpoint) can share a single header written once.
+func WritePromHistogramSeries(w io.Writer, name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, upper := range s.UppersNs {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
+			name, labels, sep, promFloat(float64(upper)/1e9), s.CumCounts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, promFloat(float64(s.SumNs)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// WritePromCounter emits one unlabeled counter with HELP/TYPE lines.
+func WritePromCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WritePromGauge emits one unlabeled gauge with HELP/TYPE lines.
+func WritePromGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}

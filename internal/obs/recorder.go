@@ -1,0 +1,129 @@
+package obs
+
+import "sync"
+
+// Default recorder bounds: the flight recorder's whole memory footprint
+// is (DefaultRecent + DefaultSlowest) trace snapshots, each a few KB for
+// a typical ten-span request — well under a megabyte at the defaults.
+const (
+	DefaultRecent  = 64
+	DefaultSlowest = 16
+)
+
+// Recorder is the flight recorder: a ring buffer of the last N finished
+// traces plus a sorted board of the slowest N, both bounded at
+// construction. Record is O(1) amortized (ring write + bounded insertion
+// into the slow board) under one mutex held for pointer shuffling only —
+// snapshots are built by Trace.Finish before Record is called, so the
+// lock never covers serialization work. The nil Recorder discards.
+type Recorder struct {
+	mu     sync.Mutex
+	recent []*TraceSnapshot // ring; head is the next write position
+	head   int
+	seen   int64
+	slow   []*TraceSnapshot // descending by DurationNs, ≤ slowN entries
+	slowN  int
+}
+
+// NewRecorder builds a recorder retaining the last recentN and slowest
+// slowestN traces; values ≤ 0 select the defaults.
+func NewRecorder(recentN, slowestN int) *Recorder {
+	if recentN <= 0 {
+		recentN = DefaultRecent
+	}
+	if slowestN <= 0 {
+		slowestN = DefaultSlowest
+	}
+	return &Recorder{recent: make([]*TraceSnapshot, recentN), slowN: slowestN}
+}
+
+// Record retains a finished trace. Nil snapshots (a disabled trace's
+// Finish) and the nil recorder are ignored.
+func (r *Recorder) Record(s *TraceSnapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recent[r.head] = s
+	r.head = (r.head + 1) % len(r.recent)
+	r.seen++
+	// Slow board: binary-search the insertion point in the descending
+	// order, drop the entry when it falls off the bounded tail.
+	lo, hi := 0, len(r.slow)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.slow[mid].DurationNs >= s.DurationNs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < r.slowN {
+		r.slow = append(r.slow, nil)
+		copy(r.slow[lo+1:], r.slow[lo:])
+		r.slow[lo] = s
+		if len(r.slow) > r.slowN {
+			r.slow = r.slow[:r.slowN]
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Seen returns the number of traces recorded over the recorder's life.
+func (r *Recorder) Seen() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Snapshot returns the retained traces: recent ordered newest-first and
+// the slow board ordered slowest-first. Both slices are fresh copies —
+// later Records never mutate them — and the snapshots they point at are
+// immutable by construction.
+func (r *Recorder) Snapshot() (recent, slowest []*TraceSnapshot) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.recent)
+	for i := 1; i <= n; i++ {
+		s := r.recent[(r.head-i+n)%n]
+		if s == nil {
+			break
+		}
+		recent = append(recent, s)
+	}
+	slowest = append([]*TraceSnapshot(nil), r.slow...)
+	return recent, slowest
+}
+
+// Find returns the newest retained trace for digest, searching the
+// recent ring first and the slow board second; nil when the digest has
+// aged out of both.
+func (r *Recorder) Find(digest string) *TraceSnapshot {
+	if r == nil || digest == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.recent)
+	for i := 1; i <= n; i++ {
+		s := r.recent[(r.head-i+n)%n]
+		if s == nil {
+			break
+		}
+		if s.Digest == digest {
+			return s
+		}
+	}
+	for _, s := range r.slow {
+		if s.Digest == digest {
+			return s
+		}
+	}
+	return nil
+}

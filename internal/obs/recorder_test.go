@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// snap builds a minimal finished snapshot with a fixed duration.
+func snap(digest string, d time.Duration) *TraceSnapshot {
+	return &TraceSnapshot{
+		Endpoint:   "/v1/plan",
+		Digest:     digest,
+		DurationNs: d.Nanoseconds(),
+		Spans:      1,
+		Root:       SpanSnapshot{Name: "/v1/plan", DurationNs: d.Nanoseconds()},
+	}
+}
+
+func TestRecorderRecentOrderAndEviction(t *testing.T) {
+	r := NewRecorder(4, 2)
+	for i := 0; i < 6; i++ {
+		r.Record(snap(fmt.Sprintf("d%d", i), time.Duration(i+1)*time.Millisecond))
+	}
+	recent, slowest := r.Snapshot()
+	if len(recent) != 4 {
+		t.Fatalf("recent len %d, want ring size 4", len(recent))
+	}
+	for i, want := range []string{"d5", "d4", "d3", "d2"} {
+		if recent[i].Digest != want {
+			t.Fatalf("recent[%d] = %s, want %s (newest first)", i, recent[i].Digest, want)
+		}
+	}
+	if len(slowest) != 2 || slowest[0].Digest != "d5" || slowest[1].Digest != "d4" {
+		t.Fatalf("slow board: %v", digests(slowest))
+	}
+	if r.Seen() != 6 {
+		t.Fatalf("seen %d", r.Seen())
+	}
+	// d0/d1 aged out of the ring and never made the slow board.
+	if r.Find("d0") != nil {
+		t.Fatal("d0 should have aged out")
+	}
+	// d2 is still in the ring; d4 resolvable (ring), and a slow-board-only
+	// entry survives ring eviction.
+	if r.Find("d2") == nil || r.Find("d4") == nil {
+		t.Fatal("ring lookups failed")
+	}
+	for i := 6; i < 10; i++ {
+		r.Record(snap(fmt.Sprintf("q%d", i), time.Nanosecond))
+	}
+	if r.Find("d5") == nil {
+		t.Fatal("slowest trace fell out despite the slow board")
+	}
+}
+
+func TestRecorderSlowBoardKeepsMaxima(t *testing.T) {
+	r := NewRecorder(2, 3)
+	durs := []time.Duration{5, 1, 9, 3, 7, 2, 8} // ms
+	for i, d := range durs {
+		r.Record(snap(fmt.Sprintf("s%d", i), d*time.Millisecond))
+	}
+	_, slowest := r.Snapshot()
+	want := []string{"s2", "s6", "s4"} // 9ms, 8ms, 7ms
+	if len(slowest) != 3 {
+		t.Fatalf("slow board size %d", len(slowest))
+	}
+	for i := range want {
+		if slowest[i].Digest != want[i] {
+			t.Fatalf("slow[%d] = %s, want %s; board %v", i, slowest[i].Digest, want[i], digests(slowest))
+		}
+	}
+}
+
+func digests(ss []*TraceSnapshot) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Digest
+	}
+	return out
+}
+
+// TestRecorderContention hammers one recorder from 64 goroutines while
+// concurrent readers take snapshots, pinning (under -race) that snapshot
+// slices are immune to later writes, that the slow board stays in
+// descending order at every observation point, and that retained
+// snapshots are never mutated.
+func TestRecorderContention(t *testing.T) {
+	const (
+		writers   = 64
+		perWriter = 128
+	)
+	r := NewRecorder(32, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: continuously snapshot, check ordering invariants, and
+	// serialize what they got — marshalling every span would race with any
+	// post-Record mutation.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recent, slowest := r.Snapshot()
+				for i := 1; i < len(slowest); i++ {
+					if slowest[i-1].DurationNs < slowest[i].DurationNs {
+						t.Errorf("slow board out of order: %d < %d at %d",
+							slowest[i-1].DurationNs, slowest[i].DurationNs, i)
+						return
+					}
+				}
+				for _, s := range append(recent, slowest...) {
+					if _, err := json.Marshal(s); err != nil {
+						t.Errorf("marshal retained snapshot: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Deterministic duration spread so the true maxima are known.
+				d := time.Duration(g*perWriter+i+1) * time.Microsecond
+				tr := NewTrace("/v1/plan")
+				sp := tr.Root().Child("search")
+				sp.SetInt("expanded", int64(i))
+				sp.End()
+				s := tr.Finish(fmt.Sprintf("w%d-%d", g, i), "")
+				s.DurationNs = d.Nanoseconds() // fix duration for determinism
+				r.Record(s)
+			}
+		}(g)
+	}
+
+	// Let the writers drain, then release the readers and join everyone.
+	for r.Seen() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := r.Seen(); got != writers*perWriter {
+		t.Fatalf("seen %d, want %d", got, writers*perWriter)
+	}
+	recent, slowest := r.Snapshot()
+	if len(recent) != 32 {
+		t.Fatalf("recent %d, want full ring", len(recent))
+	}
+	if len(slowest) != 8 {
+		t.Fatalf("slow board %d, want 8", len(slowest))
+	}
+	// The 8 slowest durations across all writers are the 8 largest indices.
+	total := int64(writers * perWriter)
+	for i, s := range slowest {
+		want := (total - int64(i)) * int64(time.Microsecond)
+		if s.DurationNs != want {
+			t.Fatalf("slow[%d] = %dns, want %dns; board %v", i, s.DurationNs, want, digests(slowest))
+		}
+	}
+	// A snapshot taken now must not change when more traces arrive.
+	before, _ := json.Marshal(recent[0])
+	for i := 0; i < 64; i++ {
+		r.Record(snap(fmt.Sprintf("late%d", i), time.Hour))
+	}
+	after, _ := json.Marshal(recent[0])
+	if string(before) != string(after) {
+		t.Fatal("snapshot mutated by later Records")
+	}
+	if len(recent) != 32 || recent[0] == nil {
+		t.Fatal("snapshot slice changed under the caller")
+	}
+}

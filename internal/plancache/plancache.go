@@ -30,6 +30,7 @@ type Stats struct {
 	Evictions int64 // entries pushed out by the LRU bound
 	Errors    int64 // computations that failed (nothing stored)
 	Entries   int   // current resident entries
+	Capacity  int   // entry bound the cache was built with (post-rounding)
 }
 
 // Cache is a sharded LRU keyed by string. The zero value is not usable;
@@ -306,5 +307,6 @@ func (c *Cache[V]) Stats() Stats {
 		Evictions: c.evictions.Load(),
 		Errors:    c.errors.Load(),
 		Entries:   c.Len(),
+		Capacity:  c.perShard * len(c.shards),
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"mlbs/internal/obs"
 )
 
 // hist is a lock-free log-linear latency histogram: 4 linear sub-buckets
@@ -14,6 +16,7 @@ import (
 type hist struct {
 	counts [histBuckets]atomic.Int64
 	total  atomic.Int64
+	sum    atomic.Int64 // total observed nanoseconds, for Prometheus _sum
 }
 
 const (
@@ -64,6 +67,46 @@ func histBucketUpper(b int) time.Duration {
 func (h *hist) observe(d time.Duration) {
 	h.counts[histBucket(d)].Add(1)
 	h.total.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// promSnapshot coarsens the log-linear buckets onto a fixed Prometheus
+// edge set (ascending upper bounds in nanoseconds): each internal bucket's
+// count lands in the first edge at or above its inclusive upper bound, so
+// the cumulative series is a conservative (never-undercounting) rendering
+// of the finer internal histogram.
+func (h *hist) promSnapshot(edgesNs []int64) obs.HistogramSnapshot {
+	var counts [histBuckets]int64
+	total := h.snapshot(&counts)
+	snap := obs.HistogramSnapshot{
+		UppersNs:  edgesNs,
+		CumCounts: make([]int64, len(edgesNs)),
+		Count:     total,
+		SumNs:     h.sum.Load(),
+	}
+	per := make([]int64, len(edgesNs)+1) // +1: overflow past the last edge
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		u := int64(histBucketUpper(b))
+		lo, hi := 0, len(edgesNs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if edgesNs[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		per[lo] += c
+	}
+	var cum int64
+	for i := range edgesNs {
+		cum += per[i]
+		snap.CumCounts[i] = cum
+	}
+	return snap
 }
 
 func (h *hist) count() int64 { return h.total.Load() }

@@ -8,6 +8,7 @@ import (
 	"mlbs/internal/churn"
 	"mlbs/internal/core"
 	"mlbs/internal/graphio"
+	"mlbs/internal/obs"
 )
 
 // ReplanRequest asks the service to repair a cached plan after a topology
@@ -74,7 +75,9 @@ type replanOutcome struct {
 // execReplan runs one repair on the worker's reusable replanner (which
 // wraps the same per-spec engine the worker's plan searches use — one
 // goroutine, one arena set).
-func (w *worker) execReplan(jb job) (*replanOutcome, error) {
+func (w *worker) execReplan(s *Service, jb job) (*replanOutcome, error) {
+	span := jb.tr.Root().Child("repair")
+	defer span.End()
 	sp := resolveSpec(jb.sp, jb.in)
 	rp, ok := w.replanners[sp]
 	if !ok {
@@ -84,6 +87,18 @@ func (w *worker) execReplan(jb job) (*replanOutcome, error) {
 	rr, err := rp.Replan(jb.in, jb.rep.basePlan, jb.rep.delta)
 	if err != nil {
 		return nil, err
+	}
+	s.engineStates.Add(int64(rr.Result.Stats.Expanded))
+	s.engineMemoHits.Add(int64(rr.Result.Stats.MemoHits))
+	if span != nil {
+		span.SetStr("strategy", string(rr.Strategy))
+		span.SetInt("kept_advances", int64(rr.KeptAdvances))
+		span.SetInt("base_advances", int64(rr.BaseAdvances))
+		if rr.BaseAdvances > 0 {
+			span.SetFloat("kept_frac", float64(rr.KeptAdvances)/float64(rr.BaseAdvances))
+		}
+		span.SetInt("expanded", int64(rr.Result.Stats.Expanded))
+		span.SetInt("end_slot", int64(rr.Result.Schedule.End()))
 	}
 	digest, err := graphio.InstanceDigest(rr.Instance)
 	if err != nil {
@@ -101,7 +116,7 @@ func (w *worker) execReplan(jb job) (*replanOutcome, error) {
 // dispatchReplan queues one repair on the worker shard owned by key and
 // waits for its outcome.
 func (s *Service) dispatchReplan(ctx context.Context, key string, base core.Instance, sp spec, rj *replanJob) (*replanOutcome, error) {
-	r, err := s.dispatchJob(ctx, key, job{in: base, sp: sp, rep: rj})
+	r, err := s.dispatchJob(ctx, key, job{in: base, sp: sp, rep: rj, tr: obs.FromContext(ctx)})
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +164,8 @@ func (s *Service) Replan(ctx context.Context, req ReplanRequest) (ReplanResponse
 	pkey := planKey(baseDigest, sp)
 	rkey := pkey + "|replan|" + deltaDigest.String()
 	s.replans.Add(1)
+	tr := obs.FromContext(ctx)
+	cs := tr.Root().Child("cache")
 
 	// The base plan resolves lazily, inside the repair computation: a
 	// replan-cache hit must not pay a base-plan search (the base may have
@@ -166,9 +183,17 @@ func (s *Service) Replan(ctx context.Context, req ReplanRequest) (ReplanResponse
 			return s.dispatchReplan(ctx, rkey, base, sp, &replanJob{basePlan: basePlan.Schedule, delta: req.Delta})
 		})
 	if err != nil {
+		cs.End()
 		s.errs.Add(1)
 		return ReplanResponse{}, err
 	}
+	if cs != nil {
+		cs.SetBool("hit", hit)
+		cs.SetBool("coalesced", coalesced)
+		cs.SetBool("base_plan_hit", baseHit)
+		cs.SetStr("strategy", string(out.strategy))
+	}
+	cs.End()
 	if !hit && !coalesced {
 		switch out.strategy {
 		case churn.StrategyPrefix:

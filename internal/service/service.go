@@ -32,6 +32,7 @@ import (
 	"mlbs/internal/emodel"
 	"mlbs/internal/graphio"
 	"mlbs/internal/improve"
+	"mlbs/internal/obs"
 	"mlbs/internal/plancache"
 	"mlbs/internal/reliability"
 	"mlbs/internal/topology"
@@ -138,6 +139,15 @@ type Metrics struct {
 	Errors       int64
 	Evictions    int64
 	CacheEntries int
+	// CacheCapacity is the plan cache's entry bound, paired with
+	// CacheEntries so occupancy is a ratio, not a bare count.
+	CacheCapacity int
+	// Engine totals accumulated across every search the service ran
+	// (plans, cold replans): branch-and-bound states expanded and memo
+	// hits. These are the search-internal counters behind
+	// mlbs_engine_states_total.
+	EngineStates   int64
+	EngineMemoHits int64
 	// Validation traffic: request count, Monte-Carlo replays executed, and
 	// the reliability-report cache's counters.
 	Validations      int64
@@ -163,13 +173,21 @@ type Metrics struct {
 	ImproveSlotsSaved int64
 	ImproveQueued     int64
 	ImproveDropped    int64
+	// ImproveQueueDepth is the background improver queue's current
+	// occupancy (0 when the pool is disabled).
+	ImproveQueueDepth int
 	Generations       [improveGenBuckets]int64
-	HitP50            time.Duration
-	HitP99            time.Duration
-	MissP50           time.Duration
-	MissP99           time.Duration
-	P50               time.Duration
-	P99               time.Duration
+	// HitLatency/MissLatency are the full hit and miss latency
+	// distributions coarsened onto the shared Prometheus edge set —
+	// the data behind the _bucket/_sum/_count series /metrics emits.
+	HitLatency  obs.HistogramSnapshot
+	MissLatency obs.HistogramSnapshot
+	HitP50      time.Duration
+	HitP99      time.Duration
+	MissP50     time.Duration
+	MissP99     time.Duration
+	P50         time.Duration
+	P99         time.Duration
 }
 
 // spec is a normalized scheduler selection — part of the cache key and the
@@ -205,6 +223,12 @@ type job struct {
 	// improve is the synchronous anytime-improvement budget spent on a
 	// cold search's result before it is stored and returned.
 	improve time.Duration
+	// tr is the requesting caller's trace (nil for untraced requests —
+	// the overwhelmingly common case). Handing the pointer across the
+	// queue is safe: every span operation takes the trace's own mutex.
+	// Under singleflight only the leader's trace rides the job, so
+	// coalesced waiters see cache attributes but no worker-side spans.
+	tr *obs.Trace
 }
 
 // valJob carries one Monte-Carlo validation: the (shared, immutable)
@@ -251,7 +275,7 @@ func (w *worker) run(s *Service) {
 	defer s.wg.Done()
 	for jb := range w.jobs {
 		if jb.rep != nil {
-			rep, err := w.execReplan(jb)
+			rep, err := w.execReplan(s, jb)
 			jb.reply <- jobResult{rep: rep, err: err}
 			continue
 		}
@@ -305,9 +329,41 @@ func (w *worker) execValidate(jb job) (*validateOutcome, error) {
 }
 
 func (w *worker) exec(s *Service, jb job) (*core.Result, error) {
-	res, err := w.scheduler(resolveSpec(jb.sp, jb.in)).Schedule(jb.in)
-	if err != nil || jb.improve <= 0 || res.Exact {
+	search := jb.tr.Root().Child("search")
+	sched := w.scheduler(resolveSpec(jb.sp, jb.in))
+	var res *core.Result
+	var err error
+	if en, ok := sched.(*core.Engine); ok && jb.tr != nil {
+		// Traced searches collect the per-depth profile; the plain path
+		// runs exactly the pre-observability search so untraced results
+		// keep their historic encodings.
+		res, err = en.ScheduleProfiled(jb.in)
+	} else {
+		res, err = sched.Schedule(jb.in)
+	}
+	if err != nil {
+		search.End()
 		return res, err
+	}
+	s.engineStates.Add(int64(res.Stats.Expanded))
+	s.engineMemoHits.Add(int64(res.Stats.MemoHits))
+	search.SetStr("scheduler", res.Scheduler)
+	search.SetInt("end_slot", int64(res.Schedule.End()))
+	search.SetBool("exact", res.Exact)
+	search.SetInt("expanded", int64(res.Stats.Expanded))
+	search.SetInt("memo_hits", int64(res.Stats.MemoHits))
+	search.SetInt("memo_entries", int64(res.Stats.MemoEntries))
+	if n := len(res.Stats.Depths); n > 0 {
+		search.SetInt("search_depth", int64(n))
+	}
+	search.End()
+
+	isp := jb.tr.Root().Child("improve")
+	isp.SetInt("budget_ns", int64(jb.improve))
+	if jb.improve <= 0 || res.Exact {
+		isp.SetBool("skipped", true)
+		isp.End()
+		return res, nil
 	}
 	// Cold-path synchronous improvement: the first answer for this key is
 	// already tightened before it is stored, so even a cache-cold client
@@ -317,6 +373,8 @@ func (w *worker) exec(s *Service, jb job) (*core.Result, error) {
 		w.imp = improve.New()
 	}
 	out, st, ierr := w.imp.Improve(jb.in, res.Schedule, improve.Options{Deadline: jb.improve})
+	setImproveAttrs(isp, st)
+	isp.End()
 	if ierr != nil || (st.SlotsSaved == 0 && !st.Exact) {
 		// An improver failure is a quality loss, not a serving failure:
 		// fall back to the unimproved result.
@@ -335,6 +393,35 @@ func (w *worker) exec(s *Service, jb job) (*core.Result, error) {
 	// honestly: no greedy-move schedule ends before this one.
 	next.Exact = next.Exact || st.Exact
 	return &next, nil
+}
+
+// setImproveAttrs annotates an improve span with the run's aggregate and
+// per-neighborhood statistics. A no-op on the nil span.
+func setImproveAttrs(sp *obs.Span, st improve.Stats) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("moves", int64(st.Moves))
+	sp.SetInt("accepted", int64(st.Accepted))
+	sp.SetInt("slots_saved", int64(st.SlotsSaved))
+	sp.SetInt("expanded", int64(st.Expanded))
+	sp.SetBool("exact", st.Exact)
+	sp.SetBool("converged", st.Converged)
+	for _, kind := range []struct {
+		name string
+		ms   improve.MoveStats
+	}{
+		{"norm", st.Norm}, {"tail", st.Tail}, {"merge", st.Merge}, {"shift", st.Shift},
+	} {
+		if kind.ms.Attempted == 0 {
+			continue
+		}
+		sp.SetInt(kind.name+"_attempted", int64(kind.ms.Attempted))
+		sp.SetInt(kind.name+"_accepted", int64(kind.ms.Accepted))
+		if kind.ms.SlotsSaved > 0 {
+			sp.SetInt(kind.name+"_slots_saved", int64(kind.ms.SlotsSaved))
+		}
+	}
 }
 
 // resolveSpec maps the generic "baseline" selection onto the
@@ -407,6 +494,8 @@ type Service struct {
 
 	requests          atomic.Int64
 	searches          atomic.Int64
+	engineStates      atomic.Int64
+	engineMemoHits    atomic.Int64
 	validations       atomic.Int64
 	mcTrials          atomic.Int64
 	replans           atomic.Int64
@@ -684,9 +773,12 @@ func (s *Service) dispatchJob(ctx context.Context, key string, jb job) (jobResul
 	return <-reply, nil
 }
 
-// dispatch queues one search and waits for its result.
+// dispatch queues one search and waits for its result. The caller's trace
+// rides the job onto the worker: under singleflight only the leader's
+// context reaches this point, so exactly one trace collects the
+// worker-side spans.
 func (s *Service) dispatch(ctx context.Context, key string, in core.Instance, sp spec, improveBudget time.Duration) (*core.Result, error) {
-	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp, improve: improveBudget})
+	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp, improve: improveBudget, tr: obs.FromContext(ctx)})
 	if err != nil {
 		return nil, err
 	}
@@ -752,6 +844,10 @@ func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	// tr is nil on untraced requests — every span call below is then a
+	// nil-receiver no-op, which is what keeps the warm path's alloc pin.
+	tr := obs.FromContext(ctx)
+	rs := tr.Root().Child("resolve")
 	in, err := s.resolve(req)
 	if err != nil {
 		return Response{}, err
@@ -760,22 +856,41 @@ func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	if rs != nil {
+		rs.SetInt("nodes", int64(in.G.N()))
+		rs.SetStr("scheduler", sp.kind)
+	}
+	rs.End()
 	key := planKey(digest, sp)
 
 	s.requests.Add(1)
+	cs := tr.Root().Child("cache")
 	res, hit, coalesced, err := s.planFor(ctx, key, in, sp, req.NoCache, req.ImproveBudget)
 	elapsed := time.Since(start)
 	if err != nil {
+		cs.End()
 		s.errs.Add(1)
 		return Response{}, err
 	}
+	cs.SetBool("hit", hit)
+	cs.SetBool("coalesced", coalesced)
+	if hit {
+		cs.SetInt("generation", int64(res.Generation))
+	}
+	cs.End()
 	if hit {
 		s.hitHist.observe(elapsed)
 		// Serve best-so-far instantly, improve in the background: a warm
 		// hit with a budget never pays for its own improvement, it funds
 		// the next reader's. Already-exact plans have nothing left.
 		if req.ImproveBudget > 0 && !res.Exact {
+			qs := tr.Root().Child("improve_enqueue")
+			if qs != nil {
+				qs.SetInt("budget_ns", int64(req.ImproveBudget))
+				qs.SetInt("queue_depth", int64(len(s.improveJobs)))
+			}
 			s.enqueueImprove(key, in, req.ImproveBudget)
+			qs.End()
 		}
 	} else {
 		s.missHist.observe(elapsed)
@@ -893,15 +1008,19 @@ func (s *Service) Metrics() Metrics {
 	for i := range gens {
 		gens[i] = s.genHist[i].Load()
 	}
+	edges := obs.DefaultLatencyEdgesNs()
 	return Metrics{
 		Requests:          s.requests.Load(),
 		Hits:              cs.Hits,
 		Misses:            cs.Misses,
 		Coalesced:         cs.Coalesced,
 		Searches:          s.searches.Load(),
+		EngineStates:      s.engineStates.Load(),
+		EngineMemoHits:    s.engineMemoHits.Load(),
 		Errors:            s.errs.Load(),
 		Evictions:         cs.Evictions,
 		CacheEntries:      cs.Entries,
+		CacheCapacity:     cs.Capacity,
 		Validations:       s.validations.Load(),
 		MonteCarloTrials:  s.mcTrials.Load(),
 		ValidateHits:      vs.Hits,
@@ -918,7 +1037,10 @@ func (s *Service) Metrics() Metrics {
 		ImproveSlotsSaved: s.improveSlotsSaved.Load(),
 		ImproveQueued:     s.improveQueued.Load(),
 		ImproveDropped:    s.improveDropped.Load(),
+		ImproveQueueDepth: len(s.improveJobs),
 		Generations:       gens,
+		HitLatency:        s.hitHist.promSnapshot(edges),
+		MissLatency:       s.missHist.promSnapshot(edges),
 		HitP50:            s.hitHist.percentile(0.50),
 		HitP99:            s.hitHist.percentile(0.99),
 		MissP50:           s.missHist.percentile(0.50),

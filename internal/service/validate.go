@@ -8,6 +8,7 @@ import (
 
 	"mlbs/internal/core"
 	"mlbs/internal/graphio"
+	"mlbs/internal/obs"
 	"mlbs/internal/reliability"
 )
 
@@ -76,7 +77,7 @@ func validateKey(pkey string, m reliability.LossModel, trials int, target float6
 // dispatchValidate queues one Monte-Carlo job on the worker shard owned by
 // key and waits for its outcome.
 func (s *Service) dispatchValidate(ctx context.Context, key string, in core.Instance, sp spec, vj *valJob) (*validateOutcome, error) {
-	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp, val: vj})
+	r, err := s.dispatchJob(ctx, key, job{in: in, sp: sp, val: vj, tr: obs.FromContext(ctx)})
 	if err != nil {
 		return nil, err
 	}
@@ -138,22 +139,43 @@ func (s *Service) Validate(ctx context.Context, req ValidateRequest) (ValidateRe
 	// The schedule itself always goes through the plan cache: re-running
 	// the search would not change the Monte-Carlo answer, only waste a
 	// worker.
+	tr := obs.FromContext(ctx)
+	ps := tr.Root().Child("cache")
 	res, planHit, _, err := s.planFor(ctx, pkey, in, sp, false, 0)
 	if err != nil {
+		ps.End()
 		s.errs.Add(1)
 		return ValidateResponse{}, err
 	}
+	if ps != nil {
+		ps.SetBool("hit", planHit)
+	}
+	ps.End()
 
 	vkey := validateKey(pkey, model, trials, req.Target, maxExtra)
 	vj := &valJob{sched: res.Schedule, model: model, trials: trials, target: req.Target, maxExtra: maxExtra}
+	vs := tr.Root().Child("mc_validate")
+	if vs != nil {
+		vs.SetInt("trials", int64(trials))
+		vs.SetFloat("target", req.Target)
+	}
 	out, hit, coalesced, err := cachedCompute(ctx, s.vcache, vkey, req.NoCache,
 		func(ctx context.Context) (*validateOutcome, error) {
 			return s.dispatchValidate(ctx, vkey, in, sp, vj)
 		})
 	if err != nil {
+		vs.End()
 		s.errs.Add(1)
 		return ValidateResponse{}, err
 	}
+	if vs != nil {
+		vs.SetBool("hit", hit)
+		vs.SetBool("coalesced", coalesced)
+		if out.report != nil {
+			vs.SetFloat("delivery_mean", out.report.MeanDeliveryRatio)
+		}
+	}
+	vs.End()
 	return ValidateResponse{
 		Digest:       digest.String(),
 		Scheduler:    res.Scheduler,

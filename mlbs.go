@@ -34,6 +34,9 @@
 package mlbs
 
 import (
+	"context"
+	"io"
+
 	"mlbs/internal/baseline"
 	"mlbs/internal/churn"
 	"mlbs/internal/core"
@@ -46,6 +49,7 @@ import (
 	"mlbs/internal/improve"
 	"mlbs/internal/localized"
 	"mlbs/internal/mote"
+	"mlbs/internal/obs"
 	"mlbs/internal/paperfig"
 	"mlbs/internal/reliability"
 	"mlbs/internal/service"
@@ -194,6 +198,26 @@ type (
 	ReplanRequest = service.ReplanRequest
 	// ReplanResponse is one churn-repair service answer.
 	ReplanResponse = service.ReplanResponse
+	// Trace collects the named phases of one request as a span tree; attach
+	// it to a context with TraceContext and the service records cache,
+	// search, improve and repair phases into it (DESIGN.md §15). The nil
+	// Trace is the disabled tracer — every operation on it is a free no-op.
+	Trace = obs.Trace
+	// TraceSpan is a handle onto one span of a Trace.
+	TraceSpan = obs.Span
+	// TraceSnapshot is the immutable export of a finished trace — the JSON
+	// schema GET /debug/traces serves.
+	TraceSnapshot = obs.TraceSnapshot
+	// SpanSnapshot is one exported span of a TraceSnapshot.
+	SpanSnapshot = obs.SpanSnapshot
+	// TraceRecorder is the always-on flight recorder: bounded ring of the
+	// last-N finished traces plus a board of the slowest-N.
+	TraceRecorder = obs.Recorder
+	// LatencyHistogram is the fixed-edge histogram behind the Prometheus
+	// _bucket/_sum/_count series /metrics emits.
+	LatencyHistogram = obs.Histogram
+	// LatencyHistogramSnapshot is its cumulative point-in-time view.
+	LatencyHistogramSnapshot = obs.HistogramSnapshot
 )
 
 // The churn event kinds.
@@ -485,6 +509,57 @@ func NewReusableOPT(budget, maxSets int) *SearchEngine {
 // LRU-bounded, singleflight-deduplicated schedule cache in front of a
 // sharded worker pool of reusable engines. Close it when done.
 func NewService(cfg ServiceConfig) *PlanService { return service.New(cfg) }
+
+// NewTrace starts a request trace whose root span carries the endpoint
+// name. Finish it to obtain the immutable snapshot.
+func NewTrace(endpoint string) *Trace { return obs.NewTrace(endpoint) }
+
+// TraceContext returns ctx carrying the trace; service requests planned
+// under it record their phases into the trace.
+func TraceContext(ctx context.Context, t *Trace) context.Context { return obs.NewContext(ctx, t) }
+
+// TraceFromContext returns the trace carried by ctx, or nil (the disabled
+// tracer) when none is attached.
+func TraceFromContext(ctx context.Context) *Trace { return obs.FromContext(ctx) }
+
+// NewTraceRecorder builds a flight recorder retaining the last recentN
+// and slowest slowestN traces; values ≤ 0 select the defaults (64/16).
+func NewTraceRecorder(recentN, slowestN int) *TraceRecorder {
+	return obs.NewRecorder(recentN, slowestN)
+}
+
+// FormatTrace renders a trace snapshot as an indented span tree with
+// durations and attributes — the form mlb-load -trace prints.
+func FormatTrace(s *TraceSnapshot) string { return obs.FormatTrace(s) }
+
+// NewLatencyHistogram builds a fixed-edge latency histogram over ascending
+// nanosecond bucket bounds; nil selects the default power-of-two edges.
+func NewLatencyHistogram(edgesNs []int64) *LatencyHistogram { return obs.NewHistogram(edgesNs) }
+
+// WritePromHistogram emits one histogram family in Prometheus text format
+// (# HELP/# TYPE, cumulative _bucket series with le edges in seconds,
+// _sum, _count). labels, when non-empty, is a rendered label list without
+// braces merged into every series.
+func WritePromHistogram(w io.Writer, name, help, labels string, s LatencyHistogramSnapshot) {
+	obs.WritePromHistogram(w, name, help, labels, s)
+}
+
+// WritePromHistogramSeries emits only the series lines of one histogram —
+// no header — so several label sets of the same family can share a single
+// # HELP/# TYPE written once.
+func WritePromHistogramSeries(w io.Writer, name, labels string, s LatencyHistogramSnapshot) {
+	obs.WritePromHistogramSeries(w, name, labels, s)
+}
+
+// WritePromCounter emits one unlabeled counter with HELP/TYPE lines.
+func WritePromCounter(w io.Writer, name, help string, v int64) {
+	obs.WritePromCounter(w, name, help, v)
+}
+
+// WritePromGauge emits one unlabeled gauge with HELP/TYPE lines.
+func WritePromGauge(w io.Writer, name, help string, v int64) {
+	obs.WritePromGauge(w, name, help, v)
+}
 
 // NewImprover returns a reusable anytime schedule improver. Like the
 // search engines, its arenas survive across calls and it must not be
