@@ -1,0 +1,238 @@
+// mlb-vet is the repo's project-specific static analyzer suite, run as a
+// `go vet -vettool`. It enforces at vet time the invariants the test
+// suite can only catch at run time: hot-path allocation discipline
+// (hotalloc), search/improver determinism (detclock), bitset pool Get/Put
+// pairing (poolput), and context/span threading on the request path
+// (ctxspan). See DESIGN.md §16 for analyzer semantics and the `//mlbs:*`
+// annotation reference.
+//
+// Usage:
+//
+//	mlb-vet ./...                 # standalone: re-execs `go vet -vettool=mlb-vet ./...`
+//	go vet -vettool=mlb-vet ./... # the CI form
+//
+// The binary speaks the cmd/go vet-tool protocol directly (the -flags and
+// -V=full handshakes plus one vet.cfg invocation per package), with no
+// dependency on golang.org/x/tools: packages arrive pre-planned by the go
+// command, are type-checked here against the compiler's export data, and
+// each analyzer runs over the typed syntax. Exit status 2 means
+// diagnostics were reported; 1 means the tool itself failed.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"mlbs/internal/analysis"
+	"mlbs/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The go command hashes this line into its action cache key, so
+			// it must change whenever the analyzers do: hash the executable.
+			fmt.Printf("mlb-vet version devel buildID=%s\n", selfHash())
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags; cmd/go requires valid JSON here.
+			fmt.Println("[]")
+			return
+		}
+	}
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") {
+			os.Exit(unitCheck(a))
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// selfHash fingerprints the running executable for the -V=full handshake.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// standalone re-execs the go command with this binary as the vettool, so
+// `mlb-vet ./...` and `go vet -vettool=$(which mlb-vet) ./...` are the
+// same thing; package loading, build caching, and file planning all stay
+// the go command's job.
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlb-vet: %v\n", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "mlb-vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON the go command writes for each package when
+// driving a vet tool; field set and semantics follow cmd/go's internal
+// vetConfig struct.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func unitCheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlb-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mlb-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// Dependency packages are visited only so fact-exporting tools can
+	// produce their .vetx files; this suite is intra-package, so just
+	// satisfy the protocol and move on.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "mlb-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the go command compiled for
+	// this build, exactly like the compiler itself sees them.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tconf := types.Config{Importer: imp}
+	if lang := version.Lang(cfg.GoVersion); lang != "" {
+		tconf.GoVersion = lang
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mlb-vet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range suite.Analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "mlb-vet: %s: %v\n", a.Name, err)
+			return 1
+		}
+	}
+	writeVetx(cfg)
+	if len(diags) == 0 {
+		return 0
+	}
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// writeVetx writes an empty facts file at the path the go command
+// reserved; the suite exports no facts, but the file's existence lets the
+// action cache record the unit as complete.
+func writeVetx(cfg vetConfig) {
+	if cfg.VetxOutput != "" {
+		_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+}

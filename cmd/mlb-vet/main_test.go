@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles mlb-vet once into the test's temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mlb-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mlb-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolHandshake checks the two cmd/go probes: -V=full must print a
+// cache-keyable version line, -flags a JSON flag list.
+func TestVettoolHandshake(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "mlb-vet version ") {
+		t.Errorf("-V=full printed %q, want a 'mlb-vet version ...' line", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []any
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Errorf("-flags printed %q, want a JSON flag list: %v", out, err)
+	}
+}
+
+// TestSuiteCleanOverRepo runs the built vettool over the whole module via
+// `go vet -vettool` — the exact CI invocation — and requires silence: the
+// repo must satisfy its own analyzers.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module's full dependency graph")
+	}
+	bin := buildTool(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool over ./... reported findings: %v\n%s", err, buf.String())
+	}
+}

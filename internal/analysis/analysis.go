@@ -1,0 +1,137 @@
+// Package analysis is the repo's static-analysis framework: a minimal,
+// dependency-free equivalent of golang.org/x/tools/go/analysis, built on
+// go/ast and go/types alone so the analyzer suite compiles in environments
+// where the x/tools module is unavailable. The shape mirrors the original
+// deliberately — an Analyzer is a named Run function over a typed Pass —
+// so the analyzers themselves read like standard vet checks and could be
+// ported to the real framework by swapping this import.
+//
+// The suite's analyzers enforce invariants that runtime tests only catch
+// when the one test exercising them happens to run: hot-path allocation
+// discipline, search/improver determinism, bitset pool Get/Put pairing,
+// and context/span threading. See cmd/mlb-vet for the driver that speaks
+// the `go vet -vettool` protocol, and DESIGN.md §16 for the annotation
+// reference.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Name doubles as the suppression
+// key: a `//mlbs:allow <name>` line comment silences this analyzer's
+// diagnostics on that line (see annot.go).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass holds one analyzer's view of one type-checked package. Unlike
+// x/tools there are no facts or cross-package results: every analyzer in
+// this suite is intra-package by construction.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	annots *annotIndex
+}
+
+// NewPass assembles a pass for one analyzer over one package; report
+// receives every non-suppressed diagnostic. Drivers (cmd/mlb-vet, the
+// analysistest harness) construct passes; analyzers only consume them.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+		annots:    newAnnotIndex(fset, files),
+	}
+}
+
+// Reportf records a diagnostic at pos unless an `//mlbs:allow <name>`
+// annotation on the same or the immediately preceding line suppresses it.
+// Centralizing suppression here means no analyzer reimplements it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.annots.suppressed(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The suite's
+// invariants guard production hot paths; tests are free to allocate,
+// sleep, and read the clock.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// FuncAnnotated reports whether fn's doc comment carries the `//mlbs:name`
+// directive.
+func (p *Pass) FuncAnnotated(fn *ast.FuncDecl, name string) bool {
+	return docHasDirective(fn.Doc, name)
+}
+
+// PkgAnnotated reports whether any file's package doc carries the
+// `//mlbs:name` directive.
+func (p *Pass) PkgAnnotated(name string) bool {
+	for _, f := range p.Files {
+		if docHasDirective(f.Doc, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost function declaration containing pos,
+// or nil (positions in var blocks, imports, or function literals' host
+// declarations still resolve to the declaration that lexically contains
+// them).
+func (p *Pass) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos < fn.End() {
+					return fn
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SortDiagnostics orders diags by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,231 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against expectations written in the fixture
+// itself — the golden-comment discipline of
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the standard
+// library so the suite's tests carry no external dependency.
+//
+// A fixture lives under testdata/src/<pkgpath>/ and marks each expected
+// diagnostic with a trailing comment on its line:
+//
+//	time.Now() // want `reads the wall clock`
+//
+// The backquoted (or double-quoted) strings are regular expressions
+// matched against the diagnostic message; several may follow one `want`
+// when a line produces several diagnostics. Lines without a want comment
+// must stay silent — both directions are asserted, so a fixture proves an
+// analyzer fires where it must and stays quiet where it may.
+//
+// Imports inside a fixture resolve from testdata/src first (so fixtures
+// can model mlbs/internal/bitset or mlbs/internal/obs with small fakes at
+// the real import paths), then from the standard library's source.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"mlbs/internal/analysis"
+)
+
+// Run loads testdata/src/<pkgpath>, applies a, and reports every mismatch
+// between the diagnostics produced and the fixture's want comments as a
+// test error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	pkg, files, info, err := l.loadDir(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, l.fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s over %s: %v", a.Name, pkgpath, err)
+	}
+	analysis.SortDiagnostics(l.fset, diags)
+
+	wants := collectWants(t, l.fset, files)
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	leftover := make([]*want, 0, len(wants))
+	for _, w := range wants {
+		if !w.matched {
+			leftover = append(leftover, w)
+		}
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		if leftover[i].file != leftover[j].file {
+			return leftover[i].file < leftover[j].file
+		}
+		return leftover[i].line < leftover[j].line
+	})
+	for _, w := range leftover {
+		t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re.String())
+	}
+}
+
+// want is one expected diagnostic: a regexp anchored to a fixture line.
+type want struct {
+	file    string // base name
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message, reporting whether one existed.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	file := filepath.Base(pos.Filename)
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans the fixtures' comments for `// want` expectations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := parsePatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment: %v", filepath.Base(pos.Filename), pos.Line, err)
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", filepath.Base(pos.Filename), pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits the text after `// want` into its quoted regexps;
+// both backquotes and double quotes delimit (backquotes pass regexp
+// metacharacters through unescaped).
+func parsePatterns(text string) ([]string, error) {
+	var pats []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		q := rest[0]
+		if q != '`' && q != '"' {
+			return nil, fmt.Errorf("expected quoted pattern, found %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", rest)
+		}
+		pats = append(pats, rest[1:1+end])
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return pats, nil
+}
+
+// loader typechecks fixture packages, resolving imports from testdata/src
+// ahead of the standard library (compiled from source, no export data
+// needed).
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		src:  src,
+		pkgs: map[string]*types.Package{},
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer for the fixtures' dependencies.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, _, _, err := l.loadDir(path)
+		return p, err
+	}
+	return l.std.Import(path)
+}
+
+// loadDir parses and typechecks one fixture package by import path.
+func (l *loader) loadDir(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}

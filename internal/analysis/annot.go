@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The `//mlbs:*` directive namespace. Directives are machine-readable
+// line comments (no space after //, like //go:noinline), attached either
+// to a declaration's doc comment or standing on their own line. Everything
+// after a ` -- ` separator is a free-form justification, encouraged on
+// every escape hatch so `grep -rn mlbs:` doubles as the audit trail.
+const (
+	// AnnotHotpath opts a function into the hotalloc analyzer: the body
+	// may not contain allocation-inducing constructs.
+	AnnotHotpath = "hotpath"
+	// AnnotWallclock marks an audited wall-clock/entropy escape inside a
+	// determinism-allowlisted package (detclock).
+	AnnotWallclock = "wallclock"
+	// AnnotDeterministic opts a whole package into detclock, in addition
+	// to the hardwired allowlist.
+	AnnotDeterministic = "deterministic"
+	// AnnotOrderFree marks a map-range whose sink is order-insensitive
+	// (commutative accumulation, or sorted before use) for detclock.
+	AnnotOrderFree = "orderfree"
+	// AnnotPoolOwner marks a function that intentionally lets a pooled
+	// bitset escape (stores it for a later, audited Put) for poolput.
+	AnnotPoolOwner = "poolowner"
+	// AnnotCtxRoot marks a function allowed to mint a root context
+	// (context.Background/TODO) past the handler boundary for ctxspan.
+	AnnotCtxRoot = "ctxroot"
+	// AnnotRequestPath opts a whole package into ctxspan's root-context
+	// rule, in addition to the hardwired request-path packages.
+	AnnotRequestPath = "requestpath"
+	// AnnotAllow is the line-level suppression: `//mlbs:allow <analyzer>`
+	// on the diagnostic's line or the line above silences that analyzer
+	// there.
+	AnnotAllow = "allow"
+)
+
+const directivePrefix = "//mlbs:"
+
+// parseDirective splits one comment into a directive name and its
+// argument ("" when absent), or ok=false for ordinary comments. The
+// justification after ` -- ` is stripped.
+func parseDirective(c *ast.Comment) (name, arg string, ok bool) {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	if i := strings.Index(text, " -- "); i >= 0 {
+		text = text[:i]
+	}
+	name, arg, _ = strings.Cut(strings.TrimSpace(text), " ")
+	return name, strings.TrimSpace(arg), true
+}
+
+// docHasDirective reports whether a doc comment group carries //mlbs:name.
+func docHasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if n, _, ok := parseDirective(c); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// annotIndex resolves line-level //mlbs:allow suppressions: for each file,
+// the set of lines carrying an allow directive per analyzer name.
+type annotIndex struct {
+	fset  *token.FileSet
+	allow map[string]map[int]bool // filename -> line -> suppressed (per analyzer, see key)
+}
+
+// newAnnotIndex scans every comment once; the map is keyed by
+// "filename\x00analyzer" to avoid a two-level map per analyzer.
+func newAnnotIndex(fset *token.FileSet, files []*ast.File) *annotIndex {
+	ix := &annotIndex{fset: fset, allow: map[string]map[int]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, arg, ok := parseDirective(c)
+				if !ok || name != AnnotAllow || arg == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + "\x00" + arg
+				m := ix.allow[key]
+				if m == nil {
+					m = map[int]bool{}
+					ix.allow[key] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return ix
+}
+
+// suppressed reports whether an allow directive for analyzer sits on the
+// diagnostic's line or the line immediately above it.
+func (ix *annotIndex) suppressed(analyzer string, pos token.Position) bool {
+	m := ix.allow[pos.Filename+"\x00"+analyzer]
+	return m != nil && (m[pos.Line] || m[pos.Line-1])
+}

@@ -1,0 +1,169 @@
+// Package ctxspan guards the request path's two threading disciplines.
+//
+// Context threading: inside the serving packages (internal/service,
+// cmd/mlb-serve, and any package annotated `//mlbs:requestpath`), minting
+// a root context with context.Background or context.TODO anywhere past
+// the handler boundary detaches the work from the request's cancellation
+// and deadline — singleflight followers stop observing their caller's
+// cancellation, shutdown stops bounding in-flight work. Only main and
+// functions annotated `//mlbs:ctxroot -- reason` (process-lifetime roots
+// like the shutdown timeout) may do it.
+//
+// Span pairing: a span begun with (*obs.Span).Child must reach its End on
+// every path out of the beginning scope, or the flight recorder publishes
+// truncated traces whose "open" spans read as phases that never finished.
+// The span rule runs in every package that touches obs, not just the
+// serving ones. A span handed off to another goroutine or stored for a
+// later End escapes the syntactic check and is reported for explicit
+// suppression with `//mlbs:allow ctxspan -- reason`.
+package ctxspan
+
+import (
+	"go/ast"
+	"strconv"
+
+	"mlbs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxspan",
+	Doc:  "thread request contexts (no Background/TODO past the handler) and End every obs span on all paths",
+	Run:  run,
+}
+
+// requestPath is the hardwired set of serving packages for the
+// root-context rule; `//mlbs:requestpath` in a package doc extends it.
+var requestPath = map[string]bool{
+	"mlbs/internal/service": true,
+	"mlbs/cmd/mlb-serve":    true,
+}
+
+const obsPath = "mlbs/internal/obs"
+
+func run(p *analysis.Pass) error {
+	ctxRule := requestPath[p.Pkg.Path()] || p.PkgAnnotated(analysis.AnnotRequestPath)
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if ctxRule {
+				checkRootContexts(p, fn)
+			}
+			checkSpans(p, fn)
+		}
+	}
+	return nil
+}
+
+func checkRootContexts(p *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Name.Name == "main" && fn.Recv == nil && p.Pkg.Name() == "main" {
+		return // the process entry point is the handler boundary
+	}
+	if p.FuncAnnotated(fn, analysis.AnnotCtxRoot) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := analysis.PkgFunc(p.TypesInfo, call, "context", "Background", "TODO"); ok {
+			p.Reportf(call.Pos(), "context.%s mints a root context past the handler boundary; thread the request ctx or annotate //mlbs:ctxroot", name)
+		}
+		return true
+	})
+}
+
+// isChild reports whether call begins a span via (*obs.Span).Child.
+func isChild(p *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.MethodOn(p.TypesInfo, call, obsPath, "Span", "Child")
+}
+
+func checkSpans(p *analysis.Pass, fn *ast.FuncDecl) {
+	// Pass 1: Child results bound to a single local — the provable form.
+	bound := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isChild(p, call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := analysis.LocalVar(p.TypesInfo, id); v != nil {
+			bound[call] = true
+			checkBoundSpan(p, fn, as, call, id)
+		}
+		return true
+	})
+
+	// Pass 2: unbound Child calls are fine only when chained straight
+	// into End (span begun and ended in one expression); anything else —
+	// dropped on the floor, returned, stored — cannot be proven to End.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "End" {
+			if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok && isChild(p, inner) {
+				bound[inner] = true // parent.Child("x").End() chain
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || bound[call] || !isChild(p, call) {
+			return true
+		}
+		p.Reportf(call.Pos(), "span %sbegun here never reaches End on this path; bind it and End it on every path", spanName(call))
+		return true
+	})
+}
+
+// checkBoundSpan verifies one `sp := parent.Child(...)` obligation.
+func checkBoundSpan(p *analysis.Pass, fn *ast.FuncDecl, acquire ast.Stmt, child *ast.CallExpr, id *ast.Ident) {
+	v := analysis.LocalVar(p.TypesInfo, id)
+	if esc := analysis.Escapes(p.TypesInfo, fn.Body, v); esc != nil {
+		p.Reportf(esc.Pos(), "span %s%s escapes before an End this analysis can see; restructure or annotate //mlbs:allow ctxspan", spanName(child), id.Name)
+		return
+	}
+	isEnd := func(call *ast.CallExpr) bool {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return false
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		return ok && analysis.LocalVar(p.TypesInfo, recv) == v
+	}
+	res := analysis.CheckReleased(fn.Body, acquire, isEnd)
+	if res.Released {
+		return
+	}
+	if res.LeakPos.IsValid() {
+		p.Reportf(acquire.Pos(), "span %s%s does not End on the path exiting at line %d", spanName(child), id.Name, p.Fset.Position(res.LeakPos).Line)
+	} else {
+		p.Reportf(acquire.Pos(), "span %s%s does not End before its scope ends", spanName(child), id.Name)
+	}
+}
+
+// spanName extracts the span's literal name for the message, as `"name" `.
+func spanName(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return strconv.Quote(s) + " "
+		}
+	}
+	return ""
+}

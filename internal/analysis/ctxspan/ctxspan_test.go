@@ -1,0 +1,16 @@
+package ctxspan_test
+
+import (
+	"testing"
+
+	"mlbs/internal/analysis/analysistest"
+	"mlbs/internal/analysis/ctxspan"
+)
+
+func TestOptedIn(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxspan.Analyzer, "ctxspan/a")
+}
+
+func TestHardwiredRequestPath(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxspan.Analyzer, "mlbs/internal/service")
+}

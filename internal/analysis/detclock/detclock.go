@@ -1,0 +1,153 @@
+// Package detclock enforces the repo's determinism contract: packages on
+// the determinism allowlist — the search core, coloring, the replayers,
+// bitsets, and the improver's MaxMoves path — must be pure functions of
+// their inputs, because golden G-OPT schedules, digest-addressed caching,
+// and the improver's reproducible budget-in-moves form all assume it.
+// Three things break that contract silently:
+//
+//   - wall-clock reads (time.Now/Since/Until and timer constructors)
+//   - math/rand, whose global source is randomly seeded
+//   - ranging over a map into an order-sensitive sink (append, channel
+//     send, string accumulation), which varies run to run
+//
+// The audited escape hatch is `//mlbs:wallclock -- reason` on the one
+// function that legitimately owns wall time (after the improver's clock
+// injection there is exactly one in the allowlisted tree), and
+// `//mlbs:orderfree` on a function whose map iteration provably feeds a
+// commutative or re-sorted sink. Packages outside the hardwired list opt
+// in with a `//mlbs:deterministic` package directive.
+package detclock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mlbs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detclock",
+	Doc:  "forbid wall-clock, math/rand, and map-order dependence in determinism-pinned packages",
+	Run:  run,
+}
+
+// allowlist is the hardwired set of determinism-pinned import paths;
+// `//mlbs:deterministic` in a package doc extends it.
+var allowlist = map[string]bool{
+	"mlbs/internal/core":    true,
+	"mlbs/internal/color":   true,
+	"mlbs/internal/sim":     true,
+	"mlbs/internal/bitset":  true,
+	"mlbs/internal/improve": true,
+}
+
+// clockFuncs are the package time functions that read or arm wall time.
+var clockFuncs = []string{"Now", "Since", "Until", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker"}
+
+func run(p *analysis.Pass) error {
+	if !allowlist[p.Pkg.Path()] && !p.PkgAnnotated(analysis.AnnotDeterministic) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := analysis.PkgFunc(p.TypesInfo, n, "time", clockFuncs...); ok && !exempt(p, n.Pos(), analysis.AnnotWallclock) {
+					p.Reportf(n.Pos(), "time.%s reads the wall clock in determinism-pinned package %s", name, p.Pkg.Name())
+				}
+			case *ast.SelectorExpr:
+				if pkgName, ok := selPkg(p, n); ok && (pkgName == "math/rand" || pkgName == "math/rand/v2") && !exempt(p, n.Pos(), analysis.AnnotWallclock) {
+					p.Reportf(n.Pos(), "use of %s.%s in determinism-pinned package %s", pkgName, n.Sel.Name, p.Pkg.Name())
+					return false
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exempt reports whether pos sits inside a function carrying the given
+// directive.
+func exempt(p *analysis.Pass, pos token.Pos, annot string) bool {
+	fn := p.EnclosingFunc(pos)
+	return fn != nil && p.FuncAnnotated(fn, annot)
+}
+
+// selPkg resolves a selector's qualifier to an imported package path.
+func selPkg(p *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+// checkMapRange flags a range over a map whose body feeds an
+// order-sensitive sink.
+func checkMapRange(p *analysis.Pass, rng *ast.RangeStmt) {
+	if !isMap(p, rng.X) {
+		return
+	}
+	if exempt(p, rng.Pos(), analysis.AnnotOrderFree) {
+		return
+	}
+	sink := orderSensitiveSink(p, rng.Body)
+	if sink == "" {
+		return
+	}
+	p.Reportf(rng.Pos(), "range over map feeds an order-sensitive sink (%s); iterate sorted keys or annotate //mlbs:orderfree", sink)
+}
+
+func isMap(p *analysis.Pass, e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderSensitiveSink names the first construct in body whose result
+// depends on iteration order: an append, a channel send, or a string
+// accumulation.
+func orderSensitiveSink(p *analysis.Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && analysis.IsBuiltin(p.TypesInfo, id, "append") {
+				sink = "append"
+			}
+		case *ast.SendStmt:
+			sink = "channel send"
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringT(p, n.Lhs[0]) {
+				sink = "string accumulation"
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+func isStringT(p *analysis.Pass, e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

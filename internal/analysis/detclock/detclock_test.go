@@ -1,0 +1,20 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"mlbs/internal/analysis/analysistest"
+	"mlbs/internal/analysis/detclock"
+)
+
+func TestOptedIn(t *testing.T) {
+	analysistest.Run(t, "../testdata", detclock.Analyzer, "detclock/a")
+}
+
+func TestUnpinnedPackageIsSilent(t *testing.T) {
+	analysistest.Run(t, "../testdata", detclock.Analyzer, "detclock/plain")
+}
+
+func TestHardwiredAllowlist(t *testing.T) {
+	analysistest.Run(t, "../testdata", detclock.Analyzer, "mlbs/internal/color")
+}

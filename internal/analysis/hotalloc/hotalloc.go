@@ -1,0 +1,263 @@
+// Package hotalloc rejects allocation-inducing constructs in functions
+// annotated `//mlbs:hotpath` — the plan-cache hit path, the sim's warm
+// replay, the search inner loop, and the service's warm Plan, whose
+// steady-state allocation counts are pinned by test. The analyzer makes
+// the pin's *reasons* explicit at vet time instead of leaving them to be
+// rediscovered from a failed alloc-ceiling test:
+//
+//   - calls into package fmt (formatting always allocates)
+//   - non-constant string concatenation
+//   - slice and map composite literals, and address-taken composite
+//     literals (which escape to the heap)
+//   - interface boxing of non-pointer-shaped values at call boundaries
+//     and conversions
+//   - defer inside a loop (one _defer record per iteration)
+//   - append to a slice declared in-function without a capacity
+//
+// A construct that is deliberate — a cold error path inside a hot
+// function, say — carries `//mlbs:allow hotalloc -- reason` on its line.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mlbs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "reject allocation-inducing constructs in //mlbs:hotpath functions",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.InTestFile(fn.Pos()) {
+				continue
+			}
+			if !p.FuncAnnotated(fn, analysis.AnnotHotpath) {
+				continue
+			}
+			checkFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(p *analysis.Pass, fn *ast.FuncDecl) {
+	fresh := freshSlices(p, fn)
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(root ast.Node, loopDepth int) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				walkLoop(n.Body, n.Init, n.Cond, n.Post, walk, loopDepth)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, loopDepth)
+				walk(n.Body, loopDepth+1)
+				return false
+			case *ast.DeferStmt:
+				if loopDepth > 0 {
+					p.Reportf(n.Pos(), "defer inside a loop allocates a defer record per iteration")
+				}
+			case *ast.FuncLit:
+				// A closure in a hot function is itself an allocation.
+				p.Reportf(n.Pos(), "function literal allocates a closure on the hot path")
+				return false
+			case *ast.CallExpr:
+				checkCall(p, n, fresh)
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isStringConcat(p, n) {
+					p.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(p, n.Lhs[0]) {
+					p.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+						p.Reportf(n.Pos(), "address-taken composite literal escapes to the heap")
+						for _, e := range cl.Elts {
+							walk(e, loopDepth) // still scan element expressions
+						}
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				switch p.TypesInfo.TypeOf(n).Underlying().(type) {
+				case *types.Slice:
+					if len(n.Elts) > 0 {
+						p.Reportf(n.Pos(), "slice literal allocates on the hot path")
+					}
+				case *types.Map:
+					p.Reportf(n.Pos(), "map literal allocates on the hot path")
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, 0)
+}
+
+// walkLoop visits a for statement's pieces with the body at depth+1.
+func walkLoop(body *ast.BlockStmt, init ast.Stmt, cond ast.Expr, post ast.Stmt, walk func(ast.Node, int), depth int) {
+	if init != nil {
+		walk(init, depth)
+	}
+	if cond != nil {
+		walk(cond, depth)
+	}
+	if post != nil {
+		walk(post, depth)
+	}
+	walk(body, depth+1)
+}
+
+func checkCall(p *analysis.Pass, call *ast.CallExpr, fresh map[*types.Var]bool) {
+	// Conversions: flag value-to-interface boxing.
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(p, call.Args[0]) {
+			p.Reportf(call.Pos(), "conversion to %s boxes a non-pointer value on the hot path", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)))
+		}
+		return
+	}
+
+	if f := analysis.Callee(p.TypesInfo, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "call to fmt.%s allocates on the hot path", f.Name())
+		return
+	}
+
+	// append to a fresh, un-presized slice grows geometrically from nil.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && analysis.IsBuiltin(p.TypesInfo, id, "append") {
+		if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v := analysis.LocalVar(p.TypesInfo, base); v != nil && fresh[v] {
+				p.Reportf(call.Pos(), "append to %s, declared without capacity in this function; presize with make(..., 0, cap) or reuse a buffer", base.Name)
+			}
+		}
+		return
+	}
+
+	// Interface boxing at argument positions of ordinary calls.
+	sig, ok := p.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(p, arg) {
+			p.Reportf(arg.Pos(), "passing %s as %s boxes it on the hot path", types.TypeString(p.TypesInfo.TypeOf(arg), types.RelativeTo(p.Pkg)), types.TypeString(pt, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface-typed slot heap-boxes
+// it: its static type is concrete and not pointer-shaped (pointers,
+// channels, maps, funcs, and unsafe pointers fit an interface word
+// without allocating, as do nils and interfaces themselves).
+func boxes(p *analysis.Pass, e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+func isString(p *analysis.Pass, e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringConcat reports a + of string type that the compiler cannot
+// constant-fold.
+func isStringConcat(p *analysis.Pass, n *ast.BinaryExpr) bool {
+	if tv, ok := p.TypesInfo.Types[n]; ok && tv.Value != nil {
+		return false
+	}
+	return isString(p, n.X)
+}
+
+// freshSlices collects local slice variables declared in fn without any
+// capacity — `var s []T`, `s := []T{}`, `s := make([]T, n)` — the shapes
+// whose appends reallocate as they grow.
+func freshSlices(p *analysis.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v := analysis.LocalVar(p.TypesInfo, id); v != nil && unpresized(p, n.Rhs[i], v) {
+					fresh[v] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, name := range n.Names {
+					if v := analysis.LocalVar(p.TypesInfo, name); v != nil {
+						if _, ok := v.Type().Underlying().(*types.Slice); ok {
+							fresh[v] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// unpresized reports whether rhs initializes v as a slice with no spare
+// capacity: an empty slice literal or a two-argument make.
+func unpresized(p *analysis.Pass, rhs ast.Expr, v *types.Var) bool {
+	if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return len(rhs.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && analysis.IsBuiltin(p.TypesInfo, id, "make") {
+			return len(rhs.Args) == 2
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mlbs/internal/analysis/analysistest"
+	"mlbs/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotalloc.Analyzer, "hotalloc/a")
+}

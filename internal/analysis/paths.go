@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the suite's shared obligation checker: a resource acquired
+// at one statement (a pooled bitset from Get, a span from Child) must be
+// released (Put, End) on every path out of the acquiring scope. It is a
+// syntactic all-paths walk, not a real CFG — deliberately: the repo's hot
+// paths are written in the straight-line style the walk understands, and
+// anything it cannot prove is reported for the author to restructure or
+// annotate, which is the honest failure mode for a vet-time gate.
+//
+// Soundness compromises, documented so nobody trusts this beyond its
+// design: paths that exit by panicking are ignored (pool leaks on panic
+// are unwound with the engine that owns the pool), and goto with a label
+// is treated as an unprovable exit rather than resolved.
+
+// ReleaseResult reports one obligation check. When Released is false,
+// LeakPos is the return or branch statement that exits the scope first
+// without releasing, or token.NoPos when control simply falls off the end
+// of the acquiring scope.
+type ReleaseResult struct {
+	Released bool
+	LeakPos  token.Pos
+}
+
+// CheckReleased verifies that after acquire — a statement in body — every
+// path to the end of the acquiring statement sequence hits a statement
+// for which isRelease holds (directly, or via defer). The acquiring
+// sequence is the innermost statement list containing acquire, so a Get
+// inside a loop body must be matched by a Put in the same iteration.
+func CheckReleased(body *ast.BlockStmt, acquire ast.Stmt, isRelease func(*ast.CallExpr) bool) ReleaseResult {
+	seq := findSeq(body, acquire)
+	if seq == nil {
+		// Not reachable for well-formed input; fail closed.
+		return ReleaseResult{Released: false, LeakPos: acquire.Pos()}
+	}
+	c := &releaseChecker{isRelease: isRelease}
+	for i, s := range seq {
+		if s == acquire {
+			return c.scanSeq(seq[i+1:], 0, 0)
+		}
+	}
+	return ReleaseResult{Released: false, LeakPos: acquire.Pos()}
+}
+
+// findSeq returns the innermost statement list under root that directly
+// contains target.
+func findSeq(root ast.Node, target ast.Stmt) []ast.Stmt {
+	var found []ast.Stmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for _, s := range list {
+			if s == target {
+				found = list
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+type releaseChecker struct {
+	isRelease func(*ast.CallExpr) bool
+}
+
+// scanSeq walks a statement sequence in order: the obligation is met by
+// the first statement that releases on all paths through it, and violated
+// by the first statement that can exit the scope before any release.
+// loop/sw count the for/switch constructs between the acquiring sequence
+// and the statements under inspection, to bind break and continue.
+func (c *releaseChecker) scanSeq(stmts []ast.Stmt, loop, sw int) ReleaseResult {
+	for _, s := range stmts {
+		if pos, leaky := c.leakyExit(s, loop, sw); leaky {
+			return ReleaseResult{Released: false, LeakPos: pos}
+		}
+		if c.releasesAll(s, loop, sw) {
+			return ReleaseResult{Released: true}
+		}
+	}
+	return ReleaseResult{Released: false, LeakPos: token.NoPos}
+}
+
+// releaseCall reports whether stmt is itself a releasing call or a defer
+// of one (a defer releases on every subsequent exit, normal or panicking).
+func (c *releaseChecker) releaseCall(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return c.isRelease(call)
+		}
+	case *ast.DeferStmt:
+		return c.isRelease(s.Call)
+	}
+	return false
+}
+
+// releasesAll reports whether executing s guarantees the release on every
+// path through s.
+func (c *releaseChecker) releasesAll(s ast.Stmt, loop, sw int) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt, *ast.DeferStmt:
+		return c.releaseCall(s)
+	case *ast.BlockStmt:
+		return c.scanSeq(s.List, loop, sw).Released
+	case *ast.LabeledStmt:
+		return c.releasesAll(s.Stmt, loop, sw)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return c.scanSeq(s.Body.List, loop, sw).Released && c.releasesAll(s.Else, loop, sw)
+	case *ast.SwitchStmt:
+		return c.clausesRelease(s.Body, loop, sw)
+	case *ast.TypeSwitchStmt:
+		return c.clausesRelease(s.Body, loop, sw)
+	case *ast.SelectStmt:
+		return c.clausesRelease(s.Body, loop, sw)
+	}
+	// Loops may run zero times, so they never guarantee a release.
+	return false
+}
+
+// clausesRelease reports whether every clause of a switch/select body
+// releases, and (for switches) a default clause exists to cover the
+// no-match path.
+func (c *releaseChecker) clausesRelease(body *ast.BlockStmt, loop, sw int) bool {
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		default:
+			return false
+		}
+		if !c.scanSeq(stmts, loop, sw+1).Released {
+			return false
+		}
+	}
+	return hasDefault
+}
+
+// leakyExit reports whether some path through s exits the acquiring scope
+// (return, or break/continue past it) before a release, and where.
+func (c *releaseChecker) leakyExit(s ast.Stmt, loop, sw int) (token.Pos, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return s.Pos(), true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil || loop+sw == 0 {
+				return s.Pos(), true
+			}
+		case token.CONTINUE:
+			if s.Label != nil || loop == 0 {
+				return s.Pos(), true
+			}
+		case token.GOTO:
+			return s.Pos(), true
+		}
+	case *ast.BlockStmt:
+		return c.leakySeq(s.List, loop, sw)
+	case *ast.LabeledStmt:
+		return c.leakyExit(s.Stmt, loop, sw)
+	case *ast.IfStmt:
+		if pos, leaky := c.leakySeq(s.Body.List, loop, sw); leaky {
+			return pos, true
+		}
+		if s.Else != nil {
+			return c.leakyExit(s.Else, loop, sw)
+		}
+	case *ast.ForStmt:
+		return c.leakySeq(s.Body.List, loop+1, sw)
+	case *ast.RangeStmt:
+		return c.leakySeq(s.Body.List, loop+1, sw)
+	case *ast.SwitchStmt:
+		return c.leakyClauses(s.Body, loop, sw)
+	case *ast.TypeSwitchStmt:
+		return c.leakyClauses(s.Body, loop, sw)
+	case *ast.SelectStmt:
+		return c.leakyClauses(s.Body, loop, sw)
+	}
+	return token.NoPos, false
+}
+
+// leakySeq scans a nested sequence: a release anywhere before the exit
+// clears the rest of that path.
+func (c *releaseChecker) leakySeq(stmts []ast.Stmt, loop, sw int) (token.Pos, bool) {
+	for _, s := range stmts {
+		if c.releasesAll(s, loop, sw) {
+			return token.NoPos, false
+		}
+		if pos, leaky := c.leakyExit(s, loop, sw); leaky {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+func (c *releaseChecker) leakyClauses(body *ast.BlockStmt, loop, sw int) (token.Pos, bool) {
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		if pos, leaky := c.leakySeq(stmts, loop, sw+1); leaky {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// Escapes returns the first use of obj under root in an
+// ownership-transferring position — its value stored (assignment
+// right-hand side, composite literal element, append argument, channel
+// send), aliased (address taken, re-sliced), returned, or captured by a
+// function literal — or nil when obj only ever appears borrowed: as a
+// call argument or receiver, an operand of an expression that consumes
+// its value, or an index target.
+func Escapes(info *types.Info, root ast.Node, obj types.Object) *ast.Ident {
+	var esc *ast.Ident
+	note := func(id *ast.Ident) {
+		if esc == nil && id != nil {
+			esc = id
+		}
+	}
+	// flows returns the identifier when e's *value itself* is (or aliases)
+	// obj — a bare use, possibly wrapped in parens, composite literals,
+	// an address-of, or a re-slice. A call or arithmetic on obj derives a
+	// new value and does not transfer ownership.
+	var flows func(e ast.Expr) *ast.Ident
+	flows = func(e ast.Expr) *ast.Ident {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if info.Uses[e] == obj {
+				return e
+			}
+		case *ast.ParenExpr:
+			return flows(e.X)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return flows(e.X)
+			}
+		case *ast.SliceExpr:
+			return flows(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if id := flows(el); id != nil {
+					return id
+				}
+			}
+		case *ast.KeyValueExpr:
+			return flows(e.Value)
+		}
+		return nil
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if esc != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				note(flows(rhs))
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				note(flows(v))
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				note(flows(r))
+			}
+		case *ast.SendStmt:
+			note(flows(n.Value))
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok && IsBuiltin(info, fn, "append") {
+				for _, a := range n.Args {
+					note(flows(a))
+				}
+			} else {
+				// Composite-literal arguments smuggle the value out even
+				// though a bare argument is only a borrow.
+				for _, a := range n.Args {
+					if _, ok := ast.Unparen(a).(*ast.CompositeLit); ok {
+						note(flows(a))
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// A capture: any use of obj inside the literal body.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if esc != nil {
+					return false
+				}
+				if ident, ok := m.(*ast.Ident); ok && info.Uses[ident] == obj {
+					esc = ident
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return esc
+}

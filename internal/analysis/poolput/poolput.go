@@ -1,0 +1,134 @@
+// Package poolput enforces the bitset pool's ownership discipline: every
+// Set taken from a bitset.Pool with Get or GetCopy must go back with Put
+// on every path out of the acquiring scope — a leaked set silently
+// degrades the pool to an allocator and erodes the zero-alloc warm paths;
+// a double Put (out of scope here, caught by the pool's aliasing hazard
+// documentation) corrupts a neighbor.
+//
+// The analyzer proves pairing with a syntactic all-paths walk: the
+// statement after the Get may defer the Put, or every return/break out of
+// the Get's statement sequence must be preceded by one. A set that
+// intentionally outlives the function — stored in a struct whose owner
+// Puts it later, as the color Scratch does with its compatibility masks —
+// escapes legitimately, and the function declares that with
+// `//mlbs:poolowner -- reason`.
+package poolput
+
+import (
+	"go/ast"
+
+	"mlbs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolput",
+	Doc:  "require bitset pool Get/Put pairing on every path, or an //mlbs:poolowner annotation",
+	Run:  run,
+}
+
+const bitsetPath = "mlbs/internal/bitset"
+
+func isGet(p *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.MethodOn(p.TypesInfo, call, bitsetPath, "Pool", "Get") ||
+		analysis.MethodOn(p.TypesInfo, call, bitsetPath, "Pool", "GetCopy")
+}
+
+func run(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.InTestFile(fn.Pos()) {
+				continue
+			}
+			checkFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(p *analysis.Pass, fn *ast.FuncDecl) {
+	owner := p.FuncAnnotated(fn, analysis.AnnotPoolOwner)
+
+	// Pass 1: Gets bound to a single local — the provable form.
+	bound := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isGet(p, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored into a field or element: handled as escape below
+			}
+			if v := analysis.LocalVar(p.TypesInfo, id); v != nil {
+				bound[call] = true
+				checkBound(p, fn, n, id, owner)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+				if !ok || !isGet(p, call) {
+					continue
+				}
+				if v := analysis.LocalVar(p.TypesInfo, vs.Names[0]); v != nil {
+					bound[call] = true
+					checkBound(p, fn, n, vs.Names[0], owner)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: any other Get escapes by construction (returned, appended,
+	// stored, passed on) and needs the owner annotation.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || bound[call] || !isGet(p, call) {
+			return true
+		}
+		if !owner {
+			p.Reportf(call.Pos(), "pooled bitset escapes %s without a matching Put; annotate the owner with //mlbs:poolowner", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkBound verifies one `v := pool.Get(...)` obligation.
+func checkBound(p *analysis.Pass, fn *ast.FuncDecl, acquire ast.Stmt, id *ast.Ident, owner bool) {
+	v := analysis.LocalVar(p.TypesInfo, id)
+	if esc := analysis.Escapes(p.TypesInfo, fn.Body, v); esc != nil {
+		if !owner {
+			p.Reportf(esc.Pos(), "pooled bitset %s escapes (stored, returned, or captured) without //mlbs:poolowner on %s", id.Name, fn.Name.Name)
+		}
+		return
+	}
+	isPut := func(call *ast.CallExpr) bool {
+		if !analysis.MethodOn(p.TypesInfo, call, bitsetPath, "Pool", "Put") || len(call.Args) != 1 {
+			return false
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		return ok && analysis.LocalVar(p.TypesInfo, arg) == v
+	}
+	res := analysis.CheckReleased(fn.Body, acquire, isPut)
+	if res.Released {
+		return
+	}
+	if res.LeakPos.IsValid() {
+		p.Reportf(acquire.Pos(), "pooled bitset %s is not Put on the path exiting at line %d", id.Name, p.Fset.Position(res.LeakPos).Line)
+	} else {
+		p.Reportf(acquire.Pos(), "pooled bitset %s is not Put before its scope ends", id.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package poolput_test
+
+import (
+	"testing"
+
+	"mlbs/internal/analysis/analysistest"
+	"mlbs/internal/analysis/poolput"
+)
+
+func TestPoolPut(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolput.Analyzer, "poolput/a")
+}

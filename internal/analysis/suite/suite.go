@@ -1,0 +1,19 @@
+// Package suite registers the repo's analyzer suite in one place, shared
+// by cmd/mlb-vet and the analysis tests.
+package suite
+
+import (
+	"mlbs/internal/analysis"
+	"mlbs/internal/analysis/ctxspan"
+	"mlbs/internal/analysis/detclock"
+	"mlbs/internal/analysis/hotalloc"
+	"mlbs/internal/analysis/poolput"
+)
+
+// Analyzers is the full mlb-vet suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	detclock.Analyzer,
+	poolput.Analyzer,
+	ctxspan.Analyzer,
+}

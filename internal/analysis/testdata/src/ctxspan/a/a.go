@@ -1,0 +1,86 @@
+// Package a exercises ctxspan in an opted-in package: root contexts past
+// the handler boundary fire, unpaired spans fire, and the provable
+// pairings, the ctxroot hatch, and the allow suppression stay silent.
+//
+//mlbs:requestpath
+package a
+
+import (
+	"context"
+
+	"mlbs/internal/obs"
+)
+
+func handler(ctx context.Context) context.Context {
+	_ = context.Background() // want `context.Background mints a root context past the handler boundary`
+	_ = context.TODO()       // want `context.TODO mints a root context past the handler boundary`
+	return ctx
+}
+
+// shutdown owns a process-lifetime context by design.
+//
+//mlbs:ctxroot -- the shutdown timeout outlives any request
+func shutdown() context.Context {
+	return context.Background()
+}
+
+func paired(tr *obs.Trace, fail bool) error {
+	sp := tr.Root().Child("resolve")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+func chained(tr *obs.Trace) {
+	tr.Root().Child("quick").End()
+}
+
+func deferred(tr *obs.Trace) {
+	sp := tr.Root().Child("whole")
+	defer sp.End()
+	work()
+}
+
+func leaky(tr *obs.Trace, fail bool) error {
+	sp := tr.Root().Child("resolve") // want `span "resolve" sp does not End on the path exiting at line \d+`
+	if fail {
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+func escaping(tr *obs.Trace) *obs.Span {
+	sp := tr.Root().Child("handoff")
+	return sp // want `span "handoff" sp escapes before an End`
+}
+
+func dropped(tr *obs.Trace) {
+	tr.Root().Child("orphan") // want `span "orphan" begun here never reaches End`
+}
+
+type job struct {
+	sp *obs.Span
+}
+
+// stored hands its span to the job, which Ends it in finish; the allow
+// line records the audited transfer.
+func stored(tr *obs.Trace, j *job) {
+	sp := tr.Root().Child("async")
+	//mlbs:allow ctxspan -- finish Ends the span when the job drains
+	j.sp = sp
+	go j.finish()
+}
+
+func (j *job) finish() { j.sp.End() }
+
+func work() {}
+
+var errFail = errConst("fail")
+
+type errConst string
+
+func (e errConst) Error() string { return string(e) }

@@ -1,0 +1,61 @@
+// Package a exercises detclock in an opted-in package: wall-clock reads,
+// math/rand, and order-sensitive map ranges fire; the wallclock and
+// orderfree escape hatches and commutative sinks stay silent.
+//
+//mlbs:deterministic
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocky() time.Duration {
+	t0 := time.Now()        // want `time.Now reads the wall clock`
+	d := time.Since(t0)     // want `time.Since reads the wall clock`
+	_ = time.Until(t0)      // want `time.Until reads the wall clock`
+	_ = time.NewTimer(d)    // want `time.NewTimer reads the wall clock`
+	_ = rand.Intn(10)       // want `use of math/rand.Intn`
+	_ = time.Second         // a constant, not a clock read: silent
+	_ = t0.Add(time.Second) // method on a value, not package time: silent
+	return d
+}
+
+// audited owns the one legitimate wall-clock read.
+//
+//mlbs:wallclock -- fixture's audited clock owner
+func audited() time.Time {
+	return time.Now()
+}
+
+func mapRanges(m map[string]int) ([]string, int) {
+	var keys []string
+	for k := range m { // want `range over map feeds an order-sensitive sink \(append\)`
+		keys = append(keys, k)
+	}
+	sum := 0
+	for _, v := range m { // commutative accumulation: silent
+		sum += v
+	}
+	return keys, sum
+}
+
+// sortedLater collects map keys into a slice it re-sorts; the author
+// vouches for order-independence with the directive.
+//
+//mlbs:orderfree -- keys are sorted before use
+func sortedLater(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs { // slices iterate deterministically: silent
+		out = append(out, v)
+	}
+	return out
+}

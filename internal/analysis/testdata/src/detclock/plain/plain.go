@@ -1,0 +1,17 @@
+// Package plain is neither on the hardwired determinism allowlist nor
+// annotated //mlbs:deterministic: detclock must stay entirely silent.
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free(m map[string]int) ([]string, time.Time) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_ = rand.Intn(10)
+	return keys, time.Now()
+}

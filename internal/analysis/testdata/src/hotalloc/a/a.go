@@ -1,0 +1,78 @@
+// Package a exercises the hotalloc analyzer: every allocation-inducing
+// construct inside a //mlbs:hotpath function fires, the same constructs
+// in an unannotated function stay silent, and //mlbs:allow suppresses.
+package a
+
+import "fmt"
+
+type state struct {
+	buf   []int
+	items []int
+	n     int
+}
+
+// hot is the annotated function: each construct below must be flagged.
+//
+//mlbs:hotpath
+func hot(s *state, name string, xs []int) {
+	fmt.Println(name) // want `call to fmt.Println allocates`
+
+	msg := "x: " + name // want `string concatenation allocates`
+	msg += name         // want `string concatenation allocates`
+	_ = msg
+
+	_ = []int{1, 2, 3}          // want `slice literal allocates`
+	_ = map[string]int{"a": 1}  // want `map literal allocates`
+	_ = &state{n: 1}            // want `address-taken composite literal escapes`
+	_ = func() int { return 1 } // want `function literal allocates a closure`
+
+	for range xs {
+		defer release(s) // want `defer inside a loop allocates`
+	}
+
+	_ = any(s.n)  // want `conversion to .* boxes a non-pointer value`
+	sink(s.n)     // want `passing int as .* boxes it`
+	sink(s)       // pointers fit an interface word: silent
+	sink(nil)     // nil never boxes: silent
+	sink("const") // constants never box: silent
+
+	var fresh []int
+	fresh = append(fresh, 1) // want `append to fresh, declared without capacity`
+	empty := []int{}
+	empty = append(empty, 1) // want `append to empty, declared without capacity`
+	tight := make([]int, 0)
+	tight = append(tight, 1) // want `append to tight, declared without capacity`
+	_, _, _ = fresh, empty, tight
+
+	grown := make([]int, 0, len(xs))
+	grown = append(grown, xs...) // presized: silent
+	s.buf = append(s.buf, 1)     // field-backed buffer: silent
+	_ = grown
+}
+
+// hotAllowed shows the line-level escape hatch: the cold error path is
+// deliberate and suppressed, so the function reports nothing.
+//
+//mlbs:hotpath
+func hotAllowed(s *state, bad bool) error {
+	if bad {
+		//mlbs:allow hotalloc -- cold error path, never taken warm
+		return fmt.Errorf("bad state: %d", s.n)
+	}
+	s.n++
+	return nil
+}
+
+// cold is unannotated: the same constructs stay silent.
+func cold(name string) {
+	fmt.Println(name)
+	_ = []int{1, 2, 3}
+	_ = map[string]int{"a": 1}
+	var fresh []int
+	fresh = append(fresh, 1)
+	_ = fresh
+}
+
+func sink(v any) { _ = v }
+
+func release(s *state) { s.n-- }

@@ -1,0 +1,42 @@
+// Package bitset is a minimal stand-in for the real mlbs/internal/bitset
+// at its import path: just enough surface (Set, Pool, Get/GetCopy/Put)
+// for poolput's receiver matching to resolve.
+package bitset
+
+type Set []uint64
+
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func (s Set) Capacity() int { return len(s) * 64 }
+
+type Pool struct {
+	free []Set
+}
+
+func NewPool() *Pool { return &Pool{} }
+
+func (p *Pool) Get(n int) Set {
+	if len(p.free) > 0 {
+		s := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		s.Clear()
+		return s
+	}
+	return make(Set, (n+63)/64)
+}
+
+func (p *Pool) GetCopy(src Set) Set {
+	s := p.Get(src.Capacity())
+	copy(s, src)
+	return s
+}
+
+func (p *Pool) Put(s Set) {
+	if len(s) > 0 {
+		p.free = append(p.free, s)
+	}
+}

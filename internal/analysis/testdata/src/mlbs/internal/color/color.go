@@ -1,0 +1,9 @@
+// Package color sits at a hardwired-allowlist import path: detclock
+// applies with no //mlbs:deterministic directive in sight.
+package color
+
+import "time"
+
+func leak() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in determinism-pinned package color`
+}

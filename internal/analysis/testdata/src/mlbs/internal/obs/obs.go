@@ -1,0 +1,27 @@
+// Package obs is a minimal stand-in for the real mlbs/internal/obs at its
+// import path: Trace, Span, and the Root/Child/End surface ctxspan's
+// receiver matching resolves against.
+package obs
+
+type Trace struct {
+	open int
+}
+
+func (t *Trace) Root() *Span { return &Span{t: t} }
+
+type Span struct {
+	t     *Trace
+	ended bool
+}
+
+func (s *Span) Child(name string) *Span {
+	s.t.open++
+	return &Span{t: s.t}
+}
+
+func (s *Span) End() {
+	if !s.ended {
+		s.ended = true
+		s.t.open--
+	}
+}

@@ -1,0 +1,9 @@
+// Package service sits at a hardwired request-path import path: ctxspan's
+// root-context rule applies with no //mlbs:requestpath directive in sight.
+package service
+
+import "context"
+
+func detached() context.Context {
+	return context.Background() // want `context.Background mints a root context past the handler boundary`
+}

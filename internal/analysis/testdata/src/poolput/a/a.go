@@ -1,0 +1,87 @@
+// Package a exercises poolput: a Get must be matched by a Put on every
+// path out of the acquiring scope, escapes need //mlbs:poolowner, and the
+// provable pairings stay silent.
+package a
+
+import "mlbs/internal/bitset"
+
+type holder struct {
+	pool *bitset.Pool
+	mask bitset.Set
+}
+
+func paired(p *bitset.Pool) int {
+	s := p.Get(64)
+	n := s.Capacity()
+	p.Put(s)
+	return n
+}
+
+func deferred(p *bitset.Pool, fail bool) error {
+	s := p.Get(64)
+	defer p.Put(s)
+	if fail {
+		return errFail
+	}
+	_ = s.Capacity()
+	return nil
+}
+
+func branches(p *bitset.Pool, big bool) {
+	s := p.Get(64)
+	if big {
+		s.Clear()
+		p.Put(s)
+	} else {
+		p.Put(s)
+	}
+}
+
+func leakyReturn(p *bitset.Pool, fail bool) error {
+	s := p.Get(64) // want `s is not Put on the path exiting at line \d+`
+	if fail {
+		return errFail
+	}
+	p.Put(s)
+	return nil
+}
+
+func leakyScope(p *bitset.Pool) {
+	s := p.Get(64) // want `s is not Put before its scope ends`
+	s.Clear()
+}
+
+func escapes(p *bitset.Pool) bitset.Set {
+	s := p.GetCopy(nil)
+	return s // want `pooled bitset s escapes`
+}
+
+// owner keeps the mask alive in its struct; the annotation declares the
+// transfer of the Put obligation.
+//
+//mlbs:poolowner -- the holder Puts the mask in drop
+func (h *holder) owner() {
+	h.mask = h.pool.Get(64)
+}
+
+func (h *holder) drop() {
+	h.pool.Put(h.mask)
+	h.mask = nil
+}
+
+func appended(p *bitset.Pool, all []bitset.Set) []bitset.Set {
+	s := p.Get(64)
+	return append(all, s) // want `pooled bitset s escapes`
+}
+
+func unbound(p *bitset.Pool) {
+	consume(p.Get(64)) // want `pooled bitset escapes unbound without a matching Put`
+}
+
+func consume(s bitset.Set) { _ = s.Capacity() }
+
+var errFail = errConst("fail")
+
+type errConst string
+
+func (e errConst) Error() string { return string(e) }

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the static callee of call: a package-level function, a
+// method (through the Selections map, so embedded promotions resolve), or
+// nil for builtins, conversions, and dynamic calls through function
+// values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// PkgFunc reports whether call statically calls one of the named
+// package-level functions (or methods) of the package at path, returning
+// the matched name.
+func PkgFunc(info *types.Info, call *ast.CallExpr, path string, names ...string) (string, bool) {
+	f := Callee(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != path {
+		return "", false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// MethodOn reports whether call invokes the named method on a (possibly
+// pointer-wrapped) named type declared in the package at path.
+func MethodOn(info *types.Info, call *ast.CallExpr, path, typeName, method string) bool {
+	f := Callee(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != path || f.Name() != method {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// IsBuiltin reports whether id uses the named predeclared builtin
+// (go/types records builtins as *types.Builtin objects, never nil).
+func IsBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// LocalVar returns the local variable object bound by id (a definition or
+// use), or nil when id names anything else (field, package, constant).
+func LocalVar(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	return v
+}

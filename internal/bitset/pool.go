@@ -33,6 +33,8 @@ func (p *Pool) Get(n int) Set {
 }
 
 // GetCopy returns a pooled set holding a copy of src.
+//
+//mlbs:poolowner -- ownership of the returned set transfers to the caller, who must Put it
 func (p *Pool) GetCopy(src Set) Set {
 	s := p.Get(src.Capacity())
 	copy(s, src)

@@ -116,6 +116,8 @@ func (s *recvSorter) Swap(i, j int) {
 // GreedyPartition: identical classes in identical order, with all
 // intermediate state (sort order, receiver counts, labels, class members)
 // held in the Scratch.
+//
+//mlbs:hotpath -- Algorithm 1's move generator; allocation-free on a warm Scratch by design
 func (sc *Scratch) GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.NodeID) []Class {
 	if len(cands) == 0 {
 		return nil
@@ -170,6 +172,9 @@ func (sc *Scratch) GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.N
 // identical sets in identical order (and the identical truncation point
 // under a limit), with the Bron–Kerbosch working sets drawn from the
 // Scratch's pool.
+//
+//mlbs:poolowner -- the compat masks and r park in mkState during the enumeration and are Put in bulk before return
+//mlbs:hotpath -- exhaustive move generator; pooled working sets keep a warm Scratch allocation-free
 func (sc *Scratch) MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeID, limit int) ([]Class, bool) {
 	k := len(cands)
 	if k == 0 {
@@ -251,6 +256,8 @@ type mkState struct {
 // with candidate set p and exclusion set x (both consumed). p and x are
 // owned by the caller; bk mutates them exactly as the classic pivoted
 // enumeration prescribes.
+//
+//mlbs:hotpath -- the Bron–Kerbosch recursion; method-based so no closure allocates per call
 func (st *mkState) bk(p, x bitset.Set) {
 	if st.truncated {
 		return

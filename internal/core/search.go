@@ -336,6 +336,8 @@ func (e *engine) maxHop(w bitset.Set) int {
 // sender-disjoint classes — one per channel — instead of a single class.
 // The returned slice and everything it references belong to fr and are
 // clobbered by the frame's next use.
+//
+//mlbs:hotpath -- move generation runs once per expanded node; warm frames reuse every buffer
 func (e *engine) moves(fr *frame, w bitset.Set, cands []graph.NodeID, slot int) []move {
 	var classes []color.Class
 	switch e.cfg.Moves {
@@ -444,6 +446,8 @@ func appendBundleAdvances(out []Advance, g *graph.Graph, w, tmp bitset.Set, t in
 // limit is a pure search-control: the caller does not care about values
 // ≥ limit, so subtrees provably at or above it are cut. depth indexes the
 // engine's frame arena; w is owned by the caller and read-only here.
+//
+//mlbs:hotpath -- the branch-and-bound inner loop; the warm-path alloc pin depends on it staying allocation-free
 func (e *engine) dfs(depth int, w bitset.Set, t, limit int) (int, bool) {
 	fr := e.frame(depth)
 	slot, cands, ok := nextUsefulSlot(e.in.G, e.in.Wake, w, t, &fr.scratch)

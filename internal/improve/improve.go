@@ -113,6 +113,7 @@ type MoveStats struct {
 type Improver struct {
 	eng  *core.Engine
 	pool *bitset.Pool
+	clk  clock // sysClock in production; tests inject a stepped fake
 
 	n       int
 	w       bitset.Set // replay coverage
@@ -130,7 +131,7 @@ type Improver struct {
 
 // New returns an empty improver; arenas grow on first use and stay warm.
 func New() *Improver {
-	imp := &Improver{pool: bitset.NewPool()}
+	imp := &Improver{pool: bitset.NewPool(), clk: sysClock{}}
 	imp.eng = core.NewSearch("improve", core.SearchConfig{Moves: core.GreedyMoves}).NewEngine()
 	return imp
 }
@@ -147,23 +148,40 @@ func (f fixedScheduler) Schedule(core.Instance) (*core.Result, error) {
 	return &core.Result{Scheduler: f.Name(), Schedule: f.sched, PA: f.sched.PA()}, nil
 }
 
+// clock abstracts the wall time behind Options.Deadline so deadline runs
+// are testable without sleeping: tests inject a stepped fake and watch
+// the budget expire deterministically. sysClock is the only reader of
+// real time in this package.
+type clock interface {
+	now() time.Time
+}
+
+// sysClock is the production clock backing every Improver built by New.
+type sysClock struct{}
+
+// now reads the wall clock.
+//
+//mlbs:wallclock -- the single audited wall-clock read backing Options.Deadline
+func (sysClock) now() time.Time { return time.Now() }
+
 // budgetState tracks the move/deadline budget of one run. The clock is
 // consulted only when a deadline was set, keeping move-budgeted runs
 // deterministic.
 type budgetState struct {
+	clk      clock
 	deadline time.Time
 	timed    bool
 	moves    int // remaining candidate evaluations; < 0 means unlimited
 }
 
-func newBudget(opt Options) budgetState {
-	b := budgetState{moves: -1}
+func newBudget(opt Options, clk clock) budgetState {
+	b := budgetState{clk: clk, moves: -1}
 	if opt.MaxMoves > 0 {
 		b.moves = opt.MaxMoves
 	}
 	if opt.Deadline > 0 {
 		b.timed = true
-		b.deadline = time.Now().Add(opt.Deadline)
+		b.deadline = clk.now().Add(opt.Deadline)
 	}
 	return b
 }
@@ -172,7 +190,7 @@ func (b *budgetState) exhausted() bool {
 	if b.moves == 0 {
 		return true
 	}
-	return b.timed && !time.Now().Before(b.deadline)
+	return b.timed && !b.clk.now().Before(b.deadline)
 }
 
 // spend consumes one move; false means the budget ran out first.
@@ -264,7 +282,7 @@ func (imp *Improver) Improve(in core.Instance, sched *core.Schedule, opt Options
 	s := &state{cur: sched.Advances, end: sched.End(), senders: countSenders(sched.Advances)}
 	imp.regroup(s.cur)
 
-	bud := newBudget(opt)
+	bud := newBudget(opt, imp.clk)
 	searchBudget := opt.SearchBudget
 	if searchBudget <= 0 {
 		searchBudget = DefaultSearchBudget

@@ -217,3 +217,68 @@ func TestImproveEmptySingleNode(t *testing.T) {
 		t.Fatalf("single-node improve: %+v, %+v", out, st)
 	}
 }
+
+// fakeClock steps a fixed amount on every read, so a Deadline budget
+// expires after a known number of clock consultations without sleeping.
+type fakeClock struct {
+	t     time.Time
+	step  time.Duration
+	reads int
+}
+
+func (c *fakeClock) now() time.Time {
+	c.reads++
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// panicClock pins the determinism contract: a MaxMoves-only run must
+// never consult the clock at all.
+type panicClock struct{}
+
+func (panicClock) now() time.Time { panic("MaxMoves-only run read the clock") }
+
+func TestDeadlineBudgetWithInjectedClock(t *testing.T) {
+	in := instance(t, 80, 3, 10, 1)
+	base := approximation(t, in)
+
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	imp := New()
+	imp.clk = clk
+	out, st, err := imp.Improve(in, base, Options{Deadline: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatalf("deadline-bounded schedule invalid: %v", err)
+	}
+	if out.End() > base.End() {
+		t.Fatalf("end worsened: %d -> %d", base.End(), out.End())
+	}
+	if clk.reads < 2 {
+		t.Fatalf("deadline run consulted the clock %d times, want ≥ 2", clk.reads)
+	}
+	// Every read advances 1ms and the deadline sits 5ms past the first,
+	// so the budget dies by the sixth consultation; a run that ignored
+	// the injected clock would converge in hundreds of moves.
+	if st.Moves > 6 {
+		t.Fatalf("deadline did not bite: %d moves spent", st.Moves)
+	}
+	if st.Converged {
+		t.Fatalf("run reports convergence despite expiring deadline: %+v", st)
+	}
+}
+
+func TestMaxMovesRunNeverReadsClock(t *testing.T) {
+	in := instance(t, 60, 2, 10, 1)
+	base := approximation(t, in)
+	imp := New()
+	imp.clk = panicClock{}
+	out, _, err := imp.Improve(in, base, Options{MaxMoves: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+}

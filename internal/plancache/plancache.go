@@ -97,6 +97,8 @@ func New[V any](capacity, shards int) *Cache[V] {
 // Exported so callers that co-shard their own structures with the cache —
 // the service's worker pool keys engine locality off the same hash — stay
 // in lockstep with the cache's shard selection by construction.
+//
+//mlbs:hotpath -- runs on every cache probe
 func KeyHash(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
@@ -139,6 +141,8 @@ func (s *shard[V]) pushFront(e *entry[V]) {
 
 // Get probes the cache, bumping the entry's recency on a hit. The value
 // is copied out under the shard lock — Put may overwrite e.val in place.
+//
+//mlbs:hotpath -- the serving hit path; intrusive LRU links keep it allocation-free
 func (c *Cache[V]) Get(key string) (V, bool) {
 	s := c.shard(key)
 	s.mu.Lock()

@@ -850,10 +850,12 @@ func (s *Service) Plan(ctx context.Context, req Request) (Response, error) {
 	rs := tr.Root().Child("resolve")
 	in, err := s.resolve(req)
 	if err != nil {
+		rs.End()
 		return Response{}, err
 	}
 	digest, err := graphio.InstanceDigest(in)
 	if err != nil {
+		rs.End()
 		return Response{}, err
 	}
 	if rs != nil {

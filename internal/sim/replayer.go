@@ -114,6 +114,8 @@ func (r *Replayer) reset(in core.Instance, start int) {
 // in r.newly, sorted ascending. The outcome is independent of the senders'
 // iteration order: receivers are processed in ascending ID order and
 // collision sender lists are sorted.
+//
+//mlbs:hotpath -- per-slot physics; the Monte-Carlo engine batches thousands of warm replays
 func (r *Replayer) transmit(t int, senders []graph.NodeID) error {
 	for _, u := range senders {
 		if u < 0 || u >= r.n {
@@ -179,6 +181,8 @@ func (r *Replayer) transmit(t int, senders []graph.NodeID) error {
 // were already charged; every other node spends the slot listening, and
 // additionally its sending circuitry is asleep unless its wake schedule has
 // it on.
+//
+//mlbs:hotpath -- runs every replayed slot
 func (r *Replayer) accountQuiet(t int, senders []graph.NodeID) {
 	for _, u := range senders {
 		r.isTx[u] = true
@@ -200,6 +204,8 @@ func (r *Replayer) accountQuiet(t int, senders []graph.NodeID) {
 // filterAble narrows senders to those that physically hold the message —
 // in a lossy replay, relays whose own reception was lost stay silent
 // instead of aborting the execution.
+//
+//mlbs:hotpath -- runs every lossy slot
 func (r *Replayer) filterAble(t int, senders []graph.NodeID) ([]graph.NodeID, error) {
 	r.able = r.able[:0]
 	for _, u := range senders {
@@ -243,6 +249,8 @@ func (r *Replayer) Replay(in core.Instance, sched *core.Schedule) (*Report, erro
 // behavior; multi-channel slots (several advances sharing a T on distinct
 // ascending channels, legal only when the instance has K > 1 channels)
 // route through transmitGroup.
+//
+//mlbs:hotpath -- the shared execution loop of every replay
 func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, error) {
 	r.reset(in, sched.Start)
 	k := in.K()
@@ -252,6 +260,7 @@ func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, erro
 			return nil, errOrder(adv.T)
 		}
 		if adv.Channel < 0 || adv.Channel >= k {
+			//mlbs:allow hotalloc -- malformed-schedule error path, aborts the replay
 			return nil, fmt.Errorf("sim: advance at t=%d uses channel %d, instance has %d", adv.T, adv.Channel, k)
 		}
 		prevT, prevCh = adv.T, adv.Channel
@@ -303,6 +312,8 @@ func (r *Replayer) replay(in core.Instance, sched *core.Schedule) (*Report, erro
 // still reports the collision — a conflict-aware schedule must not produce
 // any. Returns the slot's scheduled senders across all channels (the
 // accountQuiet input).
+//
+//mlbs:hotpath -- multi-channel per-slot physics, same warm-replay discipline as transmit
 func (r *Replayer) transmitGroup(t int, group []core.Advance) ([]graph.NodeID, error) {
 	// One radio per node: a sender may appear on at most one channel. The
 	// isTx marks are cleared on every exit — error paths included — so a
@@ -316,6 +327,7 @@ func (r *Replayer) transmitGroup(t int, group []core.Advance) ([]graph.NodeID, e
 			}
 			if r.isTx[u] {
 				r.clearTxMarks()
+				//mlbs:allow hotalloc -- malformed-schedule error path, aborts the replay
 				return nil, fmt.Errorf("sim: node %d transmits on two channels at t=%d", u, t)
 			}
 			r.isTx[u] = true
@@ -414,6 +426,8 @@ func (r *Replayer) transmitGroup(t int, group []core.Advance) ([]graph.NodeID, e
 
 // clearTxMarks clears the isTx marks of the senders recorded in slotTx,
 // keeping the slotTx list itself (accountQuiet consumes it).
+//
+//mlbs:hotpath -- cleanup shared by every transmitGroup exit
 func (r *Replayer) clearTxMarks() {
 	for _, u := range r.slotTx {
 		r.isTx[u] = false
@@ -422,6 +436,8 @@ func (r *Replayer) clearTxMarks() {
 
 // clearSlotFlags zeroes the per-slot reception marks of every node
 // touched so far — the cleanup all transmitGroup exits share.
+//
+//mlbs:hotpath -- cleanup shared by every transmitGroup exit
 func (r *Replayer) clearSlotFlags() {
 	for _, v := range r.slotNodes {
 		r.slotFlag[v] = 0
