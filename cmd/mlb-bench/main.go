@@ -81,6 +81,25 @@ type channelRecord struct {
 	LatencyVsK1  float64 `json:"latency_over_k1"`
 }
 
+// modelRecord captures one cell of the latency-vs-interference-model
+// curve: the G-OPT schedule on the paper topology under the protocol
+// (graph) model against SINR variants of increasing strictness. Every
+// schedule is validated and replayed under its own model before its
+// numbers are reported.
+type modelRecord struct {
+	Name         string  `json:"name"`
+	Nodes        int     `json:"nodes"`
+	Model        string  `json:"model"`
+	Alpha        float64 `json:"alpha,omitempty"`
+	Beta         float64 `json:"beta,omitempty"`
+	LatencySlots int     `json:"latency_slots"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	Exact        bool    `json:"exact"`
+	// LatencyVsGraph is this model's latency over the protocol model's on
+	// the same deployment — the price of physical-interference awareness.
+	LatencyVsGraph float64 `json:"latency_over_graph"`
+}
+
 // improveRecord captures one anytime-improver case: the approximation's
 // schedule tightened under a deterministic move budget. Slot counts are
 // exact functions of (n, seed, r, max_moves) — CI gates on them.
@@ -125,6 +144,7 @@ type report struct {
 	Service     []serviceRecord     `json:"service"`
 	Reliability []reliabilityRecord `json:"reliability"`
 	Channels    []channelRecord     `json:"channels"`
+	Models      []modelRecord       `json:"models"`
 	Improve     []improveRecord     `json:"improve"`
 	Obs         []obsRecord         `json:"obs"`
 }
@@ -139,6 +159,7 @@ func main() {
 		relTr   = flag.Int("reltrials", 500, "Monte-Carlo trials per reliability case")
 		out     = flag.String("out", "BENCH_schedulers.json", "output JSON path")
 		chOut   = flag.String("chout", "BENCH_channels.json", "latency-vs-K curve JSON path (empty disables)")
+		mdlOut  = flag.String("modelout", "BENCH_models.json", "latency-vs-interference-model JSON path (empty disables)")
 		impOut  = flag.String("impout", "BENCH_improve.json", "anytime-improver section JSON path (empty disables)")
 		obsOut  = flag.String("obsout", "BENCH_obs.json", "tracing-overhead section JSON path (empty disables)")
 	)
@@ -248,6 +269,33 @@ func main() {
 		}
 		chData = append(chData, '\n')
 		if err := os.WriteFile(*chOut, chData, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	mdlRecs, err := benchModels(dep, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Models = mdlRecs
+	for _, mr := range mdlRecs {
+		fmt.Printf("%-28s %6d latency %8.3f vs graph %12d ns/op\n",
+			mr.Name, mr.LatencySlots, mr.LatencyVsGraph, mr.NsPerOp)
+	}
+	if *mdlOut != "" {
+		mdlData, err := json.MarshalIndent(struct {
+			Tool      string        `json:"tool"`
+			GoVersion string        `json:"go_version"`
+			Timestamp string        `json:"timestamp"`
+			Nodes     int           `json:"nodes"`
+			Seed      uint64        `json:"seed"`
+			Models    []modelRecord `json:"models"`
+		}{"mlb-bench", runtime.Version(), rep.Timestamp, *n, *seed, mdlRecs}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		mdlData = append(mdlData, '\n')
+		if err := os.WriteFile(*mdlOut, mdlData, 0o644); err != nil {
 			fatal(err)
 		}
 	}
@@ -511,6 +559,70 @@ func benchChannels(dep *mlbs.Deployment, n int, seed uint64, r int) ([]channelRe
 			}
 			out = append(out, rec)
 		}
+	}
+	return out, nil
+}
+
+// benchModels sweeps the latency-vs-interference-model curve: the G-OPT
+// schedule of the synchronous paper deployment under the protocol (graph)
+// model and two SINR settings of increasing strictness. Noise is zero, so
+// the SINR decision is scale-invariant in the deployment geometry and the
+// curve is a pure function of (n, seed, α, β).
+func benchModels(dep *mlbs.Deployment, n int, seed uint64) ([]modelRecord, error) {
+	base := mlbs.SyncInstance(dep.G, dep.Source)
+	models := []struct {
+		name        string
+		sinr        *mlbs.SINRParams
+		alpha, beta float64
+	}{
+		{"graph", nil, 0, 0},
+		{"sinr-a3b1", &mlbs.SINRParams{Alpha: 3, Beta: 1}, 3, 1},
+		{"sinr-a3b2", &mlbs.SINRParams{Alpha: 3, Beta: 2}, 3, 2},
+	}
+	var out []modelRecord
+	graphLat := 0
+	for _, m := range models {
+		in := mlbs.WithSINR(base, m.sinr)
+		sched := mlbs.GOPT()
+		res, err := sched.Schedule(in)
+		if err != nil {
+			return nil, fmt.Errorf("models %s: %w", m.name, err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			return nil, fmt.Errorf("models %s: invalid schedule: %w", m.name, err)
+		}
+		rep, err := mlbs.Replay(in, res.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("models %s: %w", m.name, err)
+		}
+		if !rep.Completed {
+			return nil, fmt.Errorf("models %s: replay incomplete or collided", m.name)
+		}
+		nsOp, _, _, err := measure(1, func() error {
+			_, err := sched.Schedule(in)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		lat := res.Schedule.Latency()
+		if m.sinr == nil {
+			graphLat = lat
+		}
+		rec := modelRecord{
+			Name:         fmt.Sprintf("models/sync-n%d/%s", n, m.name),
+			Nodes:        n,
+			Model:        m.name,
+			Alpha:        m.alpha,
+			Beta:         m.beta,
+			LatencySlots: lat,
+			NsPerOp:      nsOp,
+			Exact:        res.Exact,
+		}
+		if graphLat > 0 {
+			rec.LatencyVsGraph = float64(lat) / float64(graphLat)
+		}
+		out = append(out, rec)
 	}
 	return out, nil
 }

@@ -17,6 +17,11 @@
 //   - reliability[].allocs_per_replay — the Monte-Carlo engine's ~0
 //     allocs/replay contract;
 //   - channels[].latency_slots — the latency-vs-K curve;
+//   - models[].latency_slots — the latency-vs-interference-model curve
+//     (graph vs SINR), deterministic for a fixed (n, seed, α, β) and
+//     compared with zero relative slack: the oracle indirection landing
+//     the protocol model on a different schedule IS the regression this
+//     section exists to catch;
 //   - improve[].latency_slots — the anytime improver's slot counts under
 //     deterministic move budgets (must never exceed baseline: the improver
 //     getting WORSE at improving is a regression even inside tolerance, so
@@ -55,6 +60,10 @@ type benchReport struct {
 		Name         string `json:"name"`
 		LatencySlots int    `json:"latency_slots"`
 	} `json:"channels"`
+	Models []struct {
+		Name         string `json:"name"`
+		LatencySlots int    `json:"latency_slots"`
+	} `json:"models"`
 	Improve []struct {
 		Name         string `json:"name"`
 		LatencySlots int    `json:"latency_slots"`
@@ -139,6 +148,23 @@ func compare(baseline, current benchReport, tol tolerances) []string {
 			continue
 		}
 		if exceeds(float64(got), float64(b.LatencySlots), 0) {
+			fails = append(fails, fmt.Sprintf("%s: latency %d slots, baseline %d",
+				b.Name, got, b.LatencySlots))
+		}
+	}
+	curMdl := make(map[string]int, len(current.Models))
+	for _, r := range current.Models {
+		curMdl[r.Name] = r.LatencySlots
+	}
+	for _, b := range baseline.Models {
+		got, ok := curMdl[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("model record %q missing from current report", b.Name))
+			continue
+		}
+		// Deterministic schedules per (n, seed, model): any slot drift is a
+		// real scheduling change — no relative slack.
+		if got != b.LatencySlots {
 			fails = append(fails, fmt.Sprintf("%s: latency %d slots, baseline %d",
 				b.Name, got, b.LatencySlots))
 		}
@@ -230,6 +256,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d improve, %d obs records within %.0f%% of baseline\n",
-		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Improve), len(baseline.Obs), *tol*100)
+	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d model, %d improve, %d obs records within %.0f%% of baseline\n",
+		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Models), len(baseline.Improve), len(baseline.Obs), *tol*100)
 }

@@ -269,7 +269,12 @@ type baseSelection struct {
 	R        int             `json:"r,omitempty"`
 	WakeSeed uint64          `json:"wake_seed,omitempty"`
 	Channels int             `json:"channels,omitempty"`
-	Instance json.RawMessage `json:"instance,omitempty"`
+	// SINR physical-model parameters for the generator form; all zero
+	// keeps the protocol model. Inline instances carry their own.
+	SINRAlpha float64         `json:"sinr_alpha,omitempty"`
+	SINRBeta  float64         `json:"sinr_beta,omitempty"`
+	SINRNoise float64         `json:"sinr_noise,omitempty"`
+	Instance  json.RawMessage `json:"instance,omitempty"`
 }
 
 // resolve projects the selection onto the service's request form: a
@@ -284,7 +289,8 @@ func (b baseSelection) resolve() (*mlbs.Instance, *mlbs.PlanGenerator, error) {
 		}
 		return &in, nil, nil
 	}
-	return nil, &mlbs.PlanGenerator{N: b.N, Seed: b.Seed, DutyRate: b.R, WakeSeed: b.WakeSeed, Channels: b.Channels}, nil
+	return nil, &mlbs.PlanGenerator{N: b.N, Seed: b.Seed, DutyRate: b.R, WakeSeed: b.WakeSeed, Channels: b.Channels,
+		SINRAlpha: b.SINRAlpha, SINRBeta: b.SINRBeta, SINRNoise: b.SINRNoise}, nil
 }
 
 // planHTTPRequest is the wire form of a plan request.
@@ -416,6 +422,9 @@ func generatorInstance(b baseSelection) (mlbs.Instance, error) {
 	}
 	if b.Channels > 1 {
 		in.Channels = b.Channels
+	}
+	if b.SINRAlpha != 0 || b.SINRBeta != 0 || b.SINRNoise != 0 {
+		in = mlbs.WithSINR(in, &mlbs.SINRParams{Alpha: b.SINRAlpha, Beta: b.SINRBeta, Noise: b.SINRNoise})
 	}
 	return in, nil
 }

@@ -28,6 +28,7 @@ import (
 	"mlbs/internal/geom"
 	"mlbs/internal/graph"
 	"mlbs/internal/graphio"
+	"mlbs/internal/interference"
 	"mlbs/internal/rng"
 )
 
@@ -263,7 +264,7 @@ func Apply(base core.Instance, d Delta) (core.Instance, Mapping, error) {
 			pre = append(pre, v)
 		}
 	}
-	out := core.Instance{G: g, Source: source, Start: base.Start, Wake: wake, PreCovered: pre, Channels: base.Channels}
+	out := core.Instance{G: g, Source: source, Start: base.Start, Wake: wake, PreCovered: pre, Channels: base.Channels, SINR: remapSINR(base.SINR, m, g.N())}
 	if _, connected := g.Eccentricity(source); !connected {
 		return core.Instance{}, Mapping{}, ErrDisconnected
 	}
@@ -271,6 +272,30 @@ func Apply(base core.Instance, d Delta) (core.Instance, Mapping, error) {
 		return core.Instance{}, Mapping{}, fmt.Errorf("churn: mutated instance invalid: %w", err)
 	}
 	return out, m, nil
+}
+
+// remapSINR carries the base instance's SINR parameters through a delta:
+// the scalar channel model survives unchanged, and per-node TX powers
+// follow surviving nodes through swap-remove renumbering. Joined nodes
+// get the default power 1. A nil model stays nil (protocol model).
+func remapSINR(p *interference.SINRParams, m Mapping, newN int) *interference.SINRParams {
+	if p == nil {
+		return nil
+	}
+	out := &interference.SINRParams{Alpha: p.Alpha, Beta: p.Beta, Noise: p.Noise}
+	if len(p.Power) == 0 {
+		return out
+	}
+	out.Power = make([]float64, newN)
+	for i := range out.Power {
+		out.Power[i] = 1
+	}
+	for v, u := range m.ToBase {
+		if u >= 0 && v < newN {
+			out.Power[v] = p.Power[u]
+		}
+	}
+	return out
 }
 
 // RemapWake rebuilds a wake schedule for the mutated node set, preserving

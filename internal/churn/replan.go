@@ -6,9 +6,9 @@ import (
 	"slices"
 
 	"mlbs/internal/bitset"
-	"mlbs/internal/color"
 	"mlbs/internal/core"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // Strategy names how a repaired plan was obtained.
@@ -74,6 +74,12 @@ type Replanner struct {
 	minKeptFrac     float64
 	w, got          bitset.Set
 	slotCov, slotTx bitset.Set // multi-channel slot scratch (see classify)
+
+	// Interference oracle of the mutated instance: prefix classification
+	// must reject advances under the same model the scheduler plans with,
+	// so a kept prefix stays legal under SINR too. Rebound per classify.
+	ib     interference.Binder
+	oracle interference.Oracle
 }
 
 // NewReplanner builds a replanner; see ReplanConfig for defaults.
@@ -190,6 +196,7 @@ func (rp *Replanner) Replan(base core.Instance, basePlan *core.Schedule, d Delta
 func (rp *Replanner) classify(mutated core.Instance, basePlan *core.Schedule, m Mapping) []core.Advance {
 	n := mutated.G.N()
 	k := mutated.K()
+	rp.oracle = mutated.Oracle(&rp.ib)
 	if rp.w.Capacity() < n {
 		rp.w = bitset.New(n)
 		rp.got = bitset.New(n)
@@ -265,7 +272,7 @@ func (rp *Replanner) classifySlot(mutated core.Instance, m Mapping, t, k int, gr
 			}
 			rp.slotTx.Add(v)
 		}
-		if !color.ConflictFree(mutated.G, rp.w, senders) {
+		if !rp.oracle.ConflictFree(rp.w, senders) {
 			return nil, false
 		}
 		rp.got.Clear()

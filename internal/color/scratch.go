@@ -7,6 +7,7 @@ import (
 	"mlbs/internal/bitset"
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // Scratch holds every buffer the color computations of one search frame
@@ -40,6 +41,11 @@ type Scratch struct {
 	bundles       []Bundle
 	bundleClasses []Class // backing storage the returned bundles slice into
 	bundleIdx     []int
+
+	// gor backs the oracle-free convenience forms of GreedyPartition and
+	// MaximalSets: they bind the protocol-graph oracle here so callers
+	// without an interference.Binder stay allocation-free.
+	gor interference.GraphOracle
 
 	mk mkState
 }
@@ -119,6 +125,21 @@ func (s *recvSorter) Swap(i, j int) {
 //
 //mlbs:hotpath -- Algorithm 1's move generator; allocation-free on a warm Scratch by design
 func (sc *Scratch) GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.NodeID) []Class {
+	sc.gor.Reset(g)
+	return sc.GreedyPartitionOracle(g, w, cands, &sc.gor)
+}
+
+// GreedyPartitionOracle runs Algorithm 1's greedy labeling with class
+// admissibility judged by o instead of the inline protocol predicate.
+// Under the graph oracle it is bit-identical to GreedyPartition (CanJoin
+// is the very same member loop). Under a non-pairwise oracle a candidate
+// may fail to open even a singleton class (a lone sender below the SINR
+// noise floor); such candidates are labeled out of the partition — they
+// can never fire at this coverage, and dropping them is what keeps the
+// outer loop terminating.
+//
+//mlbs:hotpath -- Algorithm 1's move generator; allocation-free on a warm Scratch by design
+func (sc *Scratch) GreedyPartitionOracle(g *graph.Graph, w bitset.Set, cands []graph.NodeID, o interference.Oracle) []Class {
 	if len(cands) == 0 {
 		return nil
 	}
@@ -148,22 +169,25 @@ func (sc *Scratch) GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.N
 			if sc.labeled[oi] {
 				continue
 			}
-			ok := true
-			for _, v := range sc.members[start:] {
-				if Conflict(g, u, v, w) {
-					ok = false
-					break
+			if !o.CanJoin(w, sc.members[start:], u) {
+				if start == len(sc.members) {
+					// u cannot fire even alone at this coverage (never the
+					// case under the pairwise graph oracle): drop it so the
+					// partition terminates.
+					sc.labeled[oi] = true
+					done++
 				}
+				continue
 			}
-			if ok {
-				sc.members = append(sc.members, u)
-				sc.labeled[oi] = true
-				done++
-			}
+			sc.members = append(sc.members, u)
+			sc.labeled[oi] = true
+			done++
 		}
 		cls := Class(sc.members[start:len(sc.members):len(sc.members)])
-		sort.Ints(cls)
-		sc.classes = append(sc.classes, cls)
+		if len(cls) > 0 {
+			sort.Ints(cls)
+			sc.classes = append(sc.classes, cls)
+		}
 	}
 	return sc.classes
 }
@@ -176,6 +200,22 @@ func (sc *Scratch) GreedyPartition(g *graph.Graph, w bitset.Set, cands []graph.N
 //mlbs:poolowner -- the compat masks and r park in mkState during the enumeration and are Put in bulk before return
 //mlbs:hotpath -- exhaustive move generator; pooled working sets keep a warm Scratch allocation-free
 func (sc *Scratch) MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeID, limit int) ([]Class, bool) {
+	sc.gor.Reset(g)
+	return sc.MaximalSetsOracle(g, w, cands, limit, &sc.gor)
+}
+
+// MaximalSetsOracle enumerates maximal admissible sender sets with
+// conflicts judged by o. Under the graph oracle it is bit-identical to
+// MaximalSets. Under a non-pairwise oracle (SINR) the Bron–Kerbosch
+// enumeration over the pairwise relation is only a heuristic generator:
+// every emitted set is re-checked set-level and the failures dropped, and
+// the result is always reported truncated — admissible sets outside the
+// pairwise-compat cliques (capture rescues) are not enumerated, so no
+// optimality claim survives.
+//
+//mlbs:poolowner -- the compat masks and r park in mkState during the enumeration and are Put in bulk before return
+//mlbs:hotpath -- exhaustive move generator; pooled working sets keep a warm Scratch allocation-free
+func (sc *Scratch) MaximalSetsOracle(g *graph.Graph, w bitset.Set, cands []graph.NodeID, limit int, o interference.Oracle) ([]Class, bool) {
 	k := len(cands)
 	if k == 0 {
 		return nil, false
@@ -196,7 +236,7 @@ func (sc *Scratch) MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeI
 	}
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
-			if !Conflict(g, cands[i], cands[j], w) {
+			if !o.Conflict(w, cands[i], cands[j]) {
 				st.compat[i].Add(j)
 				st.compat[j].Add(i)
 			}
@@ -220,6 +260,16 @@ func (sc *Scratch) MaximalSets(g *graph.Graph, w bitset.Set, cands []graph.NodeI
 	st.compat = st.compat[:0]
 
 	slices.SortFunc(st.out, compareClasses)
+	if !o.Pairwise() {
+		kept := st.out[:0]
+		for _, cls := range st.out {
+			if o.ConflictFree(w, cls) {
+				kept = append(kept, cls)
+			}
+		}
+		st.out = kept
+		st.truncated = true
+	}
 	st.g, st.w, st.cands, st.pool = nil, nil, nil, nil
 	return st.out, st.truncated
 }

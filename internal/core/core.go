@@ -25,6 +25,7 @@ import (
 	"mlbs/internal/color"
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // MaxChannels bounds Instance.Channels: more orthogonal channels than any
@@ -51,6 +52,18 @@ type Instance struct {
 	// AND on the same channel (the multi-channel model of Nguyen et al.,
 	// arXiv:1810.12130, transplanted to broadcast).
 	Channels int
+	// SINR selects the physical interference model (Halldórsson & Mitra)
+	// instead of the paper's protocol-graph conflicts: receivers decode
+	// their strongest in-range sender iff its power clears SINR.Beta
+	// against noise plus the summed interference of every other concurrent
+	// same-channel sender. Requires distinct node positions. Nil — the
+	// default — keeps the paper's model and every historic digest/golden.
+	SINR *interference.SINRParams
+}
+
+// Oracle binds the interference backend this instance selects into b.
+func (in Instance) Oracle(b *interference.Binder) interference.Oracle {
+	return b.Bind(in.G, in.SINR)
 }
 
 // K returns the effective channel count: max(1, Channels).
@@ -92,6 +105,14 @@ func (in Instance) Validate() error {
 	for _, u := range in.PreCovered {
 		if u < 0 || u >= in.G.N() {
 			return fmt.Errorf("core: pre-covered node %d outside [0,%d)", u, in.G.N())
+		}
+	}
+	if in.SINR != nil {
+		if err := in.SINR.Validate(in.G.N()); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if !in.G.DistinctPositions() {
+			return errors.New("core: SINR interference model requires distinct node positions")
 		}
 	}
 	if _, connected := in.G.Eccentricity(in.Source); !connected {
@@ -163,6 +184,8 @@ func (s *Schedule) Validate(in Instance) error {
 	}
 	n := in.G.N()
 	k := in.K()
+	var ib interference.Binder
+	oracle := in.Oracle(&ib)
 	w := in.initialCoverage()
 	got := bitset.New(n)
 	want := bitset.New(n)
@@ -212,7 +235,7 @@ func (s *Schedule) Validate(in Instance) error {
 				}
 				slotTx.Add(u)
 			}
-			if !color.ConflictFree(in.G, w, adv.Senders) {
+			if !oracle.ConflictFree(w, adv.Senders) {
 				return fmt.Errorf("advance %d: senders conflict at an uncovered node", ai)
 			}
 			got.Clear()

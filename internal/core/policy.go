@@ -7,6 +7,7 @@ import (
 	"mlbs/internal/color"
 	"mlbs/internal/emodel"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 	"mlbs/internal/rng"
 )
 
@@ -208,6 +209,8 @@ func (p *Policy) Schedule(in Instance) (*Result, error) {
 	// per-advance allocations left are the schedule's own sender/receiver
 	// lists, which outlive the loop.
 	var sc color.Scratch
+	var ib interference.Binder
+	oracle := in.Oracle(&ib)
 	covered := bitset.New(n)
 
 	// Safety horizon: every advance covers ≥1 node and arrives within one
@@ -223,7 +226,7 @@ func (p *Policy) Schedule(in Instance) (*Result, error) {
 		if slot > horizon {
 			return nil, fmt.Errorf("core: policy exceeded horizon %d (wake schedule starves candidates)", horizon)
 		}
-		classes := sc.GreedyPartition(in.G, w, cands)
+		classes := sc.GreedyPartitionOracle(in.G, w, cands, oracle)
 		pick := rule.Select(in.G, w, classes, &sc)
 		if pick < 0 || pick >= len(classes) {
 			return nil, fmt.Errorf("core: rule %s selected class %d of %d", rule.Name(), pick, len(classes))

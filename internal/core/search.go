@@ -8,6 +8,7 @@ import (
 	"mlbs/internal/bitset"
 	"mlbs/internal/color"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // inf is larger than any reachable end time but safely below overflow.
@@ -130,6 +131,10 @@ type engine struct {
 	w0        bitset.Set
 	commitW   bitset.Set
 	commitTmp bitset.Set
+	// Interference oracle of the bound instance; ib owns both backends so
+	// rebinding on reset never allocates.
+	ib     interference.Binder
+	oracle interference.Oracle
 }
 
 // memoSeed keys the digest; any constant works, it only decorrelates the
@@ -148,7 +153,7 @@ func memoSeedFor(k int) uint64 {
 }
 
 func newEngine(in Instance, cfg SearchConfig) *engine {
-	return &engine{
+	e := &engine{
 		in:     in,
 		cfg:    cfg,
 		n:      in.G.N(),
@@ -158,6 +163,8 @@ func newEngine(in Instance, cfg SearchConfig) *engine {
 		budget: cfg.Budget,
 		pool:   bitset.NewPool(),
 	}
+	e.oracle = in.Oracle(&e.ib)
+	return e
 }
 
 // reset rebinds a used engine to a new instance while keeping every arena
@@ -185,6 +192,7 @@ func (e *engine) reset(in Instance, cfg SearchConfig) {
 	e.bestEnd = 0
 	e.best = nil
 	e.stack = e.stack[:0]
+	e.oracle = in.Oracle(&e.ib)
 }
 
 // frame returns the depth-th scratch frame, creating it on first descent.
@@ -342,10 +350,10 @@ func (e *engine) moves(fr *frame, w bitset.Set, cands []graph.NodeID, slot int) 
 	var classes []color.Class
 	switch e.cfg.Moves {
 	case GreedyMoves:
-		classes = fr.scratch.GreedyPartition(e.in.G, w, cands)
+		classes = fr.scratch.GreedyPartitionOracle(e.in.G, w, cands, e.oracle)
 	case MaximalMoves:
 		var capped bool
-		classes, capped = fr.scratch.MaximalSets(e.in.G, w, cands, e.cfg.MaxSets)
+		classes, capped = fr.scratch.MaximalSetsOracle(e.in.G, w, cands, e.cfg.MaxSets, e.oracle)
 		if capped {
 			e.stats.MovesCapped = true
 		}

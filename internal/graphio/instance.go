@@ -14,6 +14,7 @@ import (
 	"mlbs/internal/dutycycle"
 	"mlbs/internal/geom"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // wakeJSON is the stored form of a dutycycle.Schedule: the constructor
@@ -49,6 +50,14 @@ type instanceJSON struct {
 	// are byte-identical to the pre-multi-channel wire format.
 	Channels int      `json:"channels,omitempty"`
 	Wake     wakeJSON `json:"wake"`
+	// SINR parameters of the physical interference model. All omitted
+	// means the paper's protocol (graph) model, keeping protocol-model
+	// encodings byte-identical to the pre-SINR wire format. Presence is
+	// detected as any field nonzero/non-empty; β > 0 is then mandatory.
+	SINRAlpha float64   `json:"sinr_alpha,omitempty"`
+	SINRBeta  float64   `json:"sinr_beta,omitempty"`
+	SINRNoise float64   `json:"sinr_noise,omitempty"`
+	SINRPower []float64 `json:"sinr_power,omitempty"`
 }
 
 func encodeWake(s dutycycle.Schedule) (wakeJSON, error) {
@@ -145,6 +154,14 @@ func EncodeInstance(in core.Instance) ([]byte, error) {
 		out.PreCovered = append([]int(nil), in.PreCovered...)
 		slices.Sort(out.PreCovered)
 	}
+	if in.SINR != nil {
+		out.SINRAlpha = in.SINR.Alpha
+		out.SINRBeta = in.SINR.Beta
+		out.SINRNoise = in.SINR.Noise
+		if len(in.SINR.Power) > 0 {
+			out.SINRPower = append([]float64(nil), in.SINR.Power...)
+		}
+	}
 	// Positions are always stored: abstract (radius-0) graphs may still
 	// carry geometry the E-model reads, and InstanceDigest hashes it —
 	// dropping it here would change the digest across a round trip.
@@ -228,6 +245,21 @@ func DecodeInstance(data []byte) (core.Instance, error) {
 		Wake:       wake,
 		PreCovered: st.PreCovered,
 		Channels:   st.Channels,
+	}
+	if st.SINRAlpha != 0 || st.SINRBeta != 0 || st.SINRNoise != 0 || len(st.SINRPower) > 0 {
+		p := &interference.SINRParams{
+			Alpha: st.SINRAlpha,
+			Beta:  st.SINRBeta,
+			Noise: st.SINRNoise,
+			Power: st.SINRPower,
+		}
+		// Range/finiteness checks run here, before Instance.Validate walks
+		// the geometry: a decoder must reject NaN/Inf powers, α < 0, β ≤ 0
+		// or negative noise without panicking on arbitrary bytes.
+		if err := p.Validate(st.Nodes); err != nil {
+			return core.Instance{}, fmt.Errorf("graphio: %w", err)
+		}
+		in.SINR = p
 	}
 	if err := in.Validate(); err != nil {
 		return core.Instance{}, fmt.Errorf("graphio: %w", err)
@@ -342,6 +374,19 @@ func InstanceDigest(in core.Instance) (Digest, error) {
 	if in.Channels > 1 {
 		w.S("channels")
 		w.I(in.Channels)
+	}
+	// Same tagged-suffix pattern for the interference model: protocol-model
+	// instances keep their historic digests; an SINR encoding can never
+	// alias a protocol one (or one with different parameters).
+	if in.SINR != nil {
+		w.S("sinr")
+		w.F(in.SINR.Alpha)
+		w.F(in.SINR.Beta)
+		w.F(in.SINR.Noise)
+		w.I(len(in.SINR.Power))
+		for _, p := range in.SINR.Power {
+			w.F(p)
+		}
 	}
 	return w.Sum(), nil
 }

@@ -39,9 +39,9 @@ import (
 	"time"
 
 	"mlbs/internal/bitset"
-	"mlbs/internal/color"
 	"mlbs/internal/core"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // DefaultSearchBudget is the branch-and-bound state budget of a single
@@ -127,6 +127,13 @@ type Improver struct {
 	pre     []graph.NodeID // residual PreCovered buffer for tail moves
 	cuts    []int          // tail cut list buffer
 	groups  []int          // start index of each slot group in cur
+
+	// Interference oracle of the instance under improvement: slot merges
+	// and re-packs legal under the graph model may be SINR-illegal, so
+	// every candidate replay consults the bound oracle, not the protocol
+	// predicate. Rebound at the top of each Improve call.
+	ib     interference.Binder
+	oracle interference.Oracle
 }
 
 // New returns an empty improver; arenas grow on first use and stay warm.
@@ -279,6 +286,7 @@ func (imp *Improver) Improve(in core.Instance, sched *core.Schedule, opt Options
 		return &core.Schedule{Source: in.Source, Start: in.Start}, st, nil
 	}
 	imp.ensure(in.G.N())
+	imp.oracle = in.Oracle(&imp.ib)
 	s := &state{cur: sched.Advances, end: sched.End(), senders: countSenders(sched.Advances)}
 	imp.regroup(s.cur)
 
@@ -655,7 +663,7 @@ func (imp *Improver) replay(in core.Instance, cand []core.Advance, out *[]core.A
 				}
 				imp.slotTx.Add(u)
 			}
-			if !color.ConflictFree(in.G, imp.w, keep) {
+			if !imp.oracle.ConflictFree(imp.w, keep) {
 				return 0, 0, 0, false
 			}
 			if kept++; kept > k {

@@ -7,6 +7,7 @@ import (
 	"mlbs/internal/color"
 	"mlbs/internal/core"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 // RepairConfig tunes the conflict-aware retransmission repair loop.
@@ -102,6 +103,8 @@ func (e *Estimator) Repair(in core.Instance, sched *core.Schedule, model LossMod
 	n := g.N()
 	baseEnd := sched.End()
 	var sc color.Scratch
+	var ib interference.Binder
+	oracle := in.Oracle(&ib)
 	reliable := bitset.New(n)
 	targets := bitset.New(n)
 	reach := bitset.New(n)
@@ -129,7 +132,7 @@ func (e *Estimator) Repair(in core.Instance, sched *core.Schedule, model LossMod
 		if len(cands) == 0 {
 			break
 		}
-		classes := sc.GreedyPartition(g, reliable, cands)
+		classes := sc.GreedyPartitionOracle(g, reliable, cands, oracle)
 		added := false
 		// With K > 1 orthogonal channels, mutually-conflicting repair
 		// classes pack onto the same slot on distinct channels (greedy

@@ -32,6 +32,7 @@ import (
 	"mlbs/internal/emodel"
 	"mlbs/internal/graphio"
 	"mlbs/internal/improve"
+	"mlbs/internal/interference"
 	"mlbs/internal/obs"
 	"mlbs/internal/plancache"
 	"mlbs/internal/reliability"
@@ -90,6 +91,13 @@ type Generator struct {
 	// Channels is the orthogonal-channel count K of the generated
 	// instance; 0 and 1 both select the single-channel system.
 	Channels int `json:"channels,omitempty"`
+	// SINR selects the physical interference model for the generated
+	// instance: all three zero (the default) keeps the paper's protocol
+	// model; any nonzero field requires SINRBeta > 0. Per-node powers are
+	// not exposed here — ship a full Instance encoding for those.
+	SINRAlpha float64 `json:"sinr_alpha,omitempty"`
+	SINRBeta  float64 `json:"sinr_beta,omitempty"`
+	SINRNoise float64 `json:"sinr_noise,omitempty"`
 }
 
 // Request is one plan request. Exactly one of Instance and Generator must
@@ -728,9 +736,19 @@ func (s *Service) resolve(req Request) (core.Instance, error) {
 	if gen.Channels == 1 {
 		gen.Channels = 0 // canonical single-channel form, one cache entry
 	}
+	var sinr *interference.SINRParams
+	if gen.SINRAlpha != 0 || gen.SINRBeta != 0 || gen.SINRNoise != 0 {
+		sinr = &interference.SINRParams{Alpha: gen.SINRAlpha, Beta: gen.SINRBeta, Noise: gen.SINRNoise}
+		if err := sinr.Validate(gen.N); err != nil {
+			return core.Instance{}, fmt.Errorf("service: %w", err)
+		}
+	}
 	key := "gen|" + strconv.Itoa(gen.N) + "|" + strconv.FormatUint(gen.Seed, 10) +
 		"|" + strconv.Itoa(gen.DutyRate) + "|" + strconv.FormatUint(gen.WakeSeed, 10) +
-		"|" + strconv.Itoa(gen.Channels)
+		"|" + strconv.Itoa(gen.Channels) +
+		"|" + strconv.FormatFloat(gen.SINRAlpha, 'g', -1, 64) +
+		"|" + strconv.FormatFloat(gen.SINRBeta, 'g', -1, 64) +
+		"|" + strconv.FormatFloat(gen.SINRNoise, 'g', -1, 64)
 	in, _, _, err := s.gens.GetOrCompute(key, func() (core.Instance, error) {
 		dep, err := topology.Generate(topology.PaperConfig(gen.N), gen.Seed)
 		if err != nil {
@@ -748,6 +766,7 @@ func (s *Service) resolve(req Request) (core.Instance, error) {
 			in = core.Sync(dep.G, dep.Source)
 		}
 		in.Channels = gen.Channels
+		in.SINR = sinr
 		return in, nil
 	})
 	return in, err
@@ -935,6 +954,9 @@ type SweepRequest struct {
 	DutyRate  int      `json:"r,omitempty"`
 	WakeSeed  uint64   `json:"wake_seed,omitempty"`
 	Channels  int      `json:"channels,omitempty"`
+	SINRAlpha float64  `json:"sinr_alpha,omitempty"`
+	SINRBeta  float64  `json:"sinr_beta,omitempty"`
+	SINRNoise float64  `json:"sinr_noise,omitempty"`
 	Scheduler string   `json:"scheduler,omitempty"`
 	Budget    int      `json:"budget,omitempty"`
 	NoCache   bool     `json:"no_cache,omitempty"`
@@ -972,7 +994,8 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest, emit func(SweepIt
 				return err
 			}
 			resp, err := s.Plan(ctx, Request{
-				Generator: &Generator{N: n, Seed: seed, DutyRate: req.DutyRate, WakeSeed: req.WakeSeed, Channels: req.Channels},
+				Generator: &Generator{N: n, Seed: seed, DutyRate: req.DutyRate, WakeSeed: req.WakeSeed, Channels: req.Channels,
+					SINRAlpha: req.SINRAlpha, SINRBeta: req.SINRBeta, SINRNoise: req.SINRNoise},
 				Scheduler: req.Scheduler,
 				Budget:    req.Budget,
 				NoCache:   req.NoCache,

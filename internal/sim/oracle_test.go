@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/geom"
+	"mlbs/internal/graph"
+	"mlbs/internal/interference"
+	"mlbs/internal/rng"
+	"mlbs/internal/topology"
+)
+
+// TestCrossChannelCollisionAfterRescue pins the transmitGroup bugfix: a
+// receiver rescued by a clean frame on a LOWER channel used to swallow a
+// same-slot collision arriving on a HIGHER channel (the flagNew mark
+// routed it into the duplicate-tally branch), so the replayer's collision
+// flags disagreed with Validate's verdict on the same schedule.
+func TestCrossChannelCollisionAfterRescue(t *testing.T) {
+	// s=0 feeds relays 1, 2, 3; all three reach v=4.
+	g := graph.NewBuilder(5, nil).
+		AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3).
+		AddEdge(1, 4).AddEdge(2, 4).AddEdge(3, 4).
+		Build()
+	in := core.Sync(g, 0)
+	in.Channels = 2
+	s := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2, 3}},
+		{T: 2, Channel: 0, Senders: []graph.NodeID{1}, Covered: []graph.NodeID{4}},
+		{T: 2, Channel: 1, Senders: []graph.NodeID{2, 3}, Covered: nil},
+	}}
+	if err := s.Validate(in); err == nil {
+		t.Fatal("Validate accepted a schedule whose channel-1 advance collides and covers nothing")
+	}
+	rep, err := Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoveredAt[4] != 2 {
+		t.Fatalf("node 4 not rescued by channel 0: CoveredAt = %v", rep.CoveredAt)
+	}
+	if len(rep.Collisions) != 1 {
+		t.Fatalf("collisions = %+v, want exactly the suppressed channel-1 collision", rep.Collisions)
+	}
+	c := rep.Collisions[0]
+	if c.T != 2 || c.Receiver != 4 || c.Channel != 1 || len(c.Senders) != 2 || c.Senders[0] != 2 || c.Senders[1] != 3 {
+		t.Fatalf("collision = %+v, want T=2 receiver=4 channel=1 senders=[2 3]", c)
+	}
+	if rep.Completed {
+		t.Fatal("execution with a collision must not report Completed")
+	}
+}
+
+// TestSINRCaptureReplay drives the capture effect end to end: a schedule
+// whose concurrent relays share an uncovered receiver is protocol-illegal,
+// but with one relay shouting at power 100 the receiver decodes it under
+// SINR — Validate accepts and the replay is collision-free.
+func TestSINRCaptureReplay(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 1}, {X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 0}}
+	g := graph.NewBuilder(4, pos).
+		AddEdge(0, 1).AddEdge(0, 2).
+		AddEdge(1, 3).AddEdge(2, 3).
+		Build()
+	s := &core.Schedule{Source: 0, Start: 1, Advances: []core.Advance{
+		{T: 1, Senders: []graph.NodeID{0}, Covered: []graph.NodeID{1, 2}},
+		{T: 2, Senders: []graph.NodeID{1, 2}, Covered: []graph.NodeID{3}},
+	}}
+
+	graphIn := core.Sync(g, 0)
+	if err := s.Validate(graphIn); err == nil || !strings.Contains(err.Error(), "senders conflict") {
+		t.Fatalf("protocol model must reject the concurrent pair, got %v", err)
+	}
+	rep, err := Replay(graphIn, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Collisions) != 1 || rep.Collisions[0].Receiver != 3 || rep.Completed {
+		t.Fatalf("protocol replay = %+v, want one collision at node 3", rep)
+	}
+
+	sinrIn := core.Sync(g, 0)
+	sinrIn.SINR = &interference.SINRParams{Alpha: 2, Beta: 2, Power: []float64{1, 100, 1, 1}}
+	if err := s.Validate(sinrIn); err != nil {
+		t.Fatalf("SINR model must accept the capturing pair: %v", err)
+	}
+	rep, err = Replay(sinrIn, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || len(rep.Collisions) != 0 {
+		t.Fatalf("SINR replay = %+v, want collision-free completion", rep)
+	}
+	if rep.CoveredAt[3] != 2 {
+		t.Fatalf("captured receiver covered at %d, want 2", rep.CoveredAt[3])
+	}
+}
+
+// crossCheck plans the instance, demands a collision-free replay of the
+// valid schedule, then probes every slot with mutated sender sets and
+// cross-checks the replayer's collision flags against Validate's verdict —
+// the two re-derivations of the conflict predicate the oracle unified.
+// Any disagreement is a real bug.
+func crossCheck(t *testing.T, name string, in core.Instance) {
+	t.Helper()
+	res, err := core.NewGOPT(0).Schedule(in)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	sched := res.Schedule
+	if err := sched.Validate(in); err != nil {
+		t.Fatalf("%s: planned schedule invalid: %v", name, err)
+	}
+	rep, err := Replay(in, sched)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !rep.Completed || len(rep.Collisions) != 0 {
+		t.Fatalf("%s: valid schedule replayed with collisions: %+v", name, rep.Collisions)
+	}
+
+	n := in.G.N()
+	src := rng.New(uint64(n)*131 + 7)
+	w := bitset.New(n)
+	w.Add(in.Source)
+	for _, u := range in.PreCovered {
+		w.Add(u)
+	}
+	advs := sched.Advances
+	for gi := 0; gi < len(advs); {
+		tSlot := advs[gi].T
+		end := gi
+		for end < len(advs) && advs[end].T == tSlot {
+			end++
+		}
+		group := advs[gi:end]
+		slotTx := bitset.New(n)
+		for _, adv := range group {
+			for _, u := range adv.Senders {
+				slotTx.Add(u)
+			}
+		}
+		// Up to three mutated probes per slot: graft one extra eligible
+		// sender onto the highest channel and recompute coverage, so the
+		// only Validate objection left is the conflict predicate itself.
+		probes := 0
+		for _, pu := range src.Perm(n) {
+			if probes >= 3 {
+				break
+			}
+			u := graph.NodeID(pu)
+			if !w.Has(u) || slotTx.Has(u) || !in.Wake.Awake(u, tSlot) || !in.G.Nbr(u).AnyDifference(w) {
+				continue
+			}
+			if probe := buildProbe(in, w, group, u); probe != nil {
+				probes++
+				runProbe(t, name, in, w, tSlot, probe)
+			}
+		}
+		for _, adv := range group {
+			for _, v := range adv.Covered {
+				w.Add(v)
+			}
+		}
+		gi = end
+	}
+}
+
+// buildProbe returns the slot's advances with u grafted onto the last
+// (highest) channel and every Covered list recomputed against w, or nil
+// when the mutation would trip a non-conflict Validate error (an advance
+// left with nothing to cover).
+func buildProbe(in core.Instance, w bitset.Set, group []core.Advance, u graph.NodeID) []core.Advance {
+	n := in.G.N()
+	out := make([]core.Advance, len(group))
+	slotCov := bitset.New(n)
+	got := bitset.New(n)
+	for i, adv := range group {
+		senders := append([]graph.NodeID(nil), adv.Senders...)
+		if i == len(group)-1 {
+			senders = append(senders, u)
+		}
+		got.Clear()
+		for _, s := range senders {
+			got.UnionWith(in.G.Nbr(s))
+		}
+		got.DifferenceWith(w)
+		got.DifferenceWith(slotCov)
+		if got.Empty() {
+			return nil
+		}
+		out[i] = core.Advance{T: adv.T, Channel: adv.Channel, Senders: senders, Covered: got.Members()}
+		slotCov.UnionWith(got)
+	}
+	return out
+}
+
+// runProbe validates and replays one single-slot probe schedule and fails
+// on any Validate/replayer disagreement.
+func runProbe(t *testing.T, name string, in core.Instance, w bitset.Set, tSlot int, group []core.Advance) {
+	t.Helper()
+	probeIn := in
+	probeIn.Start = tSlot
+	probeIn.PreCovered = w.Members()
+	probeSched := &core.Schedule{Source: in.Source, Start: tSlot, Advances: group}
+	verr := probeSched.Validate(probeIn)
+	conflict := verr != nil && strings.Contains(verr.Error(), "senders conflict")
+	if verr != nil && !conflict && !strings.Contains(verr.Error(), "broadcast incomplete") {
+		t.Fatalf("%s t=%d: probe construction broke an unrelated invariant: %v", name, tSlot, verr)
+	}
+	rep, err := Replay(probeIn, probeSched)
+	if err != nil {
+		t.Fatalf("%s t=%d: %v", name, tSlot, err)
+	}
+	if conflict && len(rep.Collisions) == 0 {
+		t.Fatalf("%s t=%d: Validate rejects senders %v as conflicting but the replay is clean",
+			name, tSlot, group[len(group)-1].Senders)
+	}
+	if !conflict && len(rep.Collisions) != 0 {
+		t.Fatalf("%s t=%d: Validate accepts senders %v but the replay collides: %+v",
+			name, tSlot, group[len(group)-1].Senders, rep.Collisions)
+	}
+}
+
+func TestReplayerAgreesWithValidate(t *testing.T) {
+	sinr := &interference.SINRParams{Alpha: 3, Beta: 1}
+	for _, seed := range []uint64{2, 5} {
+		d, err := topology.Generate(topology.PaperConfig(60), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync := core.Sync(d.G, d.Source)
+		duty := core.Async(d.G, d.Source, dutycycle.NewUniform(d.G.N(), 5, seed^0xA5, 0), 0)
+		multi := sync
+		multi.Channels = 2
+		cases := []struct {
+			name string
+			in   core.Instance
+		}{
+			{"sync/graph", sync},
+			{"duty/graph", duty},
+			{"k2/graph", multi},
+		}
+		for _, c := range cases {
+			crossCheck(t, c.name, c.in)
+			sc := c.in
+			sc.SINR = sinr
+			crossCheck(t, c.name+"+sinr", sc)
+		}
+	}
+}

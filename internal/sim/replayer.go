@@ -7,6 +7,7 @@ import (
 	"mlbs/internal/bitset"
 	"mlbs/internal/core"
 	"mlbs/internal/graph"
+	"mlbs/internal/interference"
 )
 
 func errOut(u graph.NodeID, t int) error {
@@ -63,6 +64,14 @@ type Replayer struct {
 	slotFlag  []uint8        // per-node flagRec/flagNew marks for the current slot
 	slotNodes []graph.NodeID // nodes with a nonzero slotFlag
 	slotTx    []graph.NodeID // every scheduled sender of the current slot, all channels
+
+	// Interference oracle of the bound instance. The graph backend keeps
+	// the frame-counting fast path (SoloDecodes); the SINR backend resolves
+	// each receiver through Oracle.Outcome. ib owns both backends, so
+	// rebinding in reset never allocates.
+	ib      interference.Binder
+	oracle  interference.Oracle
+	arrived []graph.NodeID // lossy SINR: senders whose signal reaches the receiver
 }
 
 // slotFlag bits.
@@ -96,6 +105,7 @@ func (r *Replayer) reset(in core.Instance, start int) {
 	r.collArena = r.collArena[:0]
 	r.colls = r.colls[:0]
 	r.report = Report{}
+	r.oracle = in.Oracle(&r.ib)
 	r.w.Add(in.Source)
 	cov[in.Source] = start - 1
 	for _, u := range in.PreCovered {
@@ -144,6 +154,7 @@ func (r *Replayer) transmit(t int, senders []graph.NodeID) error {
 	}
 	sort.Ints(r.touched)
 	r.newly = r.newly[:0]
+	solo := r.oracle.SoloDecodes()
 	for _, v := range r.touched {
 		k := r.nFrames[v]
 		r.nFrames[v] = 0
@@ -151,7 +162,18 @@ func (r *Replayer) transmit(t int, senders []graph.NodeID) error {
 			r.report.Usage.Receptions++ // duplicate, discarded above MAC
 			continue
 		}
-		if k == 1 {
+		decoded := k == 1
+		if !solo {
+			// Physical model: every concurrent sender whose signal survives
+			// the channel contributes interference (non-neighbors included);
+			// the oracle resolves capture.
+			all := senders
+			if r.loss != nil {
+				all = r.arrivedAt(t, v, senders)
+			}
+			_, decoded = r.oracle.Outcome(v, all)
+		}
+		if decoded {
 			r.report.Usage.Receptions++
 			r.newly = append(r.newly, v)
 			continue
@@ -199,6 +221,22 @@ func (r *Replayer) accountQuiet(t int, senders []graph.NodeID) {
 	for _, u := range senders {
 		r.isTx[u] = false
 	}
+}
+
+// arrivedAt narrows senders to those whose signal survives the lossy
+// channel toward v — the physical-model analogue of the per-link frame
+// drop in transmit. Only called with r.loss non-nil; the ideal channel
+// passes the sender list through untouched.
+//
+//mlbs:hotpath -- per-receiver inner loop of lossy SINR replays
+func (r *Replayer) arrivedAt(t int, v graph.NodeID, senders []graph.NodeID) []graph.NodeID {
+	r.arrived = r.arrived[:0]
+	for _, u := range senders {
+		if !r.loss(t, u, v) {
+			r.arrived = append(r.arrived, u)
+		}
+	}
+	return r.arrived
 }
 
 // filterAble narrows senders to those that physically hold the message —
@@ -338,6 +376,7 @@ func (r *Replayer) transmitGroup(t int, group []core.Advance) ([]graph.NodeID, e
 
 	r.slotNodes = r.slotNodes[:0]
 	r.newly = r.newly[:0]
+	solo := r.oracle.SoloDecodes()
 	for gi := range group {
 		adv := &group[gi]
 		firing := adv.Senders
@@ -382,37 +421,49 @@ func (r *Replayer) transmitGroup(t int, group []core.Advance) ([]graph.NodeID, e
 			if r.slotFlag[v] == 0 {
 				r.slotNodes = append(r.slotNodes, v)
 			}
-			if r.w.Has(v) || r.slotFlag[v]&flagNew != 0 {
-				// Already covered (before the slot, or by a lower channel):
-				// one duplicate reception is tallied per slot, like the
-				// single-channel MAC discard.
+			if r.w.Has(v) {
+				// Covered before the slot: one duplicate reception is
+				// tallied per slot, like the single-channel MAC discard.
 				if r.slotFlag[v]&flagRec == 0 {
 					r.slotFlag[v] |= flagRec
 					r.report.Usage.Receptions++
 				}
 				continue
 			}
-			if k == 1 {
-				if r.slotFlag[v]&flagRec == 0 {
-					r.slotFlag[v] |= flagRec
-					r.report.Usage.Receptions++
+			decoded := k == 1
+			if !solo {
+				all := firing
+				if r.loss != nil {
+					all = r.arrivedAt(t, v, firing)
 				}
+				_, decoded = r.oracle.Outcome(v, all)
+			}
+			if !decoded {
+				// Same-channel collision at an uncovered node; re-derive
+				// the interfering senders of this channel. Recorded even if
+				// a lower channel already rescued v this slot (flagNew):
+				// Validate judges every advance against pre-slot coverage,
+				// so the replayer's collision flags must match its verdicts.
+				start := len(r.collArena)
+				for _, u := range firing {
+					if r.in.G.Nbr(v).Has(u) && (r.loss == nil || !r.loss(t, u, v)) {
+						r.collArena = append(r.collArena, u)
+					}
+				}
+				cs := r.collArena[start:len(r.collArena):len(r.collArena)]
+				sort.Ints(cs)
+				r.report.Usage.Collisions++
+				r.colls = append(r.colls, Collision{T: t, Receiver: v, Senders: cs, Channel: adv.Channel})
+				continue
+			}
+			if r.slotFlag[v]&flagRec == 0 {
+				r.slotFlag[v] |= flagRec
+				r.report.Usage.Receptions++
+			}
+			if r.slotFlag[v]&flagNew == 0 {
 				r.slotFlag[v] |= flagNew
 				r.newly = append(r.newly, v)
-				continue
 			}
-			// Same-channel collision at an uncovered node; re-derive the
-			// interfering senders of this channel.
-			start := len(r.collArena)
-			for _, u := range firing {
-				if r.in.G.Nbr(v).Has(u) && (r.loss == nil || !r.loss(t, u, v)) {
-					r.collArena = append(r.collArena, u)
-				}
-			}
-			cs := r.collArena[start:len(r.collArena):len(r.collArena)]
-			sort.Ints(cs)
-			r.report.Usage.Collisions++
-			r.colls = append(r.colls, Collision{T: t, Receiver: v, Senders: cs, Channel: adv.Channel})
 		}
 	}
 	sort.Ints(r.newly)

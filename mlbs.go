@@ -47,6 +47,7 @@ import (
 	"mlbs/internal/graph"
 	"mlbs/internal/graphio"
 	"mlbs/internal/improve"
+	"mlbs/internal/interference"
 	"mlbs/internal/localized"
 	"mlbs/internal/mote"
 	"mlbs/internal/obs"
@@ -89,6 +90,12 @@ type (
 	TopologyConfig = topology.Config
 	// Report is the physical outcome of executing a schedule.
 	Report = sim.Report
+	// SINRParams configures the physical (SINR) interference model; a nil
+	// Instance.SINR keeps the paper's protocol model.
+	SINRParams = interference.SINRParams
+	// InterferenceOracle is the conflict predicate every layer consults —
+	// graph (protocol) or SINR backed.
+	InterferenceOracle = interference.Oracle
 	// Radio models mote timing and energy (Mica2 by default).
 	Radio = mote.Radio
 	// RadioUsage tallies transmissions, receptions, collisions and idling.
@@ -263,6 +270,18 @@ const MaxChannels = core.MaxChannels
 // wire encoding is bit-identical to the single-channel system.
 func WithChannels(in Instance, k int) Instance {
 	in.Channels = k
+	return in
+}
+
+// WithSINR returns the instance under the physical (SINR) interference
+// model: a transmission decodes at a receiver iff its strongest
+// neighboring sender's received power beats β times noise plus the summed
+// power of every other concurrent same-channel sender. Requires distinct
+// node positions. p = nil restores the paper's protocol model, under which
+// every scheduler, digest and wire encoding is bit-identical to the
+// pre-SINR system.
+func WithSINR(in Instance, p *SINRParams) Instance {
+	in.SINR = p
 	return in
 }
 
