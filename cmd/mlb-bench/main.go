@@ -81,6 +81,20 @@ type channelRecord struct {
 	LatencyVsK1  float64 `json:"latency_over_k1"`
 }
 
+// aggRecord captures one cell of the convergecast latency-vs-K curve: the
+// SPT aggregation schedule on the paper topology with K orthogonal
+// channels, routing every node's reading to the sink. Latencies are
+// deterministic functions of (n, seed, r, K) — CI gates on them exactly.
+type aggRecord struct {
+	Name         string  `json:"name"`
+	Nodes        int     `json:"nodes"`
+	System       string  `json:"system"`
+	Channels     int     `json:"channels"`
+	LatencySlots int     `json:"latency_slots"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	LatencyVsK1  float64 `json:"latency_over_k1"`
+}
+
 // modelRecord captures one cell of the latency-vs-interference-model
 // curve: the G-OPT schedule on the paper topology under the protocol
 // (graph) model against SINR variants of increasing strictness. Every
@@ -144,6 +158,7 @@ type report struct {
 	Service     []serviceRecord     `json:"service"`
 	Reliability []reliabilityRecord `json:"reliability"`
 	Channels    []channelRecord     `json:"channels"`
+	Agg         []aggRecord         `json:"agg"`
 	Models      []modelRecord       `json:"models"`
 	Improve     []improveRecord     `json:"improve"`
 	Obs         []obsRecord         `json:"obs"`
@@ -159,6 +174,7 @@ func main() {
 		relTr   = flag.Int("reltrials", 500, "Monte-Carlo trials per reliability case")
 		out     = flag.String("out", "BENCH_schedulers.json", "output JSON path")
 		chOut   = flag.String("chout", "BENCH_channels.json", "latency-vs-K curve JSON path (empty disables)")
+		aggOut  = flag.String("aggout", "BENCH_agg.json", "convergecast latency-vs-K JSON path (empty disables)")
 		mdlOut  = flag.String("modelout", "BENCH_models.json", "latency-vs-interference-model JSON path (empty disables)")
 		impOut  = flag.String("impout", "BENCH_improve.json", "anytime-improver section JSON path (empty disables)")
 		obsOut  = flag.String("obsout", "BENCH_obs.json", "tracing-overhead section JSON path (empty disables)")
@@ -269,6 +285,33 @@ func main() {
 		}
 		chData = append(chData, '\n')
 		if err := os.WriteFile(*chOut, chData, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	aggRecs, err := benchAggregate(dep, *n, *seed, *r)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Agg = aggRecs
+	for _, ar := range aggRecs {
+		fmt.Printf("%-28s %6d latency %8.3f vs K=1 %12d ns/op\n",
+			ar.Name, ar.LatencySlots, ar.LatencyVsK1, ar.NsPerOp)
+	}
+	if *aggOut != "" {
+		aggData, err := json.MarshalIndent(struct {
+			Tool      string      `json:"tool"`
+			GoVersion string      `json:"go_version"`
+			Timestamp string      `json:"timestamp"`
+			Nodes     int         `json:"nodes"`
+			Seed      uint64      `json:"seed"`
+			Agg       []aggRecord `json:"agg"`
+		}{"mlb-bench", runtime.Version(), rep.Timestamp, *n, *seed, aggRecs}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		aggData = append(aggData, '\n')
+		if err := os.WriteFile(*aggOut, aggData, 0o644); err != nil {
 			fatal(err)
 		}
 	}
@@ -553,6 +596,67 @@ func benchChannels(dep *mlbs.Deployment, n int, seed uint64, r int) ([]channelRe
 				LatencySlots: lat,
 				NsPerOp:      nsOp,
 				Exact:        res.Exact,
+			}
+			if k1 > 0 {
+				rec.LatencyVsK1 = float64(lat) / float64(k1)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// benchAggregate sweeps the convergecast latency-vs-K curve: the SPT
+// aggregation schedule of the paper deployment across K ∈ {1, 2, 4}
+// orthogonal channels, on the synchronous system and the -r duty cycle
+// (where the sink-ward merge waits on sleeping parents and channels buy
+// the most). Every schedule is validated and replayed — all readings at
+// the sink, zero collisions — before its numbers are reported.
+func benchAggregate(dep *mlbs.Deployment, n int, seed uint64, r int) ([]aggRecord, error) {
+	systems := []struct {
+		name string
+		in   mlbs.Instance
+	}{
+		{"sync", mlbs.SyncInstance(dep.G, dep.Source)},
+		{fmt.Sprintf("duty-r%d", r), mlbs.AsyncInstance(dep.G, dep.Source, mlbs.UniformWake(n, r, 9), 0)},
+	}
+	var out []aggRecord
+	for _, sys := range systems {
+		k1 := 0
+		for _, k := range []int{1, 2, 4} {
+			in := mlbs.WithChannels(sys.in, k)
+			res, err := mlbs.ScheduleAggregate(in)
+			if err != nil {
+				return nil, fmt.Errorf("agg %s K=%d: %w", sys.name, k, err)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				return nil, fmt.Errorf("agg %s K=%d: invalid schedule: %w", sys.name, k, err)
+			}
+			rep, err := mlbs.ReplayAggregate(in, res.Schedule)
+			if err != nil {
+				return nil, fmt.Errorf("agg %s K=%d: %w", sys.name, k, err)
+			}
+			if !rep.Completed {
+				return nil, fmt.Errorf("agg %s K=%d: replay incomplete or collided", sys.name, k)
+			}
+			nsOp, _, _, err := measure(1, func() error {
+				_, err := mlbs.ScheduleAggregate(in)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			lat := res.LatencySlots
+			if k == 1 {
+				k1 = lat
+			}
+			rec := aggRecord{
+				Name:         fmt.Sprintf("agg/%s-n%d/k%d", sys.name, n, k),
+				Nodes:        n,
+				System:       sys.name,
+				Channels:     k,
+				LatencySlots: lat,
+				NsPerOp:      nsOp,
 			}
 			if k1 > 0 {
 				rec.LatencyVsK1 = float64(lat) / float64(k1)

@@ -17,6 +17,9 @@
 //   - reliability[].allocs_per_replay — the Monte-Carlo engine's ~0
 //     allocs/replay contract;
 //   - channels[].latency_slots — the latency-vs-K curve;
+//   - agg[].latency_slots — the convergecast latency-vs-K curve,
+//     deterministic for a fixed (n, seed, r, K) and compared with zero
+//     relative slack;
 //   - models[].latency_slots — the latency-vs-interference-model curve
 //     (graph vs SINR), deterministic for a fixed (n, seed, α, β) and
 //     compared with zero relative slack: the oracle indirection landing
@@ -60,6 +63,10 @@ type benchReport struct {
 		Name         string `json:"name"`
 		LatencySlots int    `json:"latency_slots"`
 	} `json:"channels"`
+	Agg []struct {
+		Name         string `json:"name"`
+		LatencySlots int    `json:"latency_slots"`
+	} `json:"agg"`
 	Models []struct {
 		Name         string `json:"name"`
 		LatencySlots int    `json:"latency_slots"`
@@ -149,6 +156,23 @@ func compare(baseline, current benchReport, tol tolerances) []string {
 		}
 		if exceeds(float64(got), float64(b.LatencySlots), 0) {
 			fails = append(fails, fmt.Sprintf("%s: latency %d slots, baseline %d",
+				b.Name, got, b.LatencySlots))
+		}
+	}
+	curAgg := make(map[string]int, len(current.Agg))
+	for _, r := range current.Agg {
+		curAgg[r.Name] = r.LatencySlots
+	}
+	for _, b := range baseline.Agg {
+		got, ok := curAgg[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("agg record %q missing from current report", b.Name))
+			continue
+		}
+		// Convergecast schedules are deterministic per (n, seed, r, K): any
+		// slot drift is a real scheduling change — no relative slack.
+		if got != b.LatencySlots {
+			fails = append(fails, fmt.Sprintf("%s: convergecast latency %d slots, baseline %d",
 				b.Name, got, b.LatencySlots))
 		}
 	}
@@ -256,6 +280,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d model, %d improve, %d obs records within %.0f%% of baseline\n",
-		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Models), len(baseline.Improve), len(baseline.Obs), *tol*100)
+	fmt.Printf("mlb-benchdiff: %d scheduler, %d reliability, %d channel, %d agg, %d model, %d improve, %d obs records within %.0f%% of baseline\n",
+		len(baseline.Records), len(baseline.Reliability), len(baseline.Channels), len(baseline.Agg), len(baseline.Models), len(baseline.Improve), len(baseline.Obs), *tol*100)
 }

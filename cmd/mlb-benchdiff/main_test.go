@@ -27,6 +27,10 @@ const baselineJSON = `{
     {"name": "channels/duty-r50-n300/k1", "latency_slots": 50},
     {"name": "channels/duty-r50-n300/k4", "latency_slots": 35}
   ],
+  "agg": [
+    {"name": "agg/sync-n300/k1", "latency_slots": 120},
+    {"name": "agg/duty-r10-n300/k4", "latency_slots": 90}
+  ],
   "improve": [
     {"name": "improve/duty-r10-n150/moves8", "latency_slots": 40},
     {"name": "improve/duty-r10-n150/moves64", "latency_slots": 20}
@@ -91,6 +95,29 @@ func TestCompareChannelRegressionFails(t *testing.T) {
 	fails := compare(b, cur, defaultTol)
 	if len(fails) != 1 || !strings.Contains(fails[0], "k4") {
 		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareAggDriftFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	// Convergecast latencies gate with ZERO slack in BOTH directions: a
+	// drifted deterministic schedule is a behaviour change even when it
+	// happens to be shorter.
+	cur.Agg[1].LatencySlots = 89
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 1 || !strings.Contains(fails[0], "agg/duty-r10-n300/k4") {
+		t.Fatalf("fails = %v", fails)
+	}
+}
+
+func TestCompareAggMissingFails(t *testing.T) {
+	b := report(t, baselineJSON)
+	cur := report(t, baselineJSON)
+	cur.Agg = nil
+	fails := compare(b, cur, defaultTol)
+	if len(fails) != 2 {
+		t.Fatalf("want 2 missing agg records, got %v", fails)
 	}
 }
 

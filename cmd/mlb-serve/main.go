@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/plan      one plan request (generator params or inline instance)
+//	POST /v1/aggregate convergecast (aggregation) schedule toward the sink
 //	POST /v1/sweep     streaming parameter sweep (NDJSON, one item per line)
 //	POST /v1/validate  Monte-Carlo reliability report (+ optional repair)
 //	POST /v1/replan    incremental re-plan after a topology delta
@@ -48,12 +49,29 @@
 //	  -d '{"n":150,"seed":1,"delta":{"version":1,"events":[
 //	        {"kind":"fail","node":17},{"kind":"fail","node":4}]}}'
 //
+// A convergecast (aggregation) schedule for the same deployment — every
+// node's reading routed to the sink with payloads merged at parents:
+//
+//	curl -s localhost:8080/v1/aggregate -d '{"n":150,"seed":1,"r":10,"channels":4}'
+//	{"digest":"…","scheduler":"agg-spt","latency_slots":93,…}
+//
 // Ship an exact instance instead with {"instance": <EncodeInstance JSON>}.
+//
+// Failures on every /v1/* endpoint share one wire envelope with a stable
+// machine-readable code:
+//
+//	{"error":{"code":"bad_request","message":"…"}}
+//
+// Codes: bad_request (malformed body or parameters), unprocessable plus
+// the typed churn codes source_failed / disconnected / last_node (a delta
+// the broadcast cannot survive), not_found, unavailable (shutting down),
+// internal.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -174,7 +192,7 @@ type serveObs struct {
 
 // tracedEndpoints are the POST endpoints that run under a request trace,
 // in the order /metrics emits their latency series.
-var tracedEndpoints = []string{"/v1/plan", "/v1/validate", "/v1/replan"}
+var tracedEndpoints = []string{"/v1/plan", "/v1/aggregate", "/v1/validate", "/v1/replan"}
 
 func newServeObs(recentN, slowestN int) *serveObs {
 	o := &serveObs{
@@ -239,6 +257,8 @@ func newMux(svc *mlbs.PlanService, obsv *serveObs) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", obsv.traced("/v1/plan",
 		func(w http.ResponseWriter, r *http.Request) (string, error) { return handlePlan(svc, w, r) }))
+	mux.HandleFunc("POST /v1/aggregate", obsv.traced("/v1/aggregate",
+		func(w http.ResponseWriter, r *http.Request) (string, error) { return handleAggregate(svc, w, r) }))
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(svc, w, r) })
 	mux.HandleFunc("POST /v1/validate", obsv.traced("/v1/validate",
 		func(w http.ResponseWriter, r *http.Request) (string, error) { return handleValidate(svc, w, r) }))
@@ -264,11 +284,11 @@ func newMux(svc *mlbs.PlanService, obsv *serveObs) *http.ServeMux {
 // shares: either the paper generator's parameters or an inline graphio
 // instance encoding.
 type baseSelection struct {
-	N        int             `json:"n,omitempty"`
-	Seed     uint64          `json:"seed,omitempty"`
-	R        int             `json:"r,omitempty"`
-	WakeSeed uint64          `json:"wake_seed,omitempty"`
-	Channels int             `json:"channels,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	R        int    `json:"r,omitempty"`
+	WakeSeed uint64 `json:"wake_seed,omitempty"`
+	Channels int    `json:"channels,omitempty"`
 	// SINR physical-model parameters for the generator form; all zero
 	// keeps the protocol model. Inline instances carry their own.
 	SINRAlpha float64         `json:"sinr_alpha,omitempty"`
@@ -403,6 +423,65 @@ func handlePlan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) (
 	return resp.Digest, nil
 }
 
+// aggregateHTTPRequest is the wire form of a convergecast (aggregation)
+// request: the same base-instance selection as /v1/plan, with the
+// aggregation tree policy in scheduler ("agg-spt" default, "agg-bounded").
+type aggregateHTTPRequest struct {
+	baseSelection
+	Scheduler string `json:"scheduler,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+}
+
+type aggregateHTTPResponse struct {
+	Digest    string `json:"digest"`
+	Scheduler string `json:"scheduler"`
+	CacheHit  bool   `json:"cache_hit"`
+	Coalesced bool   `json:"coalesced"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	// LatencySlots mirrors the nested result's makespan so clients polling
+	// for the headline number need not parse the schedule.
+	LatencySlots int             `json:"latency_slots"`
+	Result       json.RawMessage `json:"result"`
+}
+
+func handleAggregate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request) (string, error) {
+	var hr aggregateHTTPRequest
+	if err := decodeBody(w, r, &hr); err != nil {
+		return "", err
+	}
+	req := mlbs.AggregateRequest{WorkloadRequest: mlbs.WorkloadRequest{
+		Scheduler: hr.Scheduler,
+		NoCache:   hr.NoCache,
+	}}
+	inst, gen, err := hr.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return "", err
+	}
+	req.Instance, req.Generator = inst, gen
+
+	resp, err := svc.Aggregate(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return "", err
+	}
+	resJSON, err := mlbs.EncodeAggResult(resp.Result)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return resp.Digest, err
+	}
+	writeJSON(w, http.StatusOK, aggregateHTTPResponse{
+		Digest:       resp.Digest,
+		Scheduler:    resp.Scheduler,
+		CacheHit:     resp.CacheHit,
+		Coalesced:    resp.Coalesced,
+		ElapsedNs:    resp.Elapsed.Nanoseconds(),
+		LatencySlots: resp.Result.LatencySlots,
+		Result:       resJSON,
+	})
+	return resp.Digest, nil
+}
+
 // generatorInstance mirrors the service's generator resolution (and
 // mlb-run's conventions) for the replay path.
 func generatorInstance(b baseSelection) (mlbs.Instance, error) {
@@ -473,13 +552,11 @@ func handleValidate(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Reques
 		return "", err
 	}
 	req := mlbs.ValidateRequest{
-		Scheduler:     hr.Scheduler,
-		Budget:        hr.Budget,
-		Loss:          mlbs.ReliabilityLossModel{Kind: hr.LossKind, Rate: hr.LossRate, Seed: hr.LossSeed},
-		Trials:        hr.Trials,
-		Target:        hr.Target,
-		MaxExtraSlots: hr.MaxExtraSlots,
-		NoCache:       hr.NoCache,
+		WorkloadRequest: mlbs.WorkloadRequest{Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache},
+		Loss:            mlbs.ReliabilityLossModel{Kind: hr.LossKind, Rate: hr.LossRate, Seed: hr.LossSeed},
+		Trials:          hr.Trials,
+		Target:          hr.Target,
+		MaxExtraSlots:   hr.MaxExtraSlots,
 	}
 	inst, gen, err := hr.resolve()
 	if err != nil {
@@ -573,13 +650,13 @@ func handleReplan(svc *mlbs.PlanService, w http.ResponseWriter, r *http.Request)
 		httpError(w, http.StatusBadRequest, err)
 		return "", err
 	}
-	req := mlbs.ReplanRequest{Delta: delta, Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}
+	req := mlbs.ReplanRequest{WorkloadRequest: mlbs.WorkloadRequest{Scheduler: hr.Scheduler, Budget: hr.Budget, NoCache: hr.NoCache}, Delta: delta}
 	inst, gen, err := hr.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return "", err
 	}
-	req.Base, req.Generator = inst, gen
+	req.Instance, req.Generator = inst, gen
 
 	resp, err := svc.Replan(r.Context(), req)
 	if err != nil {
@@ -645,6 +722,11 @@ func handleMetrics(svc *mlbs.PlanService, obsv *serveObs, w http.ResponseWriter)
 	mlbs.WritePromGauge(w, "mlbs_plan_cache_capacity", "Schedule-cache entry bound (pair with mlbs_plan_cache_entries for occupancy).", int64(m.CacheCapacity))
 	mlbs.WritePromCounter(w, "mlbs_engine_states_total", "Branch-and-bound states expanded across every search the service ran.", m.EngineStates)
 	mlbs.WritePromCounter(w, "mlbs_engine_memo_hits_total", "Search memo-table hits across every search the service ran.", m.EngineMemoHits)
+	mlbs.WritePromCounter(w, "mlbs_aggregate_requests_total", "Convergecast (aggregation) requests received.", m.Aggregates)
+	mlbs.WritePromCounter(w, "mlbs_aggregate_searches_total", "Convergecast scheduler runs actually executed.", m.AggSearches)
+	mlbs.WritePromCounter(w, "mlbs_aggregate_cache_hits_total", "Aggregations answered from the convergecast-plan cache.", m.AggregateHits)
+	mlbs.WritePromCounter(w, "mlbs_aggregate_cache_misses_total", "Aggregations that missed the convergecast-plan cache.", m.AggregateMisses)
+	mlbs.WritePromGauge(w, "mlbs_aggregate_cache_entries", "Convergecast-plan cache entries currently resident.", int64(m.AggregateEntries))
 	mlbs.WritePromCounter(w, "mlbs_validate_requests_total", "Reliability validation requests received.", m.Validations)
 	mlbs.WritePromCounter(w, "mlbs_validate_trials_total", "Monte-Carlo trials executed.", m.MonteCarloTrials)
 	mlbs.WritePromCounter(w, "mlbs_validate_cache_hits_total", "Validations answered from the reliability-report cache.", m.ValidateHits)
@@ -705,8 +787,47 @@ func writeRuntimeMetrics(w io.Writer) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// errorBody is the one error envelope every /v1/* endpoint speaks: a
+// stable machine-readable code for programs, the error text for humans.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError writes the error envelope. Typed failures override the
+// caller's status: a churn delta the broadcast cannot survive is a
+// semantic failure (422) with its own code, not a malformed request, and
+// a closing service is 503 so load balancers retry elsewhere.
+func httpError(w http.ResponseWriter, status int, err error) {
+	var code string
+	switch {
+	case errors.Is(err, mlbs.ErrChurnSourceFailed):
+		status, code = http.StatusUnprocessableEntity, "source_failed"
+	case errors.Is(err, mlbs.ErrChurnDisconnected):
+		status, code = http.StatusUnprocessableEntity, "disconnected"
+	case errors.Is(err, mlbs.ErrChurnLastNode):
+		status, code = http.StatusUnprocessableEntity, "last_node"
+	case errors.Is(err, mlbs.ErrServiceClosed):
+		status, code = http.StatusServiceUnavailable, "unavailable"
+	default:
+		switch status {
+		case http.StatusBadRequest:
+			code = "bad_request"
+		case http.StatusNotFound:
+			code = "not_found"
+		case http.StatusUnprocessableEntity:
+			code = "unprocessable"
+		case http.StatusServiceUnavailable:
+			code = "unavailable"
+		default:
+			code = "internal"
+		}
+	}
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -334,7 +335,7 @@ func TestReplanEndpointSmoke(t *testing.T) {
 		}
 	}
 
-	// Bad requests surface as 400s.
+	// Bad requests surface as 400s with the bad_request envelope code.
 	for _, bad := range []string{
 		`{"n":80,"seed":3}`, // no delta
 		`{"n":80,"seed":3,"delta":{"version":1,"events":[{"kind":"warp"}]}}`,
@@ -344,9 +345,167 @@ func TestReplanEndpointSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var eb errorBody
+		decodeErr := json.NewDecoder(r.Body).Decode(&eb)
 		r.Body.Close()
-		if r.StatusCode != http.StatusBadRequest {
-			t.Fatalf("bad request %q got status %d", bad, r.StatusCode)
+		if decodeErr != nil {
+			t.Fatalf("bad request %q: error body does not decode: %v", bad, decodeErr)
 		}
+		if r.StatusCode != http.StatusBadRequest || eb.Error.Code != "bad_request" {
+			t.Fatalf("bad request %q got status %d code %q", bad, r.StatusCode, eb.Error.Code)
+		}
+	}
+}
+
+// TestAggregateEndpointSmoke drives the convergecast HTTP path on a
+// duty-cycled multi-channel deployment: cold schedule, warm cache hit,
+// decodable nested result, counters in /metrics, and the error envelope
+// on a malformed body.
+func TestAggregateEndpointSmoke(t *testing.T) {
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(svc, newServeObs(0, 0)))
+	defer ts.Close()
+
+	body := `{"n":80,"seed":3,"r":10,"channels":4}`
+	resp, err := http.Post(ts.URL+"/v1/aggregate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out aggregateHTTPResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Digest) != 64 || out.CacheHit || out.Scheduler != "agg-spt" {
+		t.Fatalf("cold response: %+v", out)
+	}
+	if out.LatencySlots <= 0 {
+		t.Fatalf("latency_slots %d", out.LatencySlots)
+	}
+	res, err := mlbs.DecodeAggResult(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencySlots != out.LatencySlots || len(res.Schedule.Advances) == 0 {
+		t.Fatalf("nested result disagrees with top level: %+v vs %+v", res, out)
+	}
+
+	// Warm repeat: same parameters must hit the convergecast cache.
+	resp2, err := http.Post(ts.URL+"/v1/aggregate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 aggregateHTTPResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit {
+		t.Fatal("warm aggregation was not a cache hit")
+	}
+	if string(out2.Result) != string(out.Result) {
+		t.Fatal("warm result differs from cold")
+	}
+
+	// The bounded tree is a distinct cache entry, still cold.
+	resp3, err := http.Post(ts.URL+"/v1/aggregate", "application/json",
+		strings.NewReader(`{"n":80,"seed":3,"r":10,"channels":4,"scheduler":"agg-bounded"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var out3 aggregateHTTPResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&out3); err != nil {
+		t.Fatal(err)
+	}
+	if out3.CacheHit || out3.Scheduler != "agg-bounded" {
+		t.Fatalf("bounded response: %+v", out3)
+	}
+
+	// Metrics expose the aggregation counters and the endpoint histogram.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	mb, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mlbs_aggregate_requests_total 3",
+		"mlbs_aggregate_searches_total 2",
+		"mlbs_aggregate_cache_hits_total 1",
+		"mlbs_aggregate_cache_entries 2",
+		`mlbs_http_request_duration_seconds_bucket{endpoint="/v1/aggregate",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+
+	// Bad requests carry the envelope with a stable code.
+	for _, bad := range []string{`{not json`, `{"n":0}`, `{"n":80,"seed":3,"scheduler":"gopt"}`} {
+		r, err := http.Post(ts.URL+"/v1/aggregate", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		decodeErr := json.NewDecoder(r.Body).Decode(&eb)
+		r.Body.Close()
+		if decodeErr != nil {
+			t.Fatalf("bad request %q: error body does not decode: %v", bad, decodeErr)
+		}
+		if r.StatusCode != http.StatusBadRequest || eb.Error.Code != "bad_request" {
+			t.Fatalf("bad request %q got status %d code %q", bad, r.StatusCode, eb.Error.Code)
+		}
+	}
+}
+
+// TestErrorEnvelopeTypedCodes pins the typed error classification: a churn
+// delta that kills the source is a 422 with its own code, and a closed
+// service answers 503 unavailable — regardless of the status the handler
+// suggested.
+func TestErrorEnvelopeTypedCodes(t *testing.T) {
+	svc := mlbs.NewService(mlbs.ServiceConfig{Workers: 1})
+	ts := httptest.NewServer(newMux(svc, newServeObs(0, 0)))
+	defer ts.Close()
+
+	dep, err := mlbs.PaperDeployment(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"n":40,"seed":1,"delta":{"version":1,"events":[{"kind":"fail","node":%d}]}}`, dep.Source)
+	r, err := http.Post(ts.URL+"/v1/replan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	decodeErr := json.NewDecoder(r.Body).Decode(&eb)
+	r.Body.Close()
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if r.StatusCode != http.StatusUnprocessableEntity || eb.Error.Code != "source_failed" {
+		t.Fatalf("source-fail delta got status %d code %q", r.StatusCode, eb.Error.Code)
+	}
+
+	svc.Close()
+	r2, err := http.Post(ts.URL+"/v1/aggregate", "application/json", strings.NewReader(`{"n":40,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb2 errorBody
+	decodeErr = json.NewDecoder(r2.Body).Decode(&eb2)
+	r2.Body.Close()
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if r2.StatusCode != http.StatusServiceUnavailable || eb2.Error.Code != "unavailable" {
+		t.Fatalf("closed service got status %d code %q", r2.StatusCode, eb2.Error.Code)
 	}
 }

@@ -106,9 +106,11 @@ func main() {
 		"rate", "delivery", "full-coverage (95% CI)", "p99", "cold", "warm", "replays/s")
 	for _, rate := range rateList {
 		req := mlbs.ValidateRequest{
-			Generator:     &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
-			Scheduler:     *scheduler,
-			Budget:        *budget,
+			WorkloadRequest: mlbs.WorkloadRequest{
+				Generator: &mlbs.PlanGenerator{N: *n, Seed: *seed, DutyRate: *r},
+				Scheduler: *scheduler,
+				Budget:    *budget,
+			},
 			Loss:          mlbs.ReliabilityLossModel{Rate: rate, Seed: *lossSeed},
 			Trials:        *trials,
 			Target:        *target,

@@ -1,0 +1,234 @@
+// Package aggregate schedules conflict-aware minimum-latency convergecast:
+// the dual of the paper's broadcast problem. Every node holds one reading;
+// readings flow UP a routing tree toward the sink, merging at each parent,
+// and the schedule ends when the sink holds all of them. Where broadcast
+// packs senders into coverage-maximizing conflict-free color classes,
+// aggregation packs them into *receiver-safe* sender-disjoint classes: a
+// sender set is admissible on one (slot, channel) iff every sender's
+// parent decodes exactly that sender under the instance's interference
+// oracle (graph or SINR — both via interference.Oracle.Outcome, so capture
+// can rescue a class the protocol model would reject).
+//
+// Wake semantics invert too. In broadcast the duty cycle gates the
+// *transmitter* (a sleeping node may not send; neighbors of a sender are
+// covered regardless of their own wake state). In aggregation the gated
+// party is the *receiver*: a child may fire only in a slot where its
+// parent is awake to listen. This is the exact dual and keeps the two
+// workloads on the same dutycycle.Schedule.
+//
+// The same Instance type drives both workloads: Instance.Source is read as
+// the sink, Channels as the bundle width K, Wake as the listen schedule.
+package aggregate
+
+import (
+	"fmt"
+
+	"mlbs/internal/bitset"
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+	"mlbs/internal/interference"
+)
+
+// Advance is one (slot, channel) transmission bundle: Senders fire
+// concurrently on Channel at slot T, each delivering its merged subtree
+// payload to its tree parent. Unlike the broadcast Advance there is no
+// Covered list — each sender has exactly one intended receiver, Parent[u],
+// and receiver-safety (not coverage) is the admissibility criterion.
+type Advance struct {
+	T       int
+	Channel int `json:"Channel,omitempty"`
+	Senders []graph.NodeID
+}
+
+// Schedule is a complete convergecast plan: a routing tree oriented at the
+// sink plus the per-slot sender bundles. Every non-sink node transmits
+// exactly once; when it does, its whole subtree has already merged into
+// its payload, so the final transmission into the sink completes the
+// aggregate.
+type Schedule struct {
+	Sink  graph.NodeID
+	Start int
+	// Parent[u] is u's tree parent (the receiver of u's one transmission);
+	// Parent[Sink] = -1.
+	Parent   []graph.NodeID
+	Advances []Advance
+}
+
+// End returns the slot of the last transmission, Start−1 when empty.
+func (s *Schedule) End() int {
+	if len(s.Advances) == 0 {
+		return s.Start - 1
+	}
+	return s.Advances[len(s.Advances)-1].T
+}
+
+// Latency returns the elapsed slots End−Start+1.
+func (s *Schedule) Latency() int { return s.End() - s.Start + 1 }
+
+// Result is the outcome of one aggregation scheduling run.
+type Result struct {
+	// Scheduler names the tree/assignment strategy ("agg-spt" or
+	// "agg-bounded").
+	Scheduler string
+	Schedule  *Schedule
+	// LatencySlots duplicates Schedule.Latency() for wire convenience.
+	LatencySlots int
+}
+
+// Validate checks s against in and returns nil iff the schedule is a
+// correct convergecast plan: the parent array is a spanning tree oriented
+// at the sink over real edges, every non-sink node transmits exactly once
+// and only after all its children have, parents are awake to receive,
+// each parent receives on at most one channel per slot, and every
+// (slot, channel) bundle is receiver-safe under the instance's
+// interference oracle.
+func (s *Schedule) Validate(in core.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if len(in.PreCovered) != 0 {
+		return fmt.Errorf("aggregate: PreCovered is a broadcast-only input")
+	}
+	n := in.G.N()
+	if s.Sink != in.Source {
+		return fmt.Errorf("aggregate: schedule sink %d, instance sink %d", s.Sink, in.Source)
+	}
+	if s.Start != in.Start {
+		return fmt.Errorf("aggregate: schedule starts at %d, instance at %d", s.Start, in.Start)
+	}
+	if err := checkTree(in.G, s.Sink, s.Parent); err != nil {
+		return err
+	}
+
+	k := in.K()
+	var ib interference.Binder
+	oracle := in.Oracle(&ib)
+
+	// children[u] = number of tree children still to transmit before u may.
+	pending := make([]int, n)
+	for u := 0; u < n; u++ {
+		if graph.NodeID(u) != s.Sink {
+			pending[s.Parent[u]]++
+		}
+	}
+
+	done := bitset.New(n) // nodes whose transmission is complete (strictly earlier slot)
+	transmitted := 0
+	prevT := s.Start - 1
+	advs := s.Advances
+	for gi := 0; gi < len(advs); {
+		t := advs[gi].T
+		if t <= prevT {
+			return fmt.Errorf("aggregate: advance at t=%d not after t=%d", t, prevT)
+		}
+		end := gi
+		for end < len(advs) && advs[end].T == t {
+			end++
+		}
+		group := advs[gi:end]
+		if len(group) > k {
+			return fmt.Errorf("aggregate: %d advances in slot %d exceed %d channels", len(group), t, k)
+		}
+		prevCh := -1
+		slotParents := bitset.New(n) // parents already receiving this slot (any channel)
+		for _, adv := range group {
+			if adv.Channel <= prevCh {
+				return fmt.Errorf("aggregate: t=%d channel %d not above %d", t, adv.Channel, prevCh)
+			}
+			if adv.Channel >= k {
+				return fmt.Errorf("aggregate: t=%d channel %d outside [0,%d)", t, adv.Channel, k)
+			}
+			prevCh = adv.Channel
+			if len(adv.Senders) == 0 {
+				return fmt.Errorf("aggregate: empty sender set at t=%d ch=%d", t, adv.Channel)
+			}
+			for _, u := range adv.Senders {
+				if u < 0 || int(u) >= n {
+					return fmt.Errorf("aggregate: sender %d out of range at t=%d", u, t)
+				}
+				if u == s.Sink {
+					return fmt.Errorf("aggregate: sink %d transmits at t=%d", u, t)
+				}
+				if done.Has(int(u)) {
+					return fmt.Errorf("aggregate: node %d transmits twice (again at t=%d)", u, t)
+				}
+				if pending[u] != 0 {
+					return fmt.Errorf("aggregate: node %d transmits at t=%d with %d children still pending", u, t, pending[u])
+				}
+				p := s.Parent[u]
+				if !in.Wake.Awake(int(p), t) {
+					return fmt.Errorf("aggregate: parent %d of sender %d asleep at t=%d", p, u, t)
+				}
+				if slotParents.Has(int(p)) {
+					return fmt.Errorf("aggregate: parent %d receives twice in slot %d (one radio)", p, t)
+				}
+				slotParents.Add(int(p))
+			}
+			for _, u := range adv.Senders {
+				got, ok := oracle.Outcome(s.Parent[u], adv.Senders)
+				if !ok || got != u {
+					return fmt.Errorf("aggregate: t=%d ch=%d parent %d does not decode child %d (senders %v)",
+						t, adv.Channel, s.Parent[u], u, adv.Senders)
+				}
+			}
+		}
+		// Commit the slot: same-slot senders never count as "done" for each
+		// other above, so precedence is strict.
+		for _, adv := range group {
+			for _, u := range adv.Senders {
+				done.Add(int(u))
+				pending[s.Parent[u]]--
+				transmitted++
+			}
+		}
+		prevT = t
+		gi = end
+	}
+	if transmitted != n-1 {
+		return fmt.Errorf("aggregate: %d of %d non-sink nodes transmitted", transmitted, n-1)
+	}
+	return nil
+}
+
+// checkTree verifies parent is a spanning tree of g oriented at sink:
+// right length, Parent[sink] = -1, every other parent a real graph edge,
+// and every chain reaches the sink (no cycles, no strays).
+func checkTree(g *graph.Graph, sink graph.NodeID, parent []graph.NodeID) error {
+	n := g.N()
+	if len(parent) != n {
+		return fmt.Errorf("aggregate: parent array has %d entries for %d nodes", len(parent), n)
+	}
+	if parent[sink] != -1 {
+		return fmt.Errorf("aggregate: sink %d has parent %d, want -1", sink, parent[sink])
+	}
+	for u := 0; u < n; u++ {
+		if graph.NodeID(u) == sink {
+			continue
+		}
+		p := parent[u]
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("aggregate: node %d parent %d out of range", u, p)
+		}
+		if !g.HasEdge(graph.NodeID(u), p) {
+			return fmt.Errorf("aggregate: tree edge %d→%d not in graph", u, p)
+		}
+	}
+	// Rooted-at-sink check: each chain must hit the sink within n hops.
+	reach := bitset.New(n)
+	reach.Add(int(sink))
+	for u := 0; u < n; u++ {
+		v, hops := graph.NodeID(u), 0
+		for !reach.Has(int(v)) {
+			if hops++; hops > n {
+				return fmt.Errorf("aggregate: parent chain from node %d never reaches sink", u)
+			}
+			v = parent[v]
+		}
+		v = graph.NodeID(u)
+		for !reach.Has(int(v)) {
+			reach.Add(int(v))
+			v = parent[v]
+		}
+	}
+	return nil
+}

@@ -327,12 +327,23 @@ func (w *DigestWriter) Sum() Digest {
 
 // InstanceDigest computes the content address of an instance.
 func InstanceDigest(in core.Instance) (Digest, error) {
+	w, err := instanceDigestWriter(in)
+	if err != nil {
+		return Digest{}, err
+	}
+	return w.Sum(), nil
+}
+
+// instanceDigestWriter streams the canonical instance encoding into a
+// fresh writer and returns it unfinalized, so digest variants (the
+// aggregation workload's "agg" suffix) can append their tag before Sum.
+func instanceDigestWriter(in core.Instance) (*DigestWriter, error) {
 	if in.G == nil || in.Wake == nil {
-		return Digest{}, fmt.Errorf("graphio: cannot digest an instance with a nil graph or wake schedule")
+		return nil, fmt.Errorf("graphio: cannot digest an instance with a nil graph or wake schedule")
 	}
 	wake, err := encodeWake(in.Wake)
 	if err != nil {
-		return Digest{}, err
+		return nil, err
 	}
 	w := NewDigestWriter(digestMagic)
 	n := in.G.N()
@@ -388,7 +399,7 @@ func InstanceDigest(in core.Instance) (Digest, error) {
 			w.F(p)
 		}
 	}
-	return w.Sum(), nil
+	return w, nil
 }
 
 // resultJSON is the stored form of a core.Result — the schema both

@@ -80,7 +80,7 @@ func TestReplanChannels(t *testing.T) {
 		{Kind: churn.PositionJitter, Node: 7, X: 0.4, Y: -0.3},
 		{Kind: churn.NodeJoin, X: 25, Y: 25},
 	}}
-	resp, err := svc.Replan(ctx, ReplanRequest{Generator: gen, Delta: delta})
+	resp, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Generator: gen}, Delta: delta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestReplanChannels(t *testing.T) {
 		t.Fatalf("repaired channelized plan invalid: %v", err)
 	}
 
-	if r2, err := svc.Replan(ctx, ReplanRequest{Generator: gen, Delta: delta}); err != nil || !r2.CacheHit {
+	if r2, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Generator: gen}, Delta: delta}); err != nil || !r2.CacheHit {
 		t.Fatalf("replan repeat: hit=%v err=%v", r2.CacheHit, err)
 	}
 }
@@ -117,10 +117,10 @@ func TestValidateChannels(t *testing.T) {
 	ctx := context.Background()
 
 	resp, err := svc.Validate(ctx, ValidateRequest{
-		Generator: &Generator{N: 60, Seed: 1, Channels: 4},
-		Loss:      reliability.LossModel{Rate: 0.05, Seed: 3},
-		Trials:    64,
-		Target:    0.99,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 60, Seed: 1, Channels: 4}},
+		Loss:            reliability.LossModel{Rate: 0.05, Seed: 3},
+		Trials:          64,
+		Target:          0.99,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -12,24 +12,19 @@ import (
 )
 
 // ReplanRequest asks the service to repair a cached plan after a topology
-// delta instead of searching the mutated instance from scratch. Exactly
-// one of Base and Generator must be set; they select the *base* instance
-// the delta applies to. Repairs are cached by (base digest, delta
-// digest); cold repairs — full engine searches — are additionally
-// published into the plan cache under the mutated instance's digest.
+// delta instead of searching the mutated instance from scratch. The
+// embedded envelope selects the *base* instance the delta applies to
+// (exactly one of Instance and Generator) and the engine used for the
+// residual (or fallback cold) search; its NoCache bypasses the
+// replan-cache lookup only (the outcome is still stored, and the base
+// plan still resolves through the plan cache), and its ImproveBudget is
+// ignored. Repairs are cached by (base digest, delta digest); cold
+// repairs — full engine searches — are additionally published into the
+// plan cache under the mutated instance's digest.
 type ReplanRequest struct {
-	Base      *core.Instance
-	Generator *Generator
+	WorkloadRequest
 	// Delta is the ordered event sequence to apply to the base instance.
 	Delta churn.Delta
-	// Scheduler/Budget select the base plan and the engine used for the
-	// residual (or fallback cold) search, as in Request.
-	Scheduler string
-	Budget    int
-	// NoCache bypasses the replan-cache lookup (the outcome is still
-	// stored) — the churn driver uses it to measure the cold path. The
-	// base plan still resolves through the plan cache.
-	NoCache bool
 }
 
 // ReplanResponse is one replan answer. Result is shared and immutable.
@@ -146,7 +141,7 @@ func (s *Service) Replan(ctx context.Context, req ReplanRequest) (ReplanResponse
 	if err := req.Delta.Validate(); err != nil {
 		return ReplanResponse{}, err
 	}
-	base, err := s.resolve(Request{Instance: req.Base, Generator: req.Generator})
+	base, err := s.resolve(req.WorkloadRequest)
 	if err != nil {
 		return ReplanResponse{}, err
 	}

@@ -54,7 +54,7 @@ func TestServiceReplanBasics(t *testing.T) {
 	base := replanBase(t, 60, 1)
 	d := sourceJoin(base, 0)
 
-	resp, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: d})
+	resp, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: d})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestServiceReplanBasics(t *testing.T) {
 	}
 
 	// Same (base, delta) again: replan cache hit.
-	again, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: d})
+	again, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: d})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestServiceReplanBasics(t *testing.T) {
 			continue
 		}
 		coldDelta := churn.Delta{Events: []churn.Event{{Kind: churn.NodeFail, Node: victim}}}
-		cresp, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: coldDelta})
+		cresp, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: coldDelta})
 		if err != nil {
 			continue // this victim disconnects the deployment
 		}
@@ -155,7 +155,7 @@ func TestServiceReplanRejectsBadRequests(t *testing.T) {
 	defer svc.Close()
 	ctx := context.Background()
 	base := replanBase(t, 50, 2)
-	if _, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: churn.Delta{
+	if _, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: churn.Delta{
 		Events: []churn.Event{{Kind: "warp"}},
 	}}); err == nil {
 		t.Fatal("bad delta accepted")
@@ -163,11 +163,11 @@ func TestServiceReplanRejectsBadRequests(t *testing.T) {
 	if _, err := svc.Replan(ctx, ReplanRequest{Delta: churn.Delta{}}); err == nil {
 		t.Fatal("request without base accepted")
 	}
-	if _, err := svc.Replan(ctx, ReplanRequest{Base: &base, Scheduler: "nope"}); err == nil {
+	if _, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base, Scheduler: "nope"}}); err == nil {
 		t.Fatal("unknown scheduler accepted")
 	}
 	// A delta that kills the source is a request error, not a panic.
-	if _, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: churn.Delta{
+	if _, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: churn.Delta{
 		Events: []churn.Event{{Kind: churn.NodeFail, Node: base.Source}},
 	}}); err == nil {
 		t.Fatal("source-killing delta accepted")
@@ -227,14 +227,14 @@ func TestServiceChurnConcurrency(t *testing.T) {
 					mu.Unlock()
 				}
 			case 1:
-				if _, err := svc.Validate(ctx, ValidateRequest{Instance: &base, Trials: 16}); err != nil {
+				if _, err := svc.Validate(ctx, ValidateRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Trials: 16}); err != nil {
 					mu.Lock()
 					errs = append(errs, err)
 					mu.Unlock()
 				}
 			default:
 				d := deltas[bi][i%3]
-				resp, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: d})
+				resp, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: d})
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)
@@ -285,7 +285,7 @@ func TestServiceReplanSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := svc.Replan(ctx, ReplanRequest{Base: &base, Delta: d})
+			resp, err := svc.Replan(ctx, ReplanRequest{WorkloadRequest: WorkloadRequest{Instance: &base}, Delta: d})
 			if err != nil {
 				t.Error(err)
 				return

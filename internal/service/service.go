@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mlbs/internal/aggregate"
 	"mlbs/internal/baseline"
 	"mlbs/internal/churn"
 	"mlbs/internal/core"
@@ -63,6 +64,9 @@ type Config struct {
 	// ReplanCacheCapacity bounds the repaired-plan cache keyed by
 	// (base digest, delta digest) that backs Replan requests. Default 1024.
 	ReplanCacheCapacity int
+	// AggregateCacheCapacity bounds the convergecast-plan cache that backs
+	// Aggregate requests (entries). Default 1024.
+	AggregateCacheCapacity int
 	// ImproveWorkers is the background anytime-improver pool size. 0 (the
 	// default) disables background improvement entirely: warm hits with an
 	// improve budget are served as-is, exactly the pre-improver behavior.
@@ -100,30 +104,41 @@ type Generator struct {
 	SINRNoise float64 `json:"sinr_noise,omitempty"`
 }
 
-// Request is one plan request. Exactly one of Instance and Generator must
-// be set.
-type Request struct {
+// WorkloadRequest is the shared request envelope of every workload the
+// service answers — plan, aggregate, validate, replan. It selects the
+// instance (exactly one of Instance and Generator must be set, with the
+// generator carrying the duty-cycle/channel/SINR knobs), the scheduler,
+// and the caching discipline. Endpoint-specific request types embed it
+// and add their own fields on top.
+type WorkloadRequest struct {
 	Instance  *core.Instance
 	Generator *Generator
-	// Scheduler is one of gopt (default), opt, emodel, energy, baseline
-	// (resolves to the 26- or 17-approximation by wake system).
+	// Scheduler selects the planning algorithm. For broadcast plans: gopt
+	// (default), opt, emodel, energy, baseline (resolves to the 26- or
+	// 17-approximation by wake system). For aggregation: agg-spt (default)
+	// or agg-bounded.
 	Scheduler string
 	// Budget caps search effort for gopt/opt; 0 selects the default.
 	Budget int
-	// NoCache bypasses the cache lookup (the result is still stored) —
-	// load generators use it to measure the cold path.
+	// NoCache bypasses the endpoint's own cache lookup (the result is
+	// still stored) — load generators use it to measure the cold path.
 	NoCache bool
-	// ImproveBudget is the anytime-improvement budget. 0 (the default)
-	// keeps the pre-improver serving path bit-identical. On a cache miss
-	// the budget is spent synchronously after the base search, so the
-	// caller's first answer is already tightened; on a hit the cached plan
-	// is served instantly and a background upgrade is enqueued (when the
-	// pool is enabled and the plan is not already exact), re-published
-	// under the same key with the next Generation. The budget is
-	// deliberately not part of the cache key: all budgets share one entry
-	// per (digest, scheduler), which is what lets generations accumulate.
+	// ImproveBudget is the anytime-improvement budget for workloads that
+	// support it (plans only today). 0 (the default) keeps the
+	// pre-improver serving path bit-identical. On a cache miss the budget
+	// is spent synchronously after the base search, so the caller's first
+	// answer is already tightened; on a hit the cached plan is served
+	// instantly and a background upgrade is enqueued (when the pool is
+	// enabled and the plan is not already exact), re-published under the
+	// same key with the next Generation. The budget is deliberately not
+	// part of the cache key: all budgets share one entry per (digest,
+	// scheduler), which is what lets generations accumulate.
 	ImproveBudget time.Duration
 }
+
+// Request is one plan request — the original name of the shared envelope,
+// kept as an alias so plan call sites read as before.
+type Request = WorkloadRequest
 
 // Response is one plan answer. Result is shared and immutable.
 type Response struct {
@@ -163,6 +178,14 @@ type Metrics struct {
 	ValidateHits     int64
 	ValidateMisses   int64
 	ValidateEntries  int
+	// Aggregation traffic: convergecast request count, scheduler runs
+	// actually executed (misses), and the convergecast-plan cache's
+	// counters.
+	Aggregates       int64
+	AggSearches      int64
+	AggregateHits    int64
+	AggregateMisses  int64
+	AggregateEntries int
 	// Churn traffic: replan request count, computed repairs by strategy
 	// (see churn.Strategy), and the replan cache's counters.
 	Replans           int64
@@ -227,6 +250,7 @@ type job struct {
 	sp    spec
 	val   *valJob    // set for Monte-Carlo validation jobs
 	rep   *replanJob // set for churn-repair jobs
+	agg   *aggJob    // set for convergecast-scheduling jobs
 	reply chan<- jobResult
 	// improve is the synchronous anytime-improvement budget spent on a
 	// cold search's result before it is stored and returned.
@@ -254,6 +278,7 @@ type jobResult struct {
 	res *core.Result
 	out *validateOutcome
 	rep *replanOutcome
+	agg *aggregate.Result
 	err error
 }
 
@@ -272,7 +297,11 @@ type worker struct {
 	jobs       chan job
 	engines    map[spec]core.Scheduler
 	replanners map[spec]*churn.Replanner
-	est        *reliability.Estimator
+	// aggs holds the worker's reusable convergecast schedulers by tree
+	// kind; like engines, only the worker's own goroutine touches them so
+	// their scratch arenas stay warm.
+	aggs map[string]*aggregate.Scheduler
+	est  *reliability.Estimator
 	// imp is the worker's reusable improver for synchronous cold-path
 	// improvement; like the engines, it is touched only by the worker's
 	// own goroutine so its arenas stay warm.
@@ -282,6 +311,11 @@ type worker struct {
 func (w *worker) run(s *Service) {
 	defer s.wg.Done()
 	for jb := range w.jobs {
+		if jb.agg != nil {
+			res, err := w.execAggregate(s, jb)
+			jb.reply <- jobResult{agg: res, err: err}
+			continue
+		}
 		if jb.rep != nil {
 			rep, err := w.execReplan(s, jb)
 			jb.reply <- jobResult{rep: rep, err: err}
@@ -484,6 +518,7 @@ type Service struct {
 	gens    *plancache.Cache[core.Instance]
 	vcache  *plancache.Cache[*validateOutcome]
 	rcache  *plancache.Cache[*replanOutcome]
+	acache  *plancache.Cache[*aggregate.Result]
 	workers []*worker
 	wg      sync.WaitGroup
 
@@ -501,6 +536,8 @@ type Service struct {
 	improving   map[string]struct{}
 
 	requests          atomic.Int64
+	aggregates        atomic.Int64
+	aggSearches       atomic.Int64
 	searches          atomic.Int64
 	engineStates      atomic.Int64
 	engineMemoHits    atomic.Int64
@@ -550,18 +587,23 @@ func New(cfg Config) *Service {
 	if cfg.ReplanCacheCapacity <= 0 {
 		cfg.ReplanCacheCapacity = 1024
 	}
+	if cfg.AggregateCacheCapacity <= 0 {
+		cfg.AggregateCacheCapacity = 1024
+	}
 	s := &Service{
 		cfg:    cfg,
 		cache:  plancache.New[*core.Result](cfg.CacheCapacity, cfg.CacheShards),
 		gens:   plancache.New[core.Instance](cfg.GenCacheCapacity, 4),
 		vcache: plancache.New[*validateOutcome](cfg.ValidateCacheCapacity, 8),
 		rcache: plancache.New[*replanOutcome](cfg.ReplanCacheCapacity, 8),
+		acache: plancache.New[*aggregate.Result](cfg.AggregateCacheCapacity, 8),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			jobs:       make(chan job, cfg.QueueDepth),
 			engines:    make(map[spec]core.Scheduler),
 			replanners: make(map[spec]*churn.Replanner),
+			aggs:       make(map[string]*aggregate.Scheduler),
 		}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
@@ -1026,6 +1068,7 @@ func (s *Service) Metrics() Metrics {
 	cs := s.cache.Stats()
 	vs := s.vcache.Stats()
 	rs := s.rcache.Stats()
+	as := s.acache.Stats()
 	var merged [histBuckets]int64
 	total := s.hitHist.snapshot(&merged)
 	total += s.missHist.snapshot(&merged)
@@ -1051,6 +1094,11 @@ func (s *Service) Metrics() Metrics {
 		ValidateHits:      vs.Hits,
 		ValidateMisses:    vs.Misses,
 		ValidateEntries:   vs.Entries,
+		Aggregates:        s.aggregates.Load(),
+		AggSearches:       s.aggSearches.Load(),
+		AggregateHits:     as.Hits,
+		AggregateMisses:   as.Misses,
+		AggregateEntries:  as.Entries,
 		Replans:           s.replans.Load(),
 		ReplanPrefix:      s.replanPrefix.Load(),
 		ReplanIncremental: s.replanIncremental.Load(),

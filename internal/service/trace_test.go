@@ -143,8 +143,8 @@ func TestTracedReplanSpan(t *testing.T) {
 
 	tr := obs.NewTrace("/v1/replan")
 	resp, err := svc.Replan(obs.NewContext(context.Background(), tr), ReplanRequest{
-		Base:  in,
-		Delta: churn.Delta{Events: []churn.Event{{Kind: churn.PositionJitter, Node: 1, X: 1e-9, Y: 1e-9}}},
+		WorkloadRequest: WorkloadRequest{Instance: in},
+		Delta:           churn.Delta{Events: []churn.Event{{Kind: churn.PositionJitter, Node: 1, X: 1e-9, Y: 1e-9}}},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -18,15 +18,12 @@ const MaxValidateTrials = 100_000
 
 // ValidateRequest asks the service what a schedule actually delivers on a
 // lossy channel: plan the instance (through the regular plan cache), then
-// Monte-Carlo-replay the schedule under the loss model. Exactly one of
-// Instance and Generator must be set.
+// Monte-Carlo-replay the schedule under the loss model. The embedded
+// envelope selects the instance and the plan whose schedule is validated;
+// its NoCache bypasses the reliability-report cache only (the plan cache
+// still serves the schedule), and its ImproveBudget is ignored.
 type ValidateRequest struct {
-	Instance  *core.Instance
-	Generator *Generator
-	// Scheduler/Budget select the plan whose schedule is validated, as in
-	// Request.
-	Scheduler string
-	Budget    int
+	WorkloadRequest
 	// Loss is the stochastic channel (defaults: iid kind).
 	Loss reliability.LossModel
 	// Trials sizes the Monte-Carlo batch; 0 selects the reliability
@@ -39,10 +36,6 @@ type ValidateRequest struct {
 	// MaxExtraSlots caps the repair latency penalty; 0 selects the
 	// default.
 	MaxExtraSlots int
-	// NoCache bypasses the reliability-report cache (the plan cache still
-	// serves the schedule) — reliability sweeps use it to measure the cold
-	// Monte-Carlo path.
-	NoCache bool
 }
 
 // ValidateResponse is one validation answer. Report (and Repair, when a
@@ -125,7 +118,7 @@ func (s *Service) Validate(ctx context.Context, req ValidateRequest) (ValidateRe
 		// values must not fragment the cache over identical work.
 		maxExtra = 0
 	}
-	in, err := s.resolve(ValidateRequestAsPlan(req))
+	in, err := s.resolve(req.WorkloadRequest)
 	if err != nil {
 		return ValidateResponse{}, err
 	}
@@ -186,15 +179,4 @@ func (s *Service) Validate(ctx context.Context, req ValidateRequest) (ValidateRe
 		Coalesced:    coalesced,
 		Elapsed:      time.Since(start),
 	}, nil
-}
-
-// ValidateRequestAsPlan projects the instance-selecting fields of a
-// validate request onto the plan request form resolve understands.
-func ValidateRequestAsPlan(req ValidateRequest) Request {
-	return Request{
-		Instance:  req.Instance,
-		Generator: req.Generator,
-		Scheduler: req.Scheduler,
-		Budget:    req.Budget,
-	}
 }

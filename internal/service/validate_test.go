@@ -22,9 +22,9 @@ func TestValidateBasic(t *testing.T) {
 	s := validateService(t)
 	ctx := context.Background()
 	resp, err := s.Validate(ctx, ValidateRequest{
-		Generator: &Generator{N: 80, Seed: 3},
-		Loss:      reliability.LossModel{Rate: 0.1, Seed: 1},
-		Trials:    150,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 80, Seed: 3}},
+		Loss:            reliability.LossModel{Rate: 0.1, Seed: 1},
+		Trials:          150,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,9 +52,9 @@ func TestValidateBasic(t *testing.T) {
 	// Second identical request: reliability-cache hit serving the same
 	// immutable report.
 	again, err := s.Validate(ctx, ValidateRequest{
-		Generator: &Generator{N: 80, Seed: 3},
-		Loss:      reliability.LossModel{Rate: 0.1, Seed: 1},
-		Trials:    150,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 80, Seed: 3}},
+		Loss:            reliability.LossModel{Rate: 0.1, Seed: 1},
+		Trials:          150,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -81,9 +81,9 @@ func TestValidateKeyedByLossParams(t *testing.T) {
 	s := validateService(t)
 	ctx := context.Background()
 	base := ValidateRequest{
-		Generator: &Generator{N: 60, Seed: 1},
-		Loss:      reliability.LossModel{Rate: 0.05, Seed: 1},
-		Trials:    80,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 60, Seed: 1}},
+		Loss:            reliability.LossModel{Rate: 0.05, Seed: 1},
+		Trials:          80,
 	}
 	if _, err := s.Validate(ctx, base); err != nil {
 		t.Fatal(err)
@@ -110,9 +110,9 @@ func TestValidateKeyedByLossParams(t *testing.T) {
 // loss parameters.
 func TestValidateDigestStableReports(t *testing.T) {
 	req := ValidateRequest{
-		Generator: &Generator{N: 100, Seed: 5},
-		Loss:      reliability.LossModel{Rate: 0.08, Seed: 11},
-		Trials:    200,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 100, Seed: 5}},
+		Loss:            reliability.LossModel{Rate: 0.08, Seed: 11},
+		Trials:          200,
 	}
 	var encoded [][]byte
 	for i := 0; i < 2; i++ {
@@ -136,10 +136,10 @@ func TestValidateDigestStableReports(t *testing.T) {
 func TestValidateWithRepairTarget(t *testing.T) {
 	s := validateService(t)
 	resp, err := s.Validate(context.Background(), ValidateRequest{
-		Generator: &Generator{N: 100, Seed: 5},
-		Loss:      reliability.LossModel{Rate: 0.1, Seed: 1},
-		Trials:    150,
-		Target:    0.99,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 100, Seed: 5}},
+		Loss:            reliability.LossModel{Rate: 0.1, Seed: 1},
+		Trials:          150,
+		Target:          0.99,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,9 +162,9 @@ func TestValidateConcurrentCoalesces(t *testing.T) {
 	s := New(Config{Workers: 4})
 	defer s.Close()
 	req := ValidateRequest{
-		Generator: &Generator{N: 80, Seed: 2},
-		Loss:      reliability.LossModel{Rate: 0.05, Seed: 1},
-		Trials:    100,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 80, Seed: 2}},
+		Loss:            reliability.LossModel{Rate: 0.05, Seed: 1},
+		Trials:          100,
 	}
 	const goroutines = 16
 	var wg sync.WaitGroup
@@ -197,11 +197,12 @@ func TestValidateConcurrentCoalesces(t *testing.T) {
 func TestValidateRejectsBadRequests(t *testing.T) {
 	s := validateService(t)
 	ctx := context.Background()
+	gen40 := WorkloadRequest{Generator: &Generator{N: 40, Seed: 1}}
 	cases := []ValidateRequest{
-		{Generator: &Generator{N: 40, Seed: 1}, Loss: reliability.LossModel{Rate: 2}},
-		{Generator: &Generator{N: 40, Seed: 1}, Trials: MaxValidateTrials + 1},
-		{Generator: &Generator{N: 40, Seed: 1}, Target: 1.5},
-		{Generator: &Generator{N: 40, Seed: 1}, Scheduler: "nope"},
+		{WorkloadRequest: gen40, Loss: reliability.LossModel{Rate: 2}},
+		{WorkloadRequest: gen40, Trials: MaxValidateTrials + 1},
+		{WorkloadRequest: gen40, Target: 1.5},
+		{WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 40, Seed: 1}, Scheduler: "nope"}},
 		{},
 	}
 	for i, req := range cases {
@@ -215,10 +216,9 @@ func TestValidateNoCacheRecomputesButStores(t *testing.T) {
 	s := validateService(t)
 	ctx := context.Background()
 	req := ValidateRequest{
-		Generator: &Generator{N: 60, Seed: 1},
-		Loss:      reliability.LossModel{Rate: 0.05, Seed: 3},
-		Trials:    64,
-		NoCache:   true,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 60, Seed: 1}, NoCache: true},
+		Loss:            reliability.LossModel{Rate: 0.05, Seed: 3},
+		Trials:          64,
 	}
 	for i := 0; i < 2; i++ {
 		resp, err := s.Validate(ctx, req)
@@ -246,7 +246,7 @@ func TestValidateNoCacheRecomputesButStores(t *testing.T) {
 func TestValidateAfterCloseFails(t *testing.T) {
 	s := New(Config{Workers: 1})
 	s.Close()
-	if _, err := s.Validate(context.Background(), ValidateRequest{Generator: &Generator{N: 10, Seed: 1}}); err == nil {
+	if _, err := s.Validate(context.Background(), ValidateRequest{WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 10, Seed: 1}}}); err == nil {
 		t.Fatal("validate after close succeeded")
 	}
 }
@@ -255,9 +255,9 @@ func ExampleService_Validate() {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 	resp, err := s.Validate(context.Background(), ValidateRequest{
-		Generator: &Generator{N: 100, Seed: 5},
-		Loss:      reliability.LossModel{Rate: 0.08, Seed: 11},
-		Trials:    200,
+		WorkloadRequest: WorkloadRequest{Generator: &Generator{N: 100, Seed: 5}},
+		Loss:            reliability.LossModel{Rate: 0.08, Seed: 11},
+		Trials:          200,
 	})
 	if err != nil {
 		panic(err)

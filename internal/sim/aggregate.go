@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+
+	"mlbs/internal/aggregate"
+	"mlbs/internal/bitset"
+	"mlbs/internal/core"
+	"mlbs/internal/graph"
+	"mlbs/internal/interference"
+)
+
+// AggReport is the physical outcome of one convergecast execution.
+type AggReport struct {
+	// Completed: the sink holds every node's reading and no collision was
+	// recorded — the aggregation-side mirror of Report.Completed.
+	Completed bool
+	End       int // slot of the last transmission (Start−1 if none)
+	Slots     int // elapsed slots End−Start+1
+	// Delivered counts distinct readings held by the sink at the end.
+	Delivered int
+	// DeliveredAt[u] is the slot u's reading reached the sink (−1 = never;
+	// the sink's own reading: Start−1).
+	DeliveredAt []int
+	Collisions  []Collision
+}
+
+// ReplayAggregate executes a convergecast schedule against the slot
+// physics and reports what actually reached the sink. Every node starts
+// holding exactly its own reading; a transmission carries the sender's
+// current merged payload; a parent that decodes its child (per the
+// instance's interference oracle, frames interfering only within a
+// channel) merges the child's payload into its own.
+//
+// The physics mirror the model Schedule.Validate enforces, from the
+// receiver's side:
+//
+//   - a parent only receives in slots where it is awake (duty cycle gates
+//     the listener, not the talker);
+//   - one radio: a node transmitting this slot hears nothing, and a parent
+//     whose children fire on several channels at once tunes to the lowest
+//     and loses the rest;
+//   - a tuned, awake parent that fails to decode its child records a
+//     Collision; deliveries lost to sleep or mistuning are silent and
+//     surface as an incomplete aggregate instead.
+//
+// A schedule accepted by aggregate.Schedule.Validate always replays
+// Completed with zero collisions — the property the oracle tests pin.
+func ReplayAggregate(in core.Instance, s *aggregate.Schedule) (*AggReport, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	if len(s.Parent) != n {
+		return nil, fmt.Errorf("sim: parent array has %d entries for %d nodes", len(s.Parent), n)
+	}
+	for u := 0; u < n; u++ {
+		if graph.NodeID(u) == s.Sink {
+			continue
+		}
+		if p := s.Parent[u]; p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("sim: node %d parent %d out of range", u, p)
+		}
+	}
+	if s.Sink < 0 || int(s.Sink) >= n {
+		return nil, fmt.Errorf("sim: sink %d out of range", s.Sink)
+	}
+	k := in.K()
+	var ib interference.Binder
+	oracle := in.Oracle(&ib)
+
+	// payload[u] = set of readings u currently holds.
+	payload := make([]bitset.Set, n)
+	for u := range payload {
+		payload[u] = bitset.New(n)
+		payload[u].Add(u)
+	}
+	deliveredAt := make([]int, n)
+	for u := range deliveredAt {
+		deliveredAt[u] = -1
+	}
+	deliveredAt[s.Sink] = s.Start - 1
+
+	rep := &AggReport{End: s.Start - 1, DeliveredAt: deliveredAt}
+	isTx := bitset.New(n)   // senders of the current slot, all channels
+	tuned := make([]int, n) // per-parent listening channel this slot (−1 = idle)
+	for i := range tuned {
+		tuned[i] = -1
+	}
+	touchedParents := make([]graph.NodeID, 0, 16)
+
+	advs := s.Advances
+	prevT := s.Start - 1
+	for gi := 0; gi < len(advs); {
+		t := advs[gi].T
+		if t <= prevT {
+			return nil, errOrder(t)
+		}
+		end := gi
+		prevCh := -1
+		for end < len(advs) && advs[end].T == t {
+			if advs[end].Channel <= prevCh && end > gi {
+				return nil, errOrder(t)
+			}
+			prevCh = advs[end].Channel
+			if advs[end].Channel < 0 || advs[end].Channel >= k {
+				return nil, fmt.Errorf("sim: advance at t=%d uses channel %d, instance has %d", t, advs[end].Channel, k)
+			}
+			end++
+		}
+		group := advs[gi:end]
+
+		isTx.Clear()
+		for _, adv := range group {
+			for _, u := range adv.Senders {
+				if u < 0 || int(u) >= n {
+					return nil, errOut(u, t)
+				}
+				if isTx.Has(int(u)) {
+					return nil, fmt.Errorf("sim: node %d transmits on two channels at t=%d", u, t)
+				}
+				isTx.Add(int(u))
+			}
+		}
+		// Tune each receiving parent to the lowest channel carrying one of
+		// its children; a transmitting node never tunes (one radio).
+		touchedParents = touchedParents[:0]
+		for _, adv := range group {
+			for _, u := range adv.Senders {
+				if u == s.Sink {
+					continue // the sink's frame is pure interference
+				}
+				p := s.Parent[u]
+				if tuned[p] < 0 && !isTx.Has(int(p)) && in.Wake.Awake(int(p), t) {
+					tuned[p] = adv.Channel
+					touchedParents = append(touchedParents, p)
+				}
+			}
+		}
+		for _, adv := range group {
+			for _, u := range adv.Senders {
+				if u == s.Sink {
+					continue
+				}
+				p := s.Parent[u]
+				if tuned[p] != adv.Channel {
+					continue // parent asleep, transmitting, or tuned elsewhere: frame lost
+				}
+				got, ok := oracle.Outcome(p, adv.Senders)
+				if !ok || got != u {
+					// An awake, tuned parent that cannot pull its child out of
+					// the channel: the convergecast collision.
+					senders := make([]graph.NodeID, 0, len(adv.Senders))
+					for _, x := range adv.Senders {
+						if in.G.Nbr(p).Has(x) {
+							senders = append(senders, x)
+						}
+					}
+					rep.Collisions = append(rep.Collisions, Collision{T: t, Receiver: p, Senders: senders, Channel: adv.Channel})
+					continue
+				}
+				if p == s.Sink {
+					payload[u].ForEach(func(x int) {
+						if deliveredAt[x] < 0 {
+							deliveredAt[x] = t
+						}
+					})
+				}
+				payload[p].UnionWith(payload[u])
+			}
+		}
+		for _, p := range touchedParents {
+			tuned[p] = -1
+		}
+		rep.End = t
+		prevT = t
+		gi = end
+	}
+
+	rep.Delivered = payload[s.Sink].Len()
+	rep.Slots = rep.End - s.Start + 1
+	if rep.Slots < 0 {
+		rep.Slots = 0
+	}
+	rep.Completed = rep.Delivered == n && len(rep.Collisions) == 0
+	return rep, nil
+}

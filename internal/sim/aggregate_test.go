@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mlbs/internal/aggregate"
+	"mlbs/internal/core"
+	"mlbs/internal/dutycycle"
+	"mlbs/internal/graph"
+	"mlbs/internal/interference"
+	"mlbs/internal/topology"
+)
+
+// aggCrossCheck plans a convergecast schedule, demands Validate accept it,
+// and demands the replay deliver every reading to the sink with zero
+// collisions — the aggregation mirror of crossCheck: Validate's
+// receiver-safe classes and the replayer's per-channel physics are two
+// derivations of the same oracle, and any disagreement is a real bug.
+func aggCrossCheck(t *testing.T, name string, in core.Instance) {
+	t.Helper()
+	var s aggregate.Scheduler
+	res, err := s.Schedule(in)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatalf("%s: planned aggregation schedule invalid: %v", name, err)
+	}
+	rep, err := ReplayAggregate(in, res.Schedule)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(rep.Collisions) != 0 {
+		t.Fatalf("%s: valid aggregation schedule replayed with collisions: %+v", name, rep.Collisions)
+	}
+	n := in.G.N()
+	if !rep.Completed || rep.Delivered != n {
+		t.Fatalf("%s: sink holds %d of %d readings (completed=%v)", name, rep.Delivered, n, rep.Completed)
+	}
+	for u, at := range rep.DeliveredAt {
+		if at < 0 {
+			t.Fatalf("%s: reading of node %d never delivered", name, u)
+		}
+	}
+	if rep.Slots != res.LatencySlots {
+		t.Fatalf("%s: replay took %d slots, schedule claims %d", name, rep.Slots, res.LatencySlots)
+	}
+}
+
+// TestAggReplayerAgreesWithValidate is the aggregation property test: for
+// random sync/duty/K∈{1,2} instances under both interference oracles, a
+// schedule accepted by aggregate.Schedule.Validate must replay to a
+// complete, collision-free aggregate at the sink.
+func TestAggReplayerAgreesWithValidate(t *testing.T) {
+	sinr := &interference.SINRParams{Alpha: 3, Beta: 1}
+	for _, seed := range []uint64{2, 5} {
+		d, err := topology.Generate(topology.PaperConfig(60), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync := core.Sync(d.G, d.Source)
+		duty := core.Async(d.G, d.Source, dutycycle.NewUniform(d.G.N(), 5, seed^0xA5, 0), 0)
+		multi := sync
+		multi.Channels = 2
+		cases := []struct {
+			name string
+			in   core.Instance
+		}{
+			{"sync/graph", sync},
+			{"duty/graph", duty},
+			{"k2/graph", multi},
+		}
+		for _, c := range cases {
+			aggCrossCheck(t, c.name, c.in)
+			sc := c.in
+			sc.SINR = sinr
+			aggCrossCheck(t, c.name+"+sinr", sc)
+		}
+	}
+}
+
+// TestAggReplayCollision drives an invalid bundle through the replayer: two
+// children whose parents each hear both frames collide at both receivers
+// under the protocol model.
+func TestAggReplayCollision(t *testing.T) {
+	// 0-1, 0-2, 1-3, 2-3 diamond: parents 1 and 2 both hear 3.
+	g := graph.NewBuilder(4, nil).
+		AddEdge(0, 1).AddEdge(0, 2).
+		AddEdge(1, 3).AddEdge(2, 3).AddEdge(1, 2).
+		Build()
+	in := core.Sync(g, 0)
+	sched := &aggregate.Schedule{Sink: 0, Start: 1, Parent: []graph.NodeID{-1, 0, 0, 1}, Advances: []aggregate.Advance{
+		{T: 1, Senders: []graph.NodeID{2, 3}}, // parent 1 hears both 2 and 3
+		{T: 2, Senders: []graph.NodeID{1}},
+	}}
+	if err := sched.Validate(in); err == nil || !strings.Contains(err.Error(), "does not decode") {
+		t.Fatalf("Validate must reject the bundle, got %v", err)
+	}
+	rep, err := ReplayAggregate(in, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Collisions) == 0 {
+		t.Fatal("replay of a receiver-unsafe bundle must record a collision")
+	}
+	if rep.Completed {
+		t.Fatal("collided execution must not report Completed")
+	}
+	c := rep.Collisions[0]
+	if c.T != 1 || c.Receiver != 1 {
+		t.Fatalf("collision = %+v, want T=1 at receiver 1", c)
+	}
+}
+
+// TestAggReplaySleepingParentLosesFrame: a frame sent while the parent
+// sleeps is silently lost — no collision, but the aggregate is incomplete.
+func TestAggReplaySleepingParentLosesFrame(t *testing.T) {
+	g := graph.NewBuilder(3, nil).AddEdge(0, 1).AddEdge(1, 2).Build()
+	wake := dutycycle.NewFixed(2, 1, [][]int{{0, 1}, {0}, {0, 1}})
+	in := core.Async(g, 0, wake, 0)
+	sched := &aggregate.Schedule{Sink: 0, Start: in.Start, Parent: []graph.NodeID{-1, 0, 1}, Advances: []aggregate.Advance{
+		{T: 1, Senders: []graph.NodeID{2}}, // parent 1 asleep at odd slots
+		{T: 2, Senders: []graph.NodeID{1}},
+	}}
+	rep, err := ReplayAggregate(in, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Collisions) != 0 {
+		t.Fatalf("sleep loss must not be a collision: %+v", rep.Collisions)
+	}
+	if rep.Completed || rep.Delivered != 2 {
+		t.Fatalf("delivered %d readings (completed=%v), want 2 (node 2's reading lost)", rep.Delivered, rep.Completed)
+	}
+	if rep.DeliveredAt[2] != -1 {
+		t.Fatalf("node 2's reading delivered at %d, want never", rep.DeliveredAt[2])
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"io"
 
+	"mlbs/internal/aggregate"
 	"mlbs/internal/baseline"
 	"mlbs/internal/churn"
 	"mlbs/internal/core"
@@ -129,6 +130,10 @@ type (
 	PlanService = service.Service
 	// ServiceConfig sizes a PlanService.
 	ServiceConfig = service.Config
+	// WorkloadRequest is the shared request envelope every service
+	// workload embeds: instance/generator selection, scheduler, budget and
+	// caching discipline.
+	WorkloadRequest = service.WorkloadRequest
 	// PlanRequest is one plan-service request.
 	PlanRequest = service.Request
 	// PlanGenerator is the request form that asks the service to build the
@@ -205,6 +210,27 @@ type (
 	ReplanRequest = service.ReplanRequest
 	// ReplanResponse is one churn-repair service answer.
 	ReplanResponse = service.ReplanResponse
+	// AggSchedule is a complete convergecast (aggregation) schedule: a
+	// routing tree toward the sink plus receiver-safe sender bundles per
+	// (slot, channel) (DESIGN.md §18).
+	AggSchedule = aggregate.Schedule
+	// AggAdvance is one aggregation advance: the senders firing in one
+	// (slot, channel) cell.
+	AggAdvance = aggregate.Advance
+	// AggResult is an aggregation scheduler's outcome.
+	AggResult = aggregate.Result
+	// AggScheduler plans convergecast schedules; its scratch arenas are
+	// reused across calls, so one per goroutine.
+	AggScheduler = aggregate.Scheduler
+	// AggTree selects the aggregation-tree policy of an AggScheduler.
+	AggTree = aggregate.Tree
+	// AggReport is the physical outcome of replaying a convergecast
+	// schedule.
+	AggReport = sim.AggReport
+	// AggregateRequest is one convergecast service request.
+	AggregateRequest = service.AggregateRequest
+	// AggregateResponse is one convergecast service answer.
+	AggregateResponse = service.AggregateResponse
 	// Trace collects the named phases of one request as a span tree; attach
 	// it to a context with TraceContext and the service records cache,
 	// search, improve and repair phases into it (DESIGN.md §15). The nil
@@ -233,6 +259,30 @@ const (
 	ChurnNodeJoin       = churn.NodeJoin
 	ChurnRadiusChange   = churn.RadiusChange
 	ChurnPositionJitter = churn.PositionJitter
+)
+
+// The aggregation-tree policies.
+const (
+	// AggTreeSPT routes along the BFS shortest-path tree (default).
+	AggTreeSPT = aggregate.TreeSPT
+	// AggTreeBounded routes along the degree-bounded SPT variant.
+	AggTreeBounded = aggregate.TreeBounded
+)
+
+// Typed failures callers (and the HTTP layer's error envelope)
+// distinguish from generic request errors.
+var (
+	// ErrServiceClosed is returned by every service entry point after
+	// Close.
+	ErrServiceClosed = service.ErrClosed
+	// ErrChurnSourceFailed reports a replan delta that fails the broadcast
+	// source.
+	ErrChurnSourceFailed = churn.ErrSourceFailed
+	// ErrChurnDisconnected reports a replan delta that disconnects the
+	// network from the source.
+	ErrChurnDisconnected = churn.ErrDisconnected
+	// ErrChurnLastNode reports a replan delta that removes the last node.
+	ErrChurnLastNode = churn.ErrLastNode
 )
 
 // NewUDG builds the unit-disk graph over the given positions: nodes are
@@ -649,6 +699,42 @@ func EncodeChurnDelta(d ChurnDelta) ([]byte, error) { return churn.EncodeDelta(d
 
 // DecodeChurnDelta rebuilds a delta, validating every event.
 func DecodeChurnDelta(data []byte) (ChurnDelta, error) { return churn.DecodeDelta(data) }
+
+// ScheduleAggregate plans a conflict-aware minimum-latency convergecast:
+// every node's reading routed to the sink (the instance's Source) along
+// an aggregation tree with receiver-safe sender bundles (DESIGN.md §18).
+// One-shot convenience; reuse an AggScheduler value across calls for warm
+// arenas.
+func ScheduleAggregate(in Instance) (*AggResult, error) {
+	var s AggScheduler
+	return s.Schedule(in)
+}
+
+// ReplayAggregate executes a convergecast schedule against the slot
+// physics and reports what actually reached the sink.
+func ReplayAggregate(in Instance, s *AggSchedule) (*AggReport, error) {
+	return sim.ReplayAggregate(in, s)
+}
+
+// AggInstanceDigest computes the content address of an instance as an
+// aggregation problem — the broadcast digest stream plus an "agg" tag, so
+// the two workloads never alias in any cache.
+func AggInstanceDigest(in Instance) (Digest, error) { return graphio.AggInstanceDigest(in) }
+
+// EncodeAggSchedule serializes an aggregation schedule.
+func EncodeAggSchedule(s *AggSchedule) ([]byte, error) { return graphio.EncodeAggSchedule(s) }
+
+// DecodeAggSchedule rebuilds an aggregation schedule; Validate it against
+// its instance before trusting it.
+func DecodeAggSchedule(data []byte) (*AggSchedule, error) { return graphio.DecodeAggSchedule(data) }
+
+// EncodeAggResult serializes an aggregation result in the schema the
+// /v1/aggregate endpoint embeds.
+func EncodeAggResult(res *AggResult) ([]byte, error) { return graphio.EncodeAggResult(res) }
+
+// DecodeAggResult rebuilds an aggregation result from EncodeAggResult
+// output.
+func DecodeAggResult(data []byte) (*AggResult, error) { return graphio.DecodeAggResult(data) }
 
 // EncodeChurnTrace serializes a churn trace.
 func EncodeChurnTrace(tr *ChurnTrace) ([]byte, error) { return churn.EncodeTrace(tr) }
